@@ -1,0 +1,36 @@
+"""Benchmark-harness fixtures.
+
+Each benchmark regenerates one of the paper's tables or figures at a
+configurable workload scale (``UMI_BENCH_SCALE`` env var, default 0.5)
+and attaches headline numbers to the pytest-benchmark record via
+``extra_info`` so `pytest benchmarks/ --benchmark-only` output doubles
+as the reproduction log.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ResultCache
+
+BENCH_SCALE = float(os.environ.get("UMI_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def cache() -> ResultCache:
+    """One shared run cache for the whole benchmark session."""
+    return ResultCache(scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+def record_table(benchmark, table, keys=()):
+    """Attach a rendered table and selected values to the benchmark."""
+    benchmark.extra_info["table"] = table.render()
+    for label, value in keys:
+        benchmark.extra_info[label] = value

@@ -1,0 +1,31 @@
+"""Bench: the Section 6.3 applications anecdote.
+
+Expected shape (paper): UMI profiles everyday desktop/server
+applications at its usual low overhead, and their hardware-measured miss
+ratios are "very low" compared to the SPEC memory monsters.
+"""
+
+from repro.experiments import apps
+
+from conftest import record_table
+
+
+def test_apps_anecdote(benchmark, cache, bench_scale):
+    table = benchmark.pedantic(
+        lambda: apps.run(scale=bench_scale, cache=cache),
+        rounds=1, iterations=1,
+    )
+    print("\n" + table.render())
+    rows = {r["workload"]: r for r in table.as_dicts()}
+    app_rows = {n: r for n, r in rows.items() if n.startswith("app.")}
+    anchor = min(rows["179.art"]["hw_l2_miss_ratio"],
+                 rows["181.mcf"]["hw_l2_miss_ratio"])
+
+    assert len(app_rows) == 4
+    for name, row in app_rows.items():
+        assert row["hw_l2_miss_ratio"] < anchor / 3, name
+        assert row["umi_overhead"] < 1.4, name
+    record_table(benchmark, table, [
+        ("max_app_miss_ratio",
+         max(r["hw_l2_miss_ratio"] for r in app_rows.values())),
+    ])

@@ -1,0 +1,34 @@
+"""Bench: regenerate Figure 3 (SW prefetching, Pentium 4, HW pf off).
+
+Expected shape (paper): introspection alone costs a few percent; adding
+the UMI-driven software prefetcher yields an ~11% average speedup over
+the prefetchable benchmarks, with the strided stars (ft at 64%) gaining
+the most.
+"""
+
+from repro.experiments import prefetch_figs
+
+from conftest import record_table
+
+
+def test_fig3_sw_prefetch_p4(benchmark, cache, bench_scale):
+    table = benchmark.pedantic(
+        lambda: prefetch_figs.fig3(scale=bench_scale, cache=cache),
+        rounds=1, iterations=1,
+    )
+    print("\n" + table.render())
+    rows = table.as_dicts()
+    avg = rows[-1]
+    by_name = {r["benchmark"]: r for r in rows[:-1]}
+
+    # Prefetching never hurts on average and helps substantially.
+    assert avg["umi_sw_prefetch"] < avg["umi_introspection"]
+    # The best case is a multi-x win (paper: 64% on ft).
+    best_gain = min(r["umi_sw_prefetch"] / r["umi_introspection"]
+                    for r in rows[:-1])
+    assert best_gain < 0.5
+    assert by_name["ft"]["umi_sw_prefetch"] < 0.6
+    record_table(benchmark, table, [
+        ("avg_sw_prefetch", avg["umi_sw_prefetch"]),
+        ("best_case_ratio", best_gain),
+    ])

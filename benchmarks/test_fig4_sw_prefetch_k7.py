@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 4 (SW prefetching on the AMD K7).
+
+Expected shape (paper): the same ~11% average improvement as on the
+Pentium 4 -- the K7 has no hardware prefetcher at all, so UMI's software
+prefetching is the only prefetching available.
+"""
+
+from repro.experiments import prefetch_figs
+
+from conftest import record_table
+
+
+def test_fig4_sw_prefetch_k7(benchmark, cache, bench_scale):
+    table = benchmark.pedantic(
+        lambda: prefetch_figs.fig4(scale=bench_scale, cache=cache),
+        rounds=1, iterations=1,
+    )
+    print("\n" + table.render())
+    rows = table.as_dicts()
+    avg = rows[-1]
+    assert avg["umi_sw_prefetch"] < avg["umi_introspection"]
+    best = min(r["umi_sw_prefetch"] for r in rows[:-1])
+    assert best < 0.7
+    record_table(benchmark, table, [
+        ("avg_sw_prefetch_k7", avg["umi_sw_prefetch"]),
+    ])

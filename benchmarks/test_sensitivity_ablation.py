@@ -1,0 +1,114 @@
+"""Bench: Section 7.2 sensitivity analysis plus the design ablations.
+
+Expected shape (paper): recall is inversely related to the frequency
+threshold (mcf is largely insensitive; parser collapses at high
+thresholds); longer address profiles hurt parser's recall but improve
+its false positives; the adaptive per-trace delinquency threshold beats
+a fixed global one.
+"""
+
+from repro.experiments import sensitivity
+
+from conftest import record_table
+
+
+def test_frequency_threshold_sweep(benchmark, cache, bench_scale):
+    table = benchmark.pedantic(
+        lambda: sensitivity.frequency_threshold_sweep(
+            scale=bench_scale, cache=cache),
+        rounds=1, iterations=1,
+    )
+    print("\n" + table.render())
+    rows = table.as_dicts()
+    mcf = [r for r in rows if r["benchmark"] == "181.mcf"]
+    parser = [r for r in rows if r["benchmark"] == "197.parser"]
+
+    # Recall never improves as the threshold rises.
+    assert mcf[0]["recall"] >= mcf[-1]["recall"]
+    assert parser[0]["recall"] >= parser[-1]["recall"]
+    # mcf, memory-intensive with long-running loops, keeps predicting
+    # well over a wide threshold range.
+    assert mcf[0]["recall"] > 0.5
+    record_table(benchmark, table, [
+        ("mcf_recall_low_thr", mcf[0]["recall"]),
+        ("parser_recall_high_thr", parser[-1]["recall"]),
+    ])
+
+
+def test_profile_length_sweep(benchmark, cache, bench_scale):
+    table = benchmark.pedantic(
+        lambda: sensitivity.profile_length_sweep(
+            scale=bench_scale, cache=cache),
+        rounds=1, iterations=1,
+    )
+    print("\n" + table.render())
+    rows = table.as_dicts()
+    mcf = [r for r in rows if r["benchmark"] == "181.mcf"]
+    # mcf's recall is insensitive to the profile length (paper: "no
+    # effect on the recall").
+    assert max(r["recall"] for r in mcf) - \
+        min(r["recall"] for r in mcf) <= 0.5
+    record_table(benchmark, table, [])
+
+
+def test_adaptive_threshold_ablation(benchmark, cache, bench_scale):
+    table = benchmark.pedantic(
+        lambda: sensitivity.threshold_ablation(
+            scale=bench_scale, cache=cache),
+        rounds=1, iterations=1,
+    )
+    print("\n" + table.render())
+    rows = {r["mode"]: r for r in table.as_dicts()}
+    adaptive = rows["adaptive (0.90 -> 0.10)"]
+    strict = rows["global 0.90"]
+    loose = rows["global 0.10"]
+    # Adaptivity recovers most of the loose threshold's recall...
+    assert adaptive["avg_recall"] >= strict["avg_recall"]
+    # ...without exceeding its false positives.
+    assert adaptive["avg_false_positive"] <= \
+        loose["avg_false_positive"] + 0.05
+    record_table(benchmark, table, [
+        ("adaptive_recall", adaptive["avg_recall"]),
+        ("global90_recall", strict["avg_recall"]),
+    ])
+
+
+def test_warmup_and_shared_cache_ablations(benchmark, cache, bench_scale):
+    def run_both():
+        return (sensitivity.warmup_ablation(scale=bench_scale, cache=cache),
+                sensitivity.shared_cache_ablation(scale=bench_scale,
+                                                  cache=cache))
+
+    warmup, shared = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print("\n" + warmup.render())
+    print("\n" + shared.render())
+    # Disabling warm-up never lowers the simulated miss ratio.
+    for name in ("181.mcf", "197.parser"):
+        rows = {r["warmup"]: r for r in warmup.as_dicts()
+                if r["benchmark"] == name}
+        assert rows[0]["simulated_miss_ratio"] >= \
+            rows[8]["simulated_miss_ratio"] - 0.01
+    # Cold-cache-per-profile inflates the simulated ratio.
+    for name in ("181.mcf", "197.parser"):
+        rows = {r["shared_cache"]: r for r in shared.as_dicts()
+                if r["benchmark"] == name}
+        assert rows[False]["simulated_miss_ratio"] >= \
+            rows[True]["simulated_miss_ratio"] - 0.01
+    record_table(benchmark, warmup, [])
+
+
+def test_sampling_strategy_ablation(benchmark, cache, bench_scale):
+    table = benchmark.pedantic(
+        lambda: sensitivity.sampling_strategy_ablation(
+            scale=bench_scale, cache=cache),
+        rounds=1, iterations=1,
+    )
+    print("\n" + table.render())
+    rows = table.as_dicts()
+    for name in ("181.mcf", "197.parser"):
+        modes = {r["mode"]: r for r in rows if r["benchmark"] == name}
+        # Both strategies instrument the hot regions and stay cheap.
+        assert modes["timer"]["traces_instrumented"] >= 1
+        assert modes["event"]["traces_instrumented"] >= 1
+        assert modes["event"]["overhead"] < 1.6
+    record_table(benchmark, table, [])

@@ -1,0 +1,30 @@
+"""Bench: regenerate Table 1 (HW counter sample-size overhead vs UMI).
+
+Expected shape (paper): slowdown explodes as the sample size shrinks
+(2057% at 10, 326% at 100, 34% at 1K ... ~1% at 100K+) while UMI --
+instruction-granularity information -- stays near native.
+"""
+
+from repro.experiments import table1
+
+from conftest import record_table
+
+
+def test_table1_counter_overhead(benchmark, cache, bench_scale):
+    table = benchmark.pedantic(
+        lambda: table1.run(scale=bench_scale, cache=cache),
+        rounds=1, iterations=1,
+    )
+    print("\n" + table.render())
+    rows = {r["sample_size"]: r["slowdown_pct"] for r in table.as_dicts()}
+
+    # The overhead explosion toward small sample sizes.
+    assert rows["10"] > rows["100"] > rows["1000"] >= rows["100000"]
+    assert rows["10"] > 100.0            # multiple-x slowdown
+    assert rows["1000000"] < 5.0         # coarse sampling ~ free
+    # UMI delivers sample-size-1 detail at low overhead.
+    assert rows["1 (UMI)"] < 30.0
+    record_table(benchmark, table, [
+        ("slowdown_at_10", rows["10"]),
+        ("slowdown_umi", rows["1 (UMI)"]),
+    ])

@@ -1,0 +1,31 @@
+"""Bench: regenerate Table 2 (profiling methodology tradeoff matrix).
+
+Expected shape (paper): simulators = very high overhead / very high
+detail; hardware counters = very low overhead but very low detail (and
+prohibitive when pushed to fine granularity); UMI = low overhead, high
+detail, high versatility.
+"""
+
+from repro.experiments import table2
+
+from conftest import record_table
+
+
+def test_table2_tradeoffs(benchmark, cache, bench_scale):
+    table = benchmark.pedantic(
+        lambda: table2.run(scale=bench_scale, cache=cache),
+        rounds=1, iterations=1,
+    )
+    print("\n" + table.render())
+    rows = {r["methodology"]: r for r in table.as_dicts()}
+
+    umi_x = float(rows["UMI"]["measured_slowdown"].rstrip("x"))
+    fine_x = float(rows["hw counters (fine-grained)"][
+        "measured_slowdown"].rstrip("x"))
+    coarse_x = float(rows["hw counters (summary)"][
+        "measured_slowdown"].rstrip("x"))
+    # UMI is close to native; fine-grained counters are far from it.
+    assert coarse_x <= umi_x < fine_x
+    assert umi_x < 1.5
+    record_table(benchmark, table, [("umi_slowdown", umi_x),
+                                    ("fine_counter_slowdown", fine_x)])

@@ -1,0 +1,44 @@
+"""Bench: regenerate Table 4 (correlation to hardware counters).
+
+Expected shape (paper): Cachegrind correlates near-perfectly with the
+no-prefetch hardware (0.994 overall) and a bit less with prefetching
+enabled (0.952); UMI correlates strongly (0.883 overall), lower with
+prefetch enabled (0.852) and on the K7 (0.828).
+"""
+
+from repro.experiments import table4
+
+from conftest import record_table
+
+
+def test_table4_correlation(benchmark, cache, bench_scale):
+    meas = benchmark.pedantic(
+        lambda: table4.measure(scale=bench_scale, cache=cache),
+        rounds=1, iterations=1,
+    )
+    grid = table4.correlations(meas)
+    print("\n" + grid.render())
+    print("\n" + table4.detail(meas).render())
+    rows = grid.as_dicts()
+    nopf, pf, k7 = rows
+
+    # Cachegrind ~= the no-prefetch machine.
+    assert min(nopf["cg_CFP2000"], nopf["cg_CINT2000"],
+               nopf["cg_OLDEN"]) > 0.95
+    # Enabling the HW prefetcher lowers the (prefetch-oblivious)
+    # simulators' correlation.
+    assert pf["cg_CFP2000"] < nopf["cg_CFP2000"]
+    # UMI: strong correlation everywhere.
+    assert nopf["umi_All"] > 0.7
+    assert pf["umi_All"] > 0.6
+    assert k7["umi_All"] > 0.6
+    # Prefetching does not improve UMI correlation (it ignores prefetch
+    # effects); allow a small tolerance for near-ties.
+    assert pf["umi_All"] <= nopf["umi_All"] + 0.03
+    # No Cachegrind rerun for the slow K7, like the paper.
+    assert k7["cg_CFP2000"] is None
+    record_table(benchmark, grid, [
+        ("umi_all_nopf", nopf["umi_All"]),
+        ("umi_all_pf", pf["umi_All"]),
+        ("umi_all_k7", k7["umi_All"]),
+    ])

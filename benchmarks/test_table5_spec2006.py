@@ -1,0 +1,22 @@
+"""Bench: regenerate Table 5 (SPEC2006 correlations, P4 + prefetch).
+
+Expected shape (paper): CFP2006 0.94, CINT2006 0.79, overall 0.85 --
+floating-point codes correlate more strongly than integer codes.
+"""
+
+from repro.experiments import table5
+
+from conftest import record_table
+
+
+def test_table5_spec2006(benchmark, cache, bench_scale):
+    table = benchmark.pedantic(
+        lambda: table5.run(scale=bench_scale, cache=cache),
+        rounds=1, iterations=1,
+    )
+    print("\n" + table.render())
+    row = table.as_dicts()[0]
+    assert row["SPEC2006"] > 0.5
+    assert row["CFP2006"] > 0.5
+    assert row["CINT2006"] > 0.3
+    record_table(benchmark, table, [("spec2006_all", row["SPEC2006"])])

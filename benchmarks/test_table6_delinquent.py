@@ -1,0 +1,42 @@
+"""Bench: regenerate Table 6 (delinquent load prediction quality).
+
+Expected shape (paper): ~88% recall and >86% miss coverage for the
+high-miss-ratio group, ~61% recall / 66% coverage overall, with the
+low-miss group contributing most of the failures.
+"""
+
+from repro.experiments import table6
+
+from conftest import record_table
+
+
+def test_table6_delinquent(benchmark, cache, bench_scale):
+    rows = benchmark.pedantic(
+        lambda: table6.measure(scale=bench_scale, cache=cache),
+        rounds=1, iterations=1,
+    )
+    table = table6.to_table(rows)
+    print("\n" + table.render())
+    assert len(rows) == 32
+
+    split = table6.DEFAULT_MISS_SPLIT
+    high = [r for r in rows if r.l2_miss_ratio >= split]
+    low = [r for r in rows if r.l2_miss_ratio < split]
+    assert high and low
+
+    high_recall = sum(r.recall for r in high) / len(high)
+    low_recall = sum(r.recall for r in low) / len(low)
+    overall_cov = sum(r.pc_coverage for r in rows) / len(rows)
+
+    # High-miss applications are predicted far better than low-miss.
+    assert high_recall > 0.75
+    assert high_recall > low_recall
+    # Overall miss coverage in the paper's ballpark (66%).
+    assert overall_cov > 0.4
+    # Predictions are sound: P & C coverage never exceeds P coverage.
+    assert all(r.pc_coverage <= r.p_coverage + 1e-9 for r in rows)
+    record_table(benchmark, table, [
+        ("recall_high_miss", high_recall),
+        ("recall_low_miss", low_recall),
+        ("overall_coverage", overall_cov),
+    ])

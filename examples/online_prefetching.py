@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Online software prefetching driven by UMI (paper Section 8).
+
+Reproduces the paper's flagship anecdote on ``ft``: a single strided
+load causes ~all L2 misses; UMI identifies it online, measures its
+stride from the recorded address profile, picks a prefetch distance from
+the trace's cost and the machine's memory latency, and rewrites the
+trace clone with a software prefetch -- beating the Pentium 4's own
+hardware prefetcher.
+
+Run:  python examples/online_prefetching.py
+"""
+
+from repro import UMIConfig, get_machine, get_workload
+from repro.runners import run_native, run_umi
+
+
+def show(label: str, cycles: int, misses: int, base_cycles: int,
+         base_misses: int) -> None:
+    print(f"  {label:<34s} {cycles:>12,} cycles "
+          f"({cycles / base_cycles:5.2f}x)   "
+          f"{misses:>9,} L2 misses ({misses / max(1, base_misses):5.2f}x)")
+
+
+def main() -> None:
+    machine = get_machine("pentium4", scale=16)
+    program = get_workload("ft").build(scale=0.5)
+    print(f"workload: ft -- {get_workload('ft').description}")
+    print(f"machine:  {machine.describe()}\n")
+
+    # Baseline: native execution, no prefetching of any kind.
+    base = run_native(program, machine, hw_prefetch=False)
+    base_misses = base.hw_counters["l2_misses"]
+    print("configuration                              runtime"
+          "                L2 misses")
+    show("native, no prefetching", base.cycles, base_misses,
+         base.cycles, base_misses)
+
+    # The Pentium 4's hardware prefetchers (adjacent line + stride).
+    hw = run_native(program, machine, hw_prefetch=True)
+    show("native + HW prefetcher", hw.cycles,
+         hw.hw_counters["l2_misses"], base.cycles, base_misses)
+
+    # UMI introspection alone (costs a little).
+    intro = run_umi(program, machine,
+                    umi_config=UMIConfig(use_sampling=True))
+    show("UMI introspection only", intro.cycles,
+         intro.hw_counters["l2_misses"], base.cycles, base_misses)
+
+    # UMI + online software prefetching.
+    sw = run_umi(program, machine,
+                 umi_config=UMIConfig(use_sampling=True,
+                                      enable_sw_prefetch=True))
+    show("UMI + software prefetching", sw.cycles,
+         sw.hw_counters["l2_misses"], base.cycles, base_misses)
+
+    # Both at once: misses drop further, runtimes are not cumulative.
+    both = run_umi(program, machine,
+                   umi_config=UMIConfig(use_sampling=True,
+                                        enable_sw_prefetch=True),
+                   hw_prefetch=True)
+    show("UMI SW + HW prefetching", both.cycles,
+         both.hw_counters["l2_misses"], base.cycles, base_misses)
+
+    stats = sw.umi.prefetch_stats
+    print("\ninjected prefetches:")
+    for pc, rec in stats.injected.items():
+        print(f"  pc {pc:#x} in trace {rec.trace_head!r}: "
+              f"stride {rec.stride}B x lookahead {rec.lookahead} "
+              f"= {rec.delta}B ahead  (confidence {rec.confidence:.0%})")
+    print(f"\nsoftware prefetches issued at runtime: "
+          f"{sw.hw_counters['sw_prefetches']:,}")
+    if sw.cycles < hw.cycles:
+        print("\n=> UMI's software prefetcher beat the hardware "
+              "prefetcher on ft, as in the paper: its measured stride "
+              "and computed lookahead give a better prefetch distance.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: run UMI on a benchmark and read its introspection output.
+
+This walks the full pipeline on 181.mcf's stand-in: build the program,
+pick a machine model, run it under DynamoSim + UMI, and inspect what the
+online mini-simulations learned -- the coarse miss ratio, the
+per-instruction miss ratios, and the predicted delinquent loads --
+then validate the prediction against an offline full simulation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import UMIConfig, UMIRuntime, get_machine, get_workload
+from repro.fullsim import delinquent_set
+from repro.runners import run_native, run_umi
+
+
+def main() -> None:
+    # 1. A workload: the suite ships 47 synthetic benchmarks standing in
+    #    for SPEC CPU2000/2006 and Olden.  `scale` stretches iteration
+    #    counts (not footprints).
+    spec = get_workload("181.mcf")
+    program = spec.build(scale=0.5)
+    print(f"workload: {spec.name} -- {spec.description}")
+    print(f"  blocks={len(program.blocks)}  "
+          f"static loads={program.static_loads()}  "
+          f"stores={program.static_stores()}")
+
+    # 2. A machine model: the paper's Pentium 4, scaled 16x down to
+    #    match the synthetic footprints.
+    machine = get_machine("pentium4", scale=16)
+    print(f"machine: {machine.describe()}")
+
+    # 3. Run natively (the baseline), then under UMI with the paper's
+    #    defaults: PC sampling, frequency threshold 64, 256x256 address
+    #    profiles, an LRU mini-cache matching the host L2.
+    native = run_native(program, machine, with_cachegrind=True)
+    umi = run_umi(program, machine, umi_config=UMIConfig(use_sampling=True))
+
+    overhead = umi.cycles / native.cycles
+    print(f"\nnative cycles:  {native.cycles:>12,}")
+    print(f"UMI cycles:     {umi.cycles:>12,}  ({overhead:.2%} of native)")
+
+    result = umi.umi
+    print(f"\nUMI introspection results")
+    print(f"  traces instrumented:   "
+          f"{result.instrumentation.traces_instrumented}")
+    print(f"  profiles collected:    {result.umi_stats.profiles_collected}")
+    print(f"  analyzer invocations:  "
+          f"{result.umi_stats.analyzer_invocations}")
+    print(f"  simulated miss ratio:  {result.simulated_miss_ratio:.3f}")
+    print(f"  hardware miss ratio:   {result.hardware_l2_miss_ratio:.3f}")
+
+    print("\nper-instruction miss ratios (mini-simulated):")
+    for pc, ratio in sorted(result.pc_miss_ratios.items()):
+        label, idx = program.locate_pc(pc)
+        marker = "  <- delinquent" if pc in result.predicted_delinquent \
+            else ""
+        print(f"  pc {pc:#x} ({label}[{idx}])  {ratio:6.3f}{marker}")
+
+    # 4. Validate the online prediction against offline ground truth.
+    actual = delinquent_set(native.cachegrind.pc_load_misses())
+    predicted = result.predicted_delinquent
+    hits = predicted & actual
+    print(f"\nvalidation vs full simulation:")
+    print(f"  ground-truth delinquent set C: "
+          f"{sorted(hex(p) for p in actual)}")
+    print(f"  UMI prediction P:              "
+          f"{sorted(hex(p) for p in predicted)}")
+    if actual:
+        print(f"  recall: {len(hits) / len(actual):.0%}")
+
+
+if __name__ == "__main__":
+    main()

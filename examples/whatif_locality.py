@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""What-if exploration and locality analysis from retained profiles.
+
+The paper's closing pitch: because UMI's address profiles are tiny, an
+online system can afford to evaluate *speculative what-if scenarios*
+over them.  This example runs UMI on the art stand-in with profile
+retention enabled, then -- entirely from the recorded profiles --
+
+1. ranks four candidate L2 capacities by mini-simulated miss ratio,
+2. compares replacement policies at the host geometry, and
+3. derives the working-set size and LRU miss-ratio curve via
+   reuse-distance (stack distance) analysis.
+
+Run:  python examples/whatif_locality.py
+"""
+
+from repro import UMIConfig, UMIRuntime, get_machine, get_workload
+from repro.core import (
+    ReuseDistanceAnalyzer, WhatIfExplorer, capacity_sweep, policy_sweep,
+)
+
+
+def main() -> None:
+    machine = get_machine("pentium4", scale=16)
+    program = get_workload("179.art").build(scale=0.5)
+    print(f"workload: 179.art   machine: {machine.describe()}\n")
+
+    umi = UMIRuntime(
+        program, machine,
+        UMIConfig(use_sampling=True, retain_profiles=True),
+    )
+    umi.run()
+    profiles = umi.profile_archive
+    total_refs = sum(p.record_count() for p in profiles)
+    print(f"retained {len(profiles)} address profiles "
+          f"({total_refs:,} recorded references)\n")
+
+    # --- what-if #1: how much cache does this program actually need? --
+    explorer = WhatIfExplorer(
+        capacity_sweep(machine.l2, factors=(1, 2, 4, 8)))
+    explorer.analyze_all(profiles)
+    print("what-if: candidate L2 capacities "
+          f"(host = {machine.l2.size // 1024}KB)")
+    for result in explorer.ranking():
+        size_kb = result.scenario.cache.size / 1024
+        print(f"  {result.scenario.name:>6s} ({size_kb:5.1f}KB): "
+              f"miss ratio {result.miss_ratio:.3f}")
+    print(f"  -> winner: {explorer.best().scenario.name}\n")
+
+    # --- what-if #2: does the replacement policy matter here? ---------
+    policies = WhatIfExplorer(policy_sweep(machine.l2))
+    policies.analyze_all(profiles)
+    print("what-if: replacement policies at host geometry")
+    for result in policies.ranking():
+        print(f"  {result.scenario.name:>6s}: "
+              f"miss ratio {result.miss_ratio:.3f}")
+    print()
+
+    # --- locality signature via reuse distances -----------------------
+    analyzer = ReuseDistanceAnalyzer(line_size=machine.l2.line_size)
+    for profile in profiles:
+        analyzer.analyze(profile, skip_rows=2)
+    reuse = analyzer.result
+    print("reuse-distance analysis of the recorded profiles")
+    print(f"  observed working set: {reuse.working_set_bytes / 1024:.1f}KB "
+          f"({reuse.working_set_lines} lines)")
+    median = reuse.median_reuse_distance()
+    print(f"  median reuse distance: "
+          f"{median if median is not None else 'n/a'} lines")
+    print("  fully-associative LRU miss-ratio curve:")
+    host_lines = machine.l2.size // machine.l2.line_size
+    for capacity in (host_lines // 8, host_lines // 4, host_lines // 2,
+                     host_lines, host_lines * 2):
+        ratio = reuse.miss_ratio_for_capacity(capacity)
+        marker = "  <- host capacity" if capacity == host_lines else ""
+        print(f"    {capacity * machine.l2.line_size // 1024:5d}KB: "
+              f"{ratio:.3f}{marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Reproduction of "Ubiquitous Memory Introspection" (CGO 2007).
+
+UMI is an online, lightweight profiling methodology: a dynamic binary
+rewriter selects hot code traces, instruments their memory operations in
+bursts, and periodically mini-simulates the recorded short reference
+profiles to derive instruction-granularity memory behaviour -- feeding
+online optimizations such as software prefetching.
+
+Because the original work runs on real x86 hardware under DynamoRIO,
+this package rebuilds the entire substrate in simulation (see DESIGN.md):
+
+* :mod:`repro.isa` -- an x86-flavoured virtual instruction set;
+* :mod:`repro.vm` -- interpreter, cycle cost model, and the
+  DynamoRIO-like trace-building runtime (``DynamoSim``);
+* :mod:`repro.memory` -- cache hierarchies, replacement policies and
+  hardware prefetchers modelling the Pentium 4 / AMD K7;
+* :mod:`repro.counters` -- hardware performance counters with sampling
+  interrupt costs;
+* :mod:`repro.fullsim` -- Cachegrind-style full-trace simulation;
+* :mod:`repro.core` -- **UMI itself**: region selector, instrumentor,
+  mini cache simulator, delinquent-load predictor, stride prefetcher;
+* :mod:`repro.workloads` -- 47 synthetic benchmarks standing in for
+  SPEC CPU2000/2006 and Olden/Ptrdist;
+* :mod:`repro.experiments` -- regenerates every table and figure.
+
+Quickstart::
+
+    from repro import UMIRuntime, UMIConfig, get_machine, get_workload
+
+    program = get_workload("181.mcf").build(scale=0.5)
+    machine = get_machine("pentium4", scale=16)
+    result = UMIRuntime(program, machine, UMIConfig()).run()
+    print(result.simulated_miss_ratio, sorted(result.predicted_delinquent))
+"""
+
+from repro.core import UMIConfig, UMIResult, UMIRuntime
+from repro.fullsim import CachegrindSimulator, delinquent_set
+from repro.memory import (
+    ATHLON_K7, MachineConfig, MemoryHierarchy, PENTIUM4, get_machine,
+)
+from repro.runners import (
+    RunOutcome, run_cachegrind, run_dynamo, run_native, run_umi,
+)
+from repro.vm import DynamoSim, Interpreter, RuntimeConfig
+from repro.workloads import all_workloads, get_workload
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "UMIRuntime", "UMIConfig", "UMIResult",
+    "CachegrindSimulator", "delinquent_set",
+    "MachineConfig", "MemoryHierarchy", "PENTIUM4", "ATHLON_K7",
+    "get_machine",
+    "DynamoSim", "Interpreter", "RuntimeConfig",
+    "RunOutcome", "run_native", "run_dynamo", "run_umi", "run_cachegrind",
+    "get_workload", "all_workloads",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Ubiquitous Memory Introspection -- the paper's core contribution.
+
+The three conceptual components of Section 2 map onto this package as:
+
+* region selector  -> sampling logic inside :class:`UMIRuntime` plus the
+  runtime trace builder it piggybacks on;
+* instrumentor     -> :class:`Instrumentor` and the profile structures;
+* profile analyzer -> :class:`MiniCacheSimulator`, with
+  :class:`DelinquentPredictor` and :class:`SoftwarePrefetchOptimizer`
+  consuming its results online.
+"""
+
+from .analyzer import AnalysisResult, MiniCacheSimulator, OpSimResult
+from .config import UMIConfig
+from .delinquent import (
+    DelinquencyDecision, DelinquentPredictor, PredictionQuality,
+)
+from .instrumentor import (
+    InstrumentationStats, Instrumentor, select_operations,
+)
+from .optimizer import (
+    InjectedPrefetch, PrefetchStats, SoftwarePrefetchOptimizer,
+)
+from .phase import Phase, PhaseTracker
+from .profiles import AddressProfile, TraceProfileBuffer
+from .report import format_report, format_summary_line
+from .reuse import (
+    COLD, ReuseDistanceAnalyzer, ReuseProfile, reuse_distances,
+)
+from .stride import StrideInfo, choose_lookahead, detect_stride
+from .umi import UMIResult, UMIRuntime, UMIStats
+from .whatif import (
+    Scenario, ScenarioResult, WhatIfExplorer, capacity_sweep, policy_sweep,
+)
+
+__all__ = [
+    "UMIConfig", "UMIRuntime", "UMIResult", "UMIStats",
+    "AddressProfile", "TraceProfileBuffer",
+    "Instrumentor", "InstrumentationStats", "select_operations",
+    "MiniCacheSimulator", "AnalysisResult", "OpSimResult",
+    "DelinquentPredictor", "PredictionQuality", "DelinquencyDecision",
+    "StrideInfo", "detect_stride", "choose_lookahead",
+    "SoftwarePrefetchOptimizer", "PrefetchStats", "InjectedPrefetch",
+    "format_report", "format_summary_line",
+    "Phase", "PhaseTracker",
+    "ReuseDistanceAnalyzer", "ReuseProfile", "reuse_distances", "COLD",
+    "WhatIfExplorer", "Scenario", "ScenarioResult", "capacity_sweep",
+    "policy_sweep",
+]

@@ -1,0 +1,104 @@
+"""The UMI instrumentor (paper Section 4).
+
+Operates on a newly selected hot trace: filters its memory operations
+(dropping stack and static-address references, which "typically exhibit
+good locality"), assigns the surviving operations columns in a fresh
+address profile, clones the trace so profiling can be switched off
+cheaply, and charges the associated costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.isa.instructions import Instruction
+from repro.vm.cost_model import CostModel
+from repro.vm.state import MachineState
+from repro.vm.trace import Trace
+
+from .config import UMIConfig
+from .profiles import AddressProfile
+
+
+@dataclass
+class InstrumentationStats:
+    """Counters backing Table 3's per-benchmark profiling statistics."""
+
+    #: unique pcs ever selected for profiling.
+    profiled_pcs: Set[int] = field(default_factory=set)
+    #: unique pcs that survived filtering at least once but were dropped
+    #: by the per-profile op cap.
+    capped_pcs: Set[int] = field(default_factory=set)
+    traces_instrumented: int = 0
+    clone_swaps: int = 0
+
+    @property
+    def profiled_operations(self) -> int:
+        return len(self.profiled_pcs)
+
+
+def select_operations(trace: Trace, filter_operands: bool,
+                      max_ops: int) -> List[Instruction]:
+    """Apply the paper's two filtering heuristics to a trace.
+
+    Heuristic one -- only frequently executed code is instrumented -- is
+    implicit: ``trace`` is already a hot trace.  Heuristic two excludes
+    instructions referencing the stack (``esp``/``ebp`` operands) or
+    static addresses.  The result is capped at ``max_ops`` (the address
+    profile's column limit).
+    """
+    selected = []
+    for ins in trace.iter_instructions():
+        if not ins.is_explicit_memory_ref():
+            continue
+        if filter_operands and ins.is_filtered_by_umi():
+            continue
+        selected.append(ins)
+        if len(selected) >= max_ops:
+            break
+    return selected
+
+
+class Instrumentor:
+    """Instruments traces and accounts for the cost of doing so."""
+
+    def __init__(self, config: UMIConfig, cost_model: CostModel,
+                 state: MachineState) -> None:
+        self.config = config
+        self.cost_model = cost_model
+        self.state = state
+        self.stats = InstrumentationStats()
+
+    def instrument(self, trace: Trace) -> Optional[AddressProfile]:
+        """Instrument ``trace``; returns its new address profile.
+
+        Returns ``None`` (and leaves the trace untouched) when filtering
+        leaves nothing worth profiling.
+        """
+        config = self.config
+        ops = select_operations(
+            trace, config.filter_operands, config.address_profile_max_ops,
+        )
+        if not ops:
+            return None
+        profile_cols: Dict[int, int] = {
+            ins.pc: col for col, ins in enumerate(ops)
+        }
+        # Creating the clone T_c and rewriting T cost time proportional
+        # to the fragment size (Section 3, step 1).
+        self.state.cycles += (
+            self.cost_model.clone_cost_per_instr * trace.num_instructions()
+        )
+        trace.instrument(profile_cols)
+        self.stats.traces_instrumented += 1
+        self.stats.profiled_pcs.update(profile_cols)
+        return AddressProfile(
+            trace.head, [ins.pc for ins in ops],
+            max_rows=config.address_profile_entries,
+        )
+
+    def swap_to_clone(self, trace: Trace) -> None:
+        """Replace the instrumented fragment with its clean clone."""
+        trace.replace_with_clone()
+        self.stats.clone_swaps += 1

@@ -1,0 +1,99 @@
+"""The online software stride prefetcher (paper Section 8).
+
+An example runtime optimization driven by UMI's introspection results:
+loads labelled delinquent get their recorded address columns analysed for
+a dominant stride; when the stride is stable, a software prefetch is
+injected into the trace *clone* ("before replacing T with T_c, one can
+perform optimizations on T_c based on the mini-simulation results").
+The injected prefetch targets ``addr + stride * lookahead`` on every
+execution of the load, with the lookahead chosen from the trace's
+estimated per-iteration cost and the machine's memory latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.memory.hierarchy import MachineConfig
+from repro.vm.trace import Trace
+
+from .config import UMIConfig
+from .profiles import AddressProfile
+from .stride import StrideInfo, choose_lookahead, detect_stride
+
+
+@dataclass
+class InjectedPrefetch:
+    """Record of one prefetch injection, for reporting."""
+
+    pc: int
+    trace_head: str
+    stride: int
+    lookahead: int
+    confidence: float
+
+    @property
+    def delta(self) -> int:
+        return self.stride * self.lookahead
+
+
+@dataclass
+class PrefetchStats:
+    injected: Dict[int, InjectedPrefetch] = field(default_factory=dict)
+    rejected_no_stride: int = 0
+    rejected_low_confidence: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.injected)
+
+
+class SoftwarePrefetchOptimizer:
+    """Injects stride prefetches for delinquent loads into traces."""
+
+    #: Rough cycles-per-instruction estimate used to cost one trace pass
+    #: when picking the lookahead (hits dominate a steady-state loop).
+    EST_CYCLES_PER_INSTRUCTION = 2
+
+    def __init__(self, config: UMIConfig, machine: MachineConfig) -> None:
+        self.config = config
+        self.machine = machine
+        self.stats = PrefetchStats()
+
+    def optimize(self, trace: Trace, profile: AddressProfile,
+                 delinquent_pcs: Set[int]) -> int:
+        """Inject prefetches for this trace's delinquent loads.
+
+        Returns the number of (new or updated) injections.
+        """
+        if not delinquent_pcs:
+            return 0
+        config = self.config
+        injected = 0
+        pass_cycles = (
+            trace.num_instructions() * self.EST_CYCLES_PER_INSTRUCTION
+        )
+        for pc in delinquent_pcs:
+            if pc not in profile.op_pcs:
+                continue
+            info = detect_stride(profile.column_for_pc(pc))
+            if info is None or not info.is_constant_stride:
+                self.stats.rejected_no_stride += 1
+                continue
+            if info.confidence < config.stride_confidence:
+                self.stats.rejected_low_confidence += 1
+                continue
+            lookahead = choose_lookahead(
+                info.stride, pass_cycles, self.machine.memory_latency,
+                config.min_lookahead, config.max_lookahead,
+            )
+            if trace.prefetch_map is None:
+                trace.prefetch_map = {}
+            trace.prefetch_map[pc] = info.stride * lookahead
+            self.stats.injected[pc] = InjectedPrefetch(
+                pc=pc, trace_head=trace.head, stride=info.stride,
+                lookahead=lookahead, confidence=info.confidence,
+            )
+            injected += 1
+        return injected

@@ -1,0 +1,105 @@
+"""Phase detection over the analyzer's invocation history.
+
+"Sampling also provides a natural mechanism to adapt the introspection
+according to the various phases of the application lifetime" (Section
+2).  This module makes the phase structure explicit: each analyzer
+invocation contributes one observation (its aggregate mini-simulated
+miss ratio); a change-point is declared when the observation departs
+from the current phase's running mean by more than a threshold, for
+``confirm`` consecutive observations (debouncing transient spikes).
+
+Enable with ``UMIConfig.track_phases``; the detected phases are exposed
+as ``UMIResult.phases``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Phase:
+    """One detected execution phase."""
+
+    index: int
+    first_observation: int
+    last_observation: int
+    #: running mean miss ratio of the phase's observations.
+    mean_miss_ratio: float
+    observations: int
+
+    @property
+    def length(self) -> int:
+        return self.last_observation - self.first_observation + 1
+
+
+class PhaseTracker:
+    """Online change-point detection over a miss-ratio stream."""
+
+    def __init__(self, threshold: float = 0.15, confirm: int = 2) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if confirm < 1:
+            raise ValueError("confirm must be >= 1")
+        self.threshold = threshold
+        self.confirm = confirm
+        self._phases: List[Phase] = []
+        self._current: Optional[Phase] = None
+        self._pending: List[float] = []
+        self._observation = -1
+
+    def observe(self, miss_ratio: float) -> bool:
+        """Add one observation; returns True when a new phase began."""
+        self._observation += 1
+        obs = self._observation
+
+        if self._current is None:
+            self._current = Phase(
+                index=0, first_observation=obs, last_observation=obs,
+                mean_miss_ratio=miss_ratio, observations=1,
+            )
+            self._phases.append(self._current)
+            return True
+
+        current = self._current
+        departed = abs(miss_ratio - current.mean_miss_ratio) > self.threshold
+        if departed:
+            self._pending.append(miss_ratio)
+            if len(self._pending) >= self.confirm:
+                # Confirmed transition: open a new phase over the
+                # pending observations.
+                first = obs - len(self._pending) + 1
+                mean = sum(self._pending) / len(self._pending)
+                self._current = Phase(
+                    index=current.index + 1,
+                    first_observation=first,
+                    last_observation=obs,
+                    mean_miss_ratio=mean,
+                    observations=len(self._pending),
+                )
+                self._phases.append(self._current)
+                self._pending = []
+                return True
+            return False
+
+        # Back inside the band: discard any pending spike as a transient
+        # outlier (folding it into the mean would drag the phase
+        # signature toward the spike) and absorb the new observation.
+        self._pending = []
+        current.observations += 1
+        current.mean_miss_ratio += (
+            (miss_ratio - current.mean_miss_ratio) / current.observations
+        )
+        current.last_observation = obs
+        return False
+
+    def phases(self) -> List[Phase]:
+        return list(self._phases)
+
+    @property
+    def current_phase(self) -> Optional[Phase]:
+        return self._current
+
+    def __len__(self) -> int:
+        return len(self._phases)

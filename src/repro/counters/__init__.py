@@ -1,0 +1,16 @@
+"""Hardware performance counter models (the paper's Section 1.2 rival).
+
+Counters attach to a :class:`repro.memory.MemoryHierarchy` and count its
+demand-access events; configuring a small sample size makes them fire
+overflow interrupts whose cost reproduces Table 1's overhead explosion.
+"""
+
+from .hwcounters import (
+    EVENTS, CounterReading, EventCounter, HardwareCounters,
+)
+from .papi import PAPI_EVENTS, PapiError, PapiSession
+
+__all__ = [
+    "EVENTS", "EventCounter", "CounterReading", "HardwareCounters",
+    "PapiSession", "PapiError", "PAPI_EVENTS",
+]

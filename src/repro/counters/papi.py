@@ -1,0 +1,82 @@
+"""A PAPI-flavoured facade over the hardware counter model.
+
+The paper collects Table 1 "using PAPI on a 2.2GHz Intel Xeon"; this
+module provides the same start/stop/read session shape so that examples
+and benchmarks read like performance-counter client code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.vm.state import MachineState
+
+from .hwcounters import EVENTS, HardwareCounters
+
+#: PAPI-style preset event names mapped to model events.
+PAPI_EVENTS = {
+    "PAPI_L1_DCM": "l1_miss",
+    "PAPI_L2_TCA": "l2_ref",
+    "PAPI_L2_TCM": "l2_miss",
+}
+
+
+class PapiError(Exception):
+    """Invalid use of the PAPI session facade."""
+
+
+class PapiSession:
+    """start -> run workload -> stop -> read, in PAPI style."""
+
+    def __init__(self, hierarchy: MemoryHierarchy,
+                 state: Optional[MachineState] = None) -> None:
+        self._hw = HardwareCounters(state=state)
+        self._hierarchy = hierarchy
+        self._running = False
+        self._programmed = False
+
+    def add_event(self, papi_name: str, sample_size: int = 0) -> None:
+        """Program a preset event, optionally with overflow sampling."""
+        if self._running:
+            raise PapiError("cannot add events while counting")
+        try:
+            event = PAPI_EVENTS[papi_name]
+        except KeyError:
+            raise PapiError(
+                f"unknown PAPI event {papi_name!r}; "
+                f"presets: {sorted(PAPI_EVENTS)}"
+            ) from None
+        self._hw.program(event, sample_size=sample_size)
+        self._programmed = True
+
+    def start(self) -> None:
+        if not self._programmed:
+            raise PapiError("no events programmed")
+        if self._running:
+            raise PapiError("session already started")
+        self._hw.attach(self._hierarchy)
+        self._running = True
+
+    def stop(self) -> Dict[str, int]:
+        if not self._running:
+            raise PapiError("session not started")
+        self._hierarchy.observers.remove(self._hw.observe)
+        self._running = False
+        return self.read()
+
+    def read(self) -> Dict[str, int]:
+        """Counter values keyed by PAPI preset name."""
+        inverse = {v: k for k, v in PAPI_EVENTS.items()}
+        return {
+            inverse[event]: reading.count
+            for event, reading in self._hw.readings().items()
+        }
+
+    def interrupt_cycles(self) -> int:
+        """Cycles spent servicing counter-overflow interrupts."""
+        return self._hw.total_interrupt_cycles()
+
+    @property
+    def hardware(self) -> HardwareCounters:
+        return self._hw

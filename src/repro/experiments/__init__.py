@@ -1,0 +1,10 @@
+"""Experiment harness: one module per paper table/figure.
+
+See DESIGN.md's experiment index for the mapping from paper artefacts to
+modules; each module's ``run(scale, cache)`` returns a renderable
+:class:`repro.stats.Table` (or a list of them).
+"""
+
+from .common import DEFAULT_SCALE, ResultCache, default_umi_config
+
+__all__ = ["ResultCache", "DEFAULT_SCALE", "default_umi_config"]

@@ -1,0 +1,131 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    umi-experiments --list
+    umi-experiments table4 --scale 0.5
+    umi-experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.stats import Table
+
+from . import (
+    apps, fig2, prefetch_figs, sensitivity, table1, table2, table3,
+    table4, table5, table6,
+)
+from .common import DEFAULT_SCALE, ResultCache
+
+
+def _tables(result) -> List[Table]:
+    if isinstance(result, Table):
+        return [result]
+    return list(result)
+
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "fig2": fig2.run,
+    "fig3": prefetch_figs.fig3,
+    "fig4": prefetch_figs.fig4,
+    "fig5": prefetch_figs.fig5,
+    "fig6": prefetch_figs.fig6,
+    "sensitivity": sensitivity.run,
+    "apps": apps.run,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="umi-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment", nargs="?", default=None,
+        help="experiment name (see --list) or 'all'",
+    )
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                        help="workload iteration scale (default %(default)s)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    parser.add_argument("--bars", action="store_true",
+                        help="also render figures as ASCII bar charts")
+    parser.add_argument("--markdown", metavar="PATH", default=None,
+                        help="also write the tables to a markdown file")
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        print("  all")
+        return 0
+
+    if args.experiment == "all":
+        names = list(EXPERIMENTS)
+    elif args.experiment in EXPERIMENTS:
+        names = [args.experiment]
+    else:
+        parser.error(
+            f"unknown experiment {args.experiment!r}; use --list"
+        )
+
+    cache = ResultCache(scale=args.scale)
+    markdown_parts: List[str] = []
+    for name in names:
+        start = time.time()
+        result = EXPERIMENTS[name](scale=args.scale, cache=cache)
+        elapsed = time.time() - start
+        for tbl in _tables(result):
+            print(tbl.render())
+            print()
+            if args.bars and name.startswith("fig"):
+                try:
+                    print(tbl.render_bars())
+                    print()
+                except ValueError:
+                    pass
+            if args.markdown:
+                markdown_parts.append(_to_markdown(tbl))
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+
+    if args.markdown:
+        with open(args.markdown, "w") as handle:
+            handle.write(
+                f"# UMI reproduction results (scale {args.scale})\n\n"
+                + "\n\n".join(markdown_parts) + "\n"
+            )
+        print(f"[markdown written to {args.markdown}]")
+    return 0
+
+
+def _to_markdown(table: Table) -> str:
+    """Render one table as GitHub-flavoured markdown."""
+    def cell(fmt, value):
+        return fmt.format(value) if value is not None else "-"
+
+    lines = [f"## {table.title}", ""]
+    lines.append("| " + " | ".join(table.columns) + " |")
+    lines.append("|" + "---|" * len(table.columns))
+    for row in table.rows:
+        lines.append(
+            "| " + " | ".join(
+                cell(fmt, v) for fmt, v in zip(table.formats, row)
+            ) + " |"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Shared infrastructure for the experiment modules.
+
+Experiments share a :class:`ResultCache` so that a run needed by several
+tables/figures (e.g. the UMI-with-sampling Pentium 4 run feeds Table 4,
+Table 6 and Figure 2) happens once per process.
+
+All experiments run against *scaled-down* machine models (see
+:mod:`repro.memory.configs`) and workloads whose iteration counts are
+multiplied by ``scale``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core import UMIConfig
+from repro.isa import Program
+from repro.memory import DEFAULT_MACHINE_SCALE, MachineConfig, get_machine
+from repro.runners import RunOutcome, run_dynamo, run_native, run_umi
+from repro.workloads import all_workloads, get_workload
+
+#: Default workload scale for benchmark runs.
+DEFAULT_SCALE = 0.5
+
+#: Names of the paper's three benchmark groups, in table order.
+GROUP_ORDER = ("CFP2000", "CINT2000", "OLDEN")
+
+
+def paper_suite_names() -> list:
+    """The 32 evaluation benchmarks in the paper's table order."""
+    return [spec.name for spec in all_workloads(list(GROUP_ORDER))]
+
+
+def default_umi_config(
+    sampling: bool = True,
+    sw_prefetch: bool = False,
+    **overrides,
+) -> UMIConfig:
+    """The prototype's default configuration (Sections 3-5)."""
+    return UMIConfig(
+        use_sampling=sampling,
+        enable_sw_prefetch=sw_prefetch,
+        **overrides,
+    )
+
+
+class ResultCache:
+    """Memoizes program builds and runs for one experiment session."""
+
+    def __init__(self, scale: float = DEFAULT_SCALE,
+                 machine_scale: int = DEFAULT_MACHINE_SCALE) -> None:
+        self.scale = scale
+        self.machine_scale = machine_scale
+        self._programs: Dict[str, Program] = {}
+        self._machines: Dict[str, MachineConfig] = {}
+        self._runs: Dict[Tuple, RunOutcome] = {}
+
+    # -- building ----------------------------------------------------------
+
+    def machine(self, name: str) -> MachineConfig:
+        if name not in self._machines:
+            self._machines[name] = get_machine(name, scale=self.machine_scale)
+        return self._machines[name]
+
+    def program(self, workload_name: str) -> Program:
+        if workload_name not in self._programs:
+            self._programs[workload_name] = get_workload(
+                workload_name,
+            ).build(self.scale)
+        return self._programs[workload_name]
+
+    # -- runs ---------------------------------------------------------------
+
+    def native(self, workload: str, machine: str = "pentium4",
+               hw_prefetch: bool = False,
+               with_cachegrind: bool = False) -> RunOutcome:
+        key = ("native", workload, machine, hw_prefetch, with_cachegrind)
+        if key not in self._runs:
+            self._runs[key] = run_native(
+                self.program(workload), self.machine(machine),
+                hw_prefetch=hw_prefetch, with_cachegrind=with_cachegrind,
+            )
+        return self._runs[key]
+
+    def dynamo(self, workload: str, machine: str = "pentium4",
+               hw_prefetch: bool = False) -> RunOutcome:
+        key = ("dynamo", workload, machine, hw_prefetch)
+        if key not in self._runs:
+            self._runs[key] = run_dynamo(
+                self.program(workload), self.machine(machine),
+                hw_prefetch=hw_prefetch,
+            )
+        return self._runs[key]
+
+    def umi(self, workload: str, machine: str = "pentium4",
+            sampling: bool = True, sw_prefetch: bool = False,
+            hw_prefetch: bool = False,
+            with_cachegrind: bool = False) -> RunOutcome:
+        key = ("umi", workload, machine, sampling, sw_prefetch,
+               hw_prefetch, with_cachegrind)
+        if key not in self._runs:
+            self._runs[key] = run_umi(
+                self.program(workload), self.machine(machine),
+                umi_config=default_umi_config(
+                    sampling=sampling, sw_prefetch=sw_prefetch,
+                ),
+                hw_prefetch=hw_prefetch,
+                with_cachegrind=with_cachegrind,
+            )
+        return self._runs[key]

@@ -1,0 +1,62 @@
+"""Figure 2: runtime overhead of DynamoSim and UMI vs native.
+
+Three bars per benchmark, all normalized to native execution with the
+hardware prefetcher enabled (as in the paper's figure):
+
+1. DynamoSim alone (the paper finds < 13% average, occasional speedups
+   from trace formation);
+2. DynamoSim + UMI without sampling;
+3. DynamoSim + UMI with sample-based reinforcement, which lowers the
+   overhead for trace-dominated codes and for codes like 176.gcc whose
+   instrumentation never amortizes.
+
+Expected shape: UMI average ~= DynamoSim average + a few percent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.stats import Table
+from repro.workloads import all_workloads
+
+from .common import DEFAULT_SCALE, GROUP_ORDER, ResultCache
+
+
+def run(scale: float = DEFAULT_SCALE,
+        cache: Optional[ResultCache] = None,
+        workloads: Optional[List[str]] = None,
+        hw_prefetch: bool = True) -> Table:
+    """Regenerate Figure 2 (normalized running times)."""
+    cache = cache or ResultCache(scale)
+    if workloads is None:
+        names = [s.name for s in all_workloads(list(GROUP_ORDER))]
+    else:
+        names = workloads
+
+    table = Table(
+        "Figure 2: runtime overhead (normalized to native, "
+        f"HW prefetch {'on' if hw_prefetch else 'off'})",
+        ["benchmark", "dynamo", "umi_no_sampling", "umi_sampling",
+         "trace_residency"],
+        ["{}", "{:.3f}", "{:.3f}", "{:.3f}", "{:.2f}"],
+    )
+    sums = [0.0, 0.0, 0.0]
+    for name in names:
+        native = cache.native(name, hw_prefetch=hw_prefetch)
+        dynamo = cache.dynamo(name, hw_prefetch=hw_prefetch)
+        umi_nos = cache.umi(name, sampling=False, hw_prefetch=hw_prefetch)
+        umi_s = cache.umi(name, sampling=True, hw_prefetch=hw_prefetch)
+        vals = (
+            dynamo.cycles / native.cycles,
+            umi_nos.cycles / native.cycles,
+            umi_s.cycles / native.cycles,
+        )
+        for i, v in enumerate(vals):
+            sums[i] += v
+        table.add_row(name, *vals, dynamo.runtime_stats.trace_residency)
+    if names:
+        n = len(names)
+        table.add_row("average", sums[0] / n, sums[1] / n, sums[2] / n,
+                      None)
+    return table

@@ -1,0 +1,139 @@
+"""Figures 3-6: the online software prefetching study (paper Section 8).
+
+Shared measurement logic for the four prefetching figures:
+
+* **Figure 3** -- Pentium 4, hardware prefetching disabled: introspection
+  only vs. introspection + software prefetching, normalized to native.
+* **Figure 4** -- the same on the AMD K7 (which has no HW prefetcher).
+* **Figure 5** -- Pentium 4: software prefetching, hardware prefetching,
+  and their combination, all normalized to native with no prefetching.
+* **Figure 6** -- L2 miss counts for the same three configurations,
+  normalized to native misses.
+
+Expected shape: ~11% average speedup from SW prefetching on both
+machines; SW+HW reduces *misses* the most (Figure 6) but run times are
+not cumulative (Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.stats import Table
+from repro.workloads import prefetchable_workloads
+
+from .common import DEFAULT_SCALE, ResultCache
+
+
+def _prefetch_names(workloads: Optional[List[str]]) -> List[str]:
+    if workloads is not None:
+        return workloads
+    return [s.name for s in prefetchable_workloads()]
+
+
+def fig3(scale: float = DEFAULT_SCALE,
+         cache: Optional[ResultCache] = None,
+         workloads: Optional[List[str]] = None) -> Table:
+    """Figure 3: running time on Pentium 4, HW prefetching disabled."""
+    return _runtime_figure(
+        "Figure 3: normalized running time (Pentium4, HW prefetch off)",
+        machine="pentium4", cache=cache or ResultCache(scale),
+        workloads=_prefetch_names(workloads),
+    )
+
+
+def fig4(scale: float = DEFAULT_SCALE,
+         cache: Optional[ResultCache] = None,
+         workloads: Optional[List[str]] = None) -> Table:
+    """Figure 4: running time on the AMD K7."""
+    return _runtime_figure(
+        "Figure 4: normalized running time (AMD K7)",
+        machine="athlon-k7", cache=cache or ResultCache(scale),
+        workloads=_prefetch_names(workloads),
+    )
+
+
+def _runtime_figure(title: str, machine: str, cache: ResultCache,
+                    workloads: List[str]) -> Table:
+    table = Table(
+        title,
+        ["benchmark", "umi_introspection", "umi_sw_prefetch"],
+        ["{}", "{:.3f}", "{:.3f}"],
+    )
+    sums = [0.0, 0.0]
+    for name in workloads:
+        native = cache.native(name, machine=machine)
+        intro = cache.umi(name, machine=machine, sampling=True)
+        swpf = cache.umi(name, machine=machine, sampling=True,
+                         sw_prefetch=True)
+        vals = (intro.cycles / native.cycles, swpf.cycles / native.cycles)
+        for i, v in enumerate(vals):
+            sums[i] += v
+        table.add_row(name, *vals)
+    if workloads:
+        n = len(workloads)
+        table.add_row("average", sums[0] / n, sums[1] / n)
+    return table
+
+
+def fig5(scale: float = DEFAULT_SCALE,
+         cache: Optional[ResultCache] = None,
+         workloads: Optional[List[str]] = None) -> Table:
+    """Figure 5: SW vs HW vs SW+HW prefetching running time (P4)."""
+    cache = cache or ResultCache(scale)
+    names = _prefetch_names(workloads)
+    table = Table(
+        "Figure 5: normalized running time (Pentium4, vs native "
+        "without prefetching)",
+        ["benchmark", "umi_sw", "hw", "umi_sw_plus_hw"],
+        ["{}", "{:.3f}", "{:.3f}", "{:.3f}"],
+    )
+    sums = [0.0, 0.0, 0.0]
+    for name in names:
+        native = cache.native(name)  # no prefetching baseline
+        sw = cache.umi(name, sampling=True, sw_prefetch=True)
+        hw = cache.native(name, hw_prefetch=True)
+        both = cache.umi(name, sampling=True, sw_prefetch=True,
+                         hw_prefetch=True)
+        vals = (sw.cycles / native.cycles, hw.cycles / native.cycles,
+                both.cycles / native.cycles)
+        for i, v in enumerate(vals):
+            sums[i] += v
+        table.add_row(name, *vals)
+    if names:
+        n = len(names)
+        table.add_row("average", *(s / n for s in sums))
+    return table
+
+
+def fig6(scale: float = DEFAULT_SCALE,
+         cache: Optional[ResultCache] = None,
+         workloads: Optional[List[str]] = None) -> Table:
+    """Figure 6: normalized L2 miss counts (P4)."""
+    cache = cache or ResultCache(scale)
+    names = _prefetch_names(workloads)
+    table = Table(
+        "Figure 6: L2 misses normalized to native (Pentium4)",
+        ["benchmark", "umi_sw", "hw", "umi_sw_plus_hw"],
+        ["{}", "{:.3f}", "{:.3f}", "{:.3f}"],
+    )
+    sums = [0.0, 0.0, 0.0]
+    for name in names:
+        native = cache.native(name)
+        sw = cache.umi(name, sampling=True, sw_prefetch=True)
+        hw = cache.native(name, hw_prefetch=True)
+        both = cache.umi(name, sampling=True, sw_prefetch=True,
+                         hw_prefetch=True)
+        base = max(1, native.hw_counters["l2_misses"])
+        vals = (
+            sw.hw_counters["l2_misses"] / base,
+            hw.hw_counters["l2_misses"] / base,
+            both.hw_counters["l2_misses"] / base,
+        )
+        for i, v in enumerate(vals):
+            sums[i] += v
+        table.add_row(name, *vals)
+    if names:
+        n = len(names)
+        table.add_row("average", *(s / n for s in sums))
+    return table

@@ -1,0 +1,234 @@
+"""Section 7.2 sensitivity analysis and the paper's design ablations.
+
+Three studies:
+
+* :func:`frequency_threshold_sweep` -- vary the region selector's
+  frequency threshold by powers of two (paper: 1..1024) on 181.mcf and
+  197.parser.  Expected shape: recall is inversely related to the
+  threshold, with the memory-intensive mcf insensitive over a wide range
+  and parser's recall collapsing at high thresholds.
+* :func:`profile_length_sweep` -- vary the address profile length
+  (paper: 64..32K trace executions).  Expected shape: mcf unaffected;
+  parser's recall drops with long profiles while its false-positive
+  ratio improves.
+* :func:`threshold_ablation` -- adaptive per-trace delinquency threshold
+  vs. a global fixed threshold (paper: false positives drop from 82.61%
+  to 56.76% overall with adaptivity).
+
+Plus analyzer ablations called out in DESIGN.md:
+
+* :func:`warmup_ablation` -- with vs. without the analyzer's cache
+  warm-up executions (without it, compulsory misses inflate every op's
+  miss ratio and false positives rise).
+* :func:`shared_cache_ablation` -- shared logical cache carried across
+  profiles vs. a cold cache per profile.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core import PredictionQuality, UMIConfig
+from repro.fullsim import delinquent_set
+from repro.runners import run_umi
+from repro.stats import Table
+
+from .common import DEFAULT_SCALE, ResultCache, paper_suite_names
+
+SWEEP_WORKLOADS = ("181.mcf", "197.parser")
+FREQUENCY_THRESHOLDS = (1, 4, 16, 64, 256, 1024)
+PROFILE_LENGTHS = (64, 256, 1024, 4096)
+
+
+def _quality_run(cache: ResultCache, workload: str,
+                 config: UMIConfig) -> tuple:
+    """Run UMI with a custom config; returns (quality, outcome)."""
+    program = cache.program(workload)
+    machine = cache.machine("pentium4")
+    outcome = run_umi(program, machine, umi_config=config,
+                      with_cachegrind=True)
+    actual = delinquent_set(outcome.cachegrind.pc_load_misses())
+    quality = PredictionQuality(
+        predicted=frozenset(outcome.umi.predicted_delinquent),
+        actual=actual,
+    )
+    return quality, outcome
+
+
+def frequency_threshold_sweep(
+    scale: float = DEFAULT_SCALE,
+    cache: Optional[ResultCache] = None,
+    workloads: Sequence[str] = SWEEP_WORKLOADS,
+    thresholds: Sequence[int] = FREQUENCY_THRESHOLDS,
+) -> Table:
+    """Recall/FP/overhead vs. the sampling frequency threshold."""
+    cache = cache or ResultCache(scale)
+    table = Table(
+        "Sensitivity: frequency threshold sweep",
+        ["benchmark", "threshold", "recall", "false_positive",
+         "overhead"],
+        ["{}", "{}", "{:.2%}", "{:.2%}", "{:.3f}"],
+    )
+    for name in workloads:
+        native = cache.native(name)
+        for threshold in thresholds:
+            config = UMIConfig(use_sampling=True,
+                               frequency_threshold=threshold)
+            quality, outcome = _quality_run(cache, name, config)
+            table.add_row(
+                name, threshold, quality.recall,
+                quality.false_positive_ratio,
+                outcome.cycles / native.cycles,
+            )
+    return table
+
+
+def profile_length_sweep(
+    scale: float = DEFAULT_SCALE,
+    cache: Optional[ResultCache] = None,
+    workloads: Sequence[str] = SWEEP_WORKLOADS,
+    lengths: Sequence[int] = PROFILE_LENGTHS,
+) -> Table:
+    """Recall/FP/overhead vs. the address profile length."""
+    cache = cache or ResultCache(scale)
+    table = Table(
+        "Sensitivity: address profile length sweep",
+        ["benchmark", "profile_rows", "recall", "false_positive",
+         "overhead"],
+        ["{}", "{}", "{:.2%}", "{:.2%}", "{:.3f}"],
+    )
+    for name in workloads:
+        native = cache.native(name)
+        for length in lengths:
+            config = UMIConfig(use_sampling=True,
+                               address_profile_entries=length)
+            quality, outcome = _quality_run(cache, name, config)
+            table.add_row(
+                name, length, quality.recall,
+                quality.false_positive_ratio,
+                outcome.cycles / native.cycles,
+            )
+    return table
+
+
+def threshold_ablation(
+    scale: float = DEFAULT_SCALE,
+    cache: Optional[ResultCache] = None,
+    workloads: Optional[List[str]] = None,
+) -> Table:
+    """Adaptive per-trace delinquency threshold vs. a global one."""
+    cache = cache or ResultCache(scale)
+    names = workloads if workloads is not None else paper_suite_names()
+    table = Table(
+        "Ablation: adaptive vs global delinquency threshold",
+        ["mode", "avg_recall", "avg_false_positive"],
+        ["{}", "{:.2%}", "{:.2%}"],
+    )
+    for label, adaptive, initial in (
+        ("adaptive (0.90 -> 0.10)", True, 0.90),
+        ("global 0.90", False, 0.90),
+        ("global 0.10", False, 0.10),
+    ):
+        recalls, fps = [], []
+        for name in names:
+            config = UMIConfig(use_sampling=True,
+                               adaptive_threshold=adaptive,
+                               initial_delinquency_threshold=initial)
+            quality, _ = _quality_run(cache, name, config)
+            recalls.append(quality.recall)
+            fps.append(quality.false_positive_ratio)
+        table.add_row(label, sum(recalls) / len(recalls),
+                      sum(fps) / len(fps))
+    return table
+
+
+def warmup_ablation(
+    scale: float = DEFAULT_SCALE,
+    cache: Optional[ResultCache] = None,
+    workloads: Sequence[str] = SWEEP_WORKLOADS,
+) -> Table:
+    """With vs. without the analyzer's warm-up executions."""
+    cache = cache or ResultCache(scale)
+    table = Table(
+        "Ablation: analyzer warm-up executions",
+        ["benchmark", "warmup", "simulated_miss_ratio", "recall",
+         "false_positive"],
+        ["{}", "{}", "{:.4f}", "{:.2%}", "{:.2%}"],
+    )
+    for name in workloads:
+        for warmup in (0, 2, 8):
+            config = UMIConfig(use_sampling=True,
+                               warmup_executions=warmup)
+            quality, outcome = _quality_run(cache, name, config)
+            table.add_row(name, warmup,
+                          outcome.umi.simulated_miss_ratio,
+                          quality.recall, quality.false_positive_ratio)
+    return table
+
+
+def shared_cache_ablation(
+    scale: float = DEFAULT_SCALE,
+    cache: Optional[ResultCache] = None,
+    workloads: Sequence[str] = SWEEP_WORKLOADS,
+) -> Table:
+    """Shared logical cache vs. a cold cache per analyzed profile."""
+    cache = cache or ResultCache(scale)
+    table = Table(
+        "Ablation: shared logical cache across analyses",
+        ["benchmark", "shared_cache", "simulated_miss_ratio", "recall",
+         "false_positive"],
+        ["{}", "{}", "{:.4f}", "{:.2%}", "{:.2%}"],
+    )
+    for name in workloads:
+        for shared in (True, False):
+            config = UMIConfig(use_sampling=True, shared_cache=shared)
+            quality, outcome = _quality_run(cache, name, config)
+            table.add_row(name, shared,
+                          outcome.umi.simulated_miss_ratio,
+                          quality.recall, quality.false_positive_ratio)
+    return table
+
+
+def sampling_strategy_ablation(
+    scale: float = DEFAULT_SCALE,
+    cache: Optional[ResultCache] = None,
+    workloads: Sequence[str] = SWEEP_WORKLOADS,
+) -> Table:
+    """Timer-driven vs event-driven region selection (paper Section 2).
+
+    Both strategies should converge on the same hot regions; the
+    event-driven variant trades timer interrupts for per-entry counting.
+    """
+    cache = cache or ResultCache(scale)
+    table = Table(
+        "Ablation: timer vs event-driven sampling",
+        ["benchmark", "mode", "traces_instrumented", "recall",
+         "false_positive", "overhead"],
+        ["{}", "{}", "{}", "{:.2%}", "{:.2%}", "{:.3f}"],
+    )
+    for name in workloads:
+        native = cache.native(name)
+        for mode in ("timer", "event"):
+            config = UMIConfig(use_sampling=True, sampling_mode=mode)
+            quality, outcome = _quality_run(cache, name, config)
+            table.add_row(
+                name, mode,
+                outcome.umi.instrumentation.traces_instrumented,
+                quality.recall, quality.false_positive_ratio,
+                outcome.cycles / native.cycles,
+            )
+    return table
+
+
+def run(scale: float = DEFAULT_SCALE,
+        cache: Optional[ResultCache] = None) -> List[Table]:
+    """All sensitivity studies and ablations."""
+    cache = cache or ResultCache(scale)
+    return [
+        frequency_threshold_sweep(scale, cache),
+        profile_length_sweep(scale, cache),
+        threshold_ablation(scale, cache),
+        warmup_ablation(scale, cache),
+        shared_cache_ablation(scale, cache),
+        sampling_strategy_ablation(scale, cache),
+    ]

@@ -1,0 +1,51 @@
+"""Delinquent-load ground truth from full simulation.
+
+Paper Section 7: "We define the set of delinquent load instructions, C,
+as the minimal set of instructions that account for at least x percent of
+the total number of load misses.  We report results for x = 90%.  We can
+calculate C by sorting the instructions in descending order of their
+total number of L2 load misses, as reported by Cachegrind.  Then,
+starting with the first instruction, we add instructions to the set
+until the number of misses in the set is at least 90% of the total
+number of misses reported for the entire application."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+DEFAULT_COVERAGE = 0.90
+
+
+def delinquent_set(pc_misses: Dict[int, int],
+                   coverage: float = DEFAULT_COVERAGE) -> FrozenSet[int]:
+    """The minimal set of pcs covering ``coverage`` of all misses.
+
+    Ties in miss counts are broken by pc for determinism.
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError("coverage must be in (0, 1]")
+    total = sum(pc_misses.values())
+    if total <= 0:
+        return frozenset()
+    target = coverage * total
+    chosen = []
+    accumulated = 0
+    for pc, misses in sorted(pc_misses.items(), key=lambda kv: (-kv[1], kv[0])):
+        if misses <= 0:
+            break
+        chosen.append(pc)
+        accumulated += misses
+        if accumulated >= target:
+            break
+    return frozenset(chosen)
+
+
+def miss_coverage(pcs, pc_misses: Dict[int, int]) -> float:
+    """Fraction of all misses attributable to the instructions in ``pcs``
+    (the paper's "miss coverage" columns in Table 6)."""
+    total = sum(pc_misses.values())
+    if total <= 0:
+        return 0.0
+    covered = sum(pc_misses.get(pc, 0) for pc in pcs)
+    return covered / total

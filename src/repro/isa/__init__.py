@@ -1,0 +1,48 @@
+"""Virtual instruction set architecture (the binary substrate).
+
+This package defines the x86-flavoured virtual ISA that every synthetic
+workload in this repository is written in.  It plays the role of the
+IA-32 binaries in the paper: the VM executes these programs, the
+DynamoRIO stand-in builds traces from their basic blocks, and UMI
+instruments their memory operations.
+"""
+
+from .builder import BlockBuilder, ProgramBuilder
+from .disasm import format_block, format_instruction, format_program
+from .instructions import (
+    ADD, ALU_RI, ALU_RR, AND, CALL, CC_EQ, CC_GE, CC_GT, CC_LE, CC_LT,
+    CC_NE, CMP_RI, CMP_RR, DIV, HALT, Instruction, JCC, JMP, LEA, LOAD,
+    MOD, MOV_RI, MOV_RR, MUL, NOP, OR, RET, SHL, SHR, STORE, SUB, SWITCH,
+    WORK, XOR,
+)
+from .operands import MemOperand, absolute, mem
+from .program import (
+    BasicBlock, CODE_BASE, DataSegment, HEAP_BASE, INSTR_SIZE, Program,
+    ProgramError, STACK_BASE,
+)
+from .registers import (
+    EAX, EBP, EBX, ECX, EDI, EDX, ESI, ESP, NUM_REGS, R8, R9, R10, R11,
+    R12, R13, R14, R15, STACK_REGS, is_stack_reg, parse_reg, reg_name,
+)
+
+__all__ = [
+    # builder / rendering
+    "BlockBuilder", "ProgramBuilder",
+    "format_block", "format_instruction", "format_program",
+    # instructions
+    "Instruction",
+    "MOV_RI", "MOV_RR", "LOAD", "STORE", "ALU_RR", "ALU_RI", "LEA",
+    "CMP_RR", "CMP_RI", "JCC", "JMP", "CALL", "RET", "HALT", "WORK",
+    "SWITCH", "NOP",
+    "ADD", "SUB", "MUL", "AND", "OR", "XOR", "SHL", "SHR", "MOD", "DIV",
+    "CC_EQ", "CC_NE", "CC_LT", "CC_LE", "CC_GT", "CC_GE",
+    # operands
+    "MemOperand", "mem", "absolute",
+    # program
+    "BasicBlock", "DataSegment", "Program", "ProgramError",
+    "CODE_BASE", "HEAP_BASE", "STACK_BASE", "INSTR_SIZE",
+    # registers
+    "EAX", "EBX", "ECX", "EDX", "ESI", "EDI", "ESP", "EBP",
+    "R8", "R9", "R10", "R11", "R12", "R13", "R14", "R15",
+    "NUM_REGS", "STACK_REGS", "reg_name", "parse_reg", "is_stack_reg",
+]

@@ -1,0 +1,175 @@
+"""A small DSL for constructing programs block by block.
+
+Example::
+
+    b = ProgramBuilder("stream")
+    arr = b.data.alloc_array("a", 1024, elem_size=8)
+    b.start_regs({ESI: arr, ECX: 0})
+
+    loop = b.block("loop")
+    loop.load(EAX, mem(base=ESI, index=ECX, scale=8))
+    loop.alu(ADD, EDX, src=EAX)
+    loop.alu_imm(ADD, ECX, 1)
+    loop.cmp_imm(ECX, 1024)
+    loop.jcc(CC_LT, "loop", "done")
+
+    done = b.block("done")
+    done.halt()
+
+    program = b.build(entry="loop")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .instructions import (
+    ALU_RI, ALU_RR, CALL, CMP_RI, CMP_RR, HALT, Instruction, JCC, JMP, LEA,
+    LOAD, MOV_RI, MOV_RR, NOP, RET, STORE, SWITCH, WORK,
+)
+from .operands import MemOperand
+from .program import BasicBlock, DataSegment, Program, ProgramError
+
+
+class BlockBuilder:
+    """Appends instructions to one basic block; one method per opcode."""
+
+    def __init__(self, block: BasicBlock) -> None:
+        self._block = block
+        self._sealed = False
+
+    # -- internal ----------------------------------------------------------
+
+    def _emit(self, instruction: Instruction) -> "BlockBuilder":
+        if self._sealed:
+            raise ProgramError(
+                f"block {self._block.label!r} already has a terminator"
+            )
+        self._block.instructions.append(instruction)
+        if instruction.is_terminator():
+            self._sealed = True
+        return self
+
+    # -- data movement -----------------------------------------------------
+
+    def mov_imm(self, dst: int, imm: int) -> "BlockBuilder":
+        return self._emit(Instruction(MOV_RI, dst=dst, imm=imm))
+
+    def mov(self, dst: int, src: int) -> "BlockBuilder":
+        return self._emit(Instruction(MOV_RR, dst=dst, src=src))
+
+    def load(self, dst: int, memop: MemOperand, size: int = 8) -> "BlockBuilder":
+        return self._emit(Instruction(LOAD, dst=dst, memop=memop, size=size))
+
+    def store(self, memop: MemOperand, src: Optional[int] = None,
+              imm: int = 0, size: int = 8) -> "BlockBuilder":
+        return self._emit(
+            Instruction(STORE, src=src, imm=imm, memop=memop, size=size)
+        )
+
+    def lea(self, dst: int, memop: MemOperand) -> "BlockBuilder":
+        return self._emit(Instruction(LEA, dst=dst, memop=memop))
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def alu(self, aluop: int, dst: int, src: int) -> "BlockBuilder":
+        return self._emit(Instruction(ALU_RR, dst=dst, src=src, aluop=aluop))
+
+    def alu_imm(self, aluop: int, dst: int, imm: int) -> "BlockBuilder":
+        return self._emit(Instruction(ALU_RI, dst=dst, imm=imm, aluop=aluop))
+
+    def work(self, cycles: int) -> "BlockBuilder":
+        """``cycles`` cycles of pure computation (no memory traffic)."""
+        if cycles <= 0:
+            raise ValueError("work cycles must be positive")
+        return self._emit(Instruction(WORK, imm=cycles))
+
+    def nop(self) -> "BlockBuilder":
+        return self._emit(Instruction(NOP))
+
+    # -- compares and control flow ------------------------------------------
+
+    def cmp(self, a: int, b: int) -> "BlockBuilder":
+        return self._emit(Instruction(CMP_RR, dst=a, src=b))
+
+    def cmp_imm(self, a: int, imm: int) -> "BlockBuilder":
+        return self._emit(Instruction(CMP_RI, dst=a, imm=imm))
+
+    def jcc(self, cc: int, target: str, fallthrough: str) -> "BlockBuilder":
+        return self._emit(
+            Instruction(JCC, cc=cc, target=target, fallthrough=fallthrough)
+        )
+
+    def jmp(self, target: str) -> "BlockBuilder":
+        return self._emit(Instruction(JMP, target=target))
+
+    def call(self, target: str, return_to: str) -> "BlockBuilder":
+        """Call ``target``; control returns to block ``return_to``.
+
+        The return label is recorded in the ``fallthrough`` field and
+        pushed on the VM's call stack; the machine-level push also writes
+        through ``esp`` so the stack reference stream is realistic.
+        """
+        return self._emit(
+            Instruction(CALL, target=target, fallthrough=return_to)
+        )
+
+    def ret(self) -> "BlockBuilder":
+        return self._emit(Instruction(RET))
+
+    def switch(self, src: int, targets: Sequence[str]) -> "BlockBuilder":
+        """Indirect branch to ``targets[regs[src] % len(targets)]``."""
+        if not targets:
+            raise ValueError("switch requires at least one target")
+        return self._emit(Instruction(SWITCH, src=src, targets=targets))
+
+    def halt(self) -> "BlockBuilder":
+        return self._emit(Instruction(HALT))
+
+    @property
+    def label(self) -> str:
+        return self._block.label
+
+
+class ProgramBuilder:
+    """Incrementally constructs a :class:`Program`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.data = DataSegment()
+        self._blocks: Dict[str, BasicBlock] = {}
+        self._initial_regs: Dict[int, int] = {}
+        self._label_counter = 0
+
+    def block(self, label: Optional[str] = None) -> BlockBuilder:
+        """Create a new (empty) basic block and return its builder."""
+        if label is None:
+            label = self.fresh_label("bb")
+        if label in self._blocks:
+            raise ProgramError(f"duplicate block label {label!r}")
+        blk = BasicBlock(label)
+        self._blocks[label] = blk
+        return BlockBuilder(blk)
+
+    def fresh_label(self, prefix: str = "bb") -> str:
+        """Generate a unique block label with the given prefix."""
+        while True:
+            label = f"{prefix}_{self._label_counter}"
+            self._label_counter += 1
+            if label not in self._blocks:
+                return label
+
+    def start_regs(self, values: Dict[int, int]) -> None:
+        """Set initial register values (applied before the entry block)."""
+        self._initial_regs.update(values)
+
+    def build(self, entry: str) -> Program:
+        """Validate, finalize and return the program."""
+        program = Program(
+            self.name,
+            blocks=self._blocks,
+            entry=entry,
+            data=self.data,
+            initial_regs=self._initial_regs,
+        )
+        return program.finalize()

@@ -1,0 +1,74 @@
+"""Human-readable rendering of instructions, blocks and programs."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .instructions import (
+    ALU_NAMES, ALU_RI, ALU_RR, CALL, CC_NAMES, CMP_RI, CMP_RR, HALT,
+    Instruction, JCC, JMP, LEA, LOAD, MOV_RI, MOV_RR, NOP, RET, STORE,
+    SWITCH, WORK,
+)
+from .program import BasicBlock, Program
+from .registers import reg_name
+
+
+def format_instruction(ins: Instruction) -> str:
+    """Render one instruction in an AT&T-flavoured syntax."""
+    op = ins.op
+    if op == MOV_RI:
+        return f"mov {reg_name(ins.dst)}, {ins.imm:#x}"
+    if op == MOV_RR:
+        return f"mov {reg_name(ins.dst)}, {reg_name(ins.src)}"
+    if op == LOAD:
+        return f"load{ins.size} {reg_name(ins.dst)}, {ins.mem!r}"
+    if op == STORE:
+        src = reg_name(ins.src) if ins.src is not None else f"{ins.imm:#x}"
+        return f"store{ins.size} {ins.mem!r}, {src}"
+    if op == ALU_RR:
+        return f"{ALU_NAMES[ins.aluop]} {reg_name(ins.dst)}, {reg_name(ins.src)}"
+    if op == ALU_RI:
+        return f"{ALU_NAMES[ins.aluop]} {reg_name(ins.dst)}, {ins.imm:#x}"
+    if op == LEA:
+        return f"lea {reg_name(ins.dst)}, {ins.mem!r}"
+    if op == CMP_RR:
+        return f"cmp {reg_name(ins.dst)}, {reg_name(ins.src)}"
+    if op == CMP_RI:
+        return f"cmp {reg_name(ins.dst)}, {ins.imm:#x}"
+    if op == JCC:
+        return f"j{CC_NAMES[ins.cc]} {ins.target} (else {ins.fallthrough})"
+    if op == JMP:
+        return f"jmp {ins.target}"
+    if op == CALL:
+        return f"call {ins.target} (ret to {ins.fallthrough})"
+    if op == RET:
+        return "ret"
+    if op == HALT:
+        return "halt"
+    if op == WORK:
+        return f"work {ins.imm}"
+    if op == SWITCH:
+        return f"switch {reg_name(ins.src)} -> {ins.targets}"
+    if op == NOP:
+        return "nop"
+    return f"<unknown opcode {op}>"
+
+
+def format_block(block: BasicBlock) -> str:
+    lines: List[str] = [f"{block.label}:"]
+    for ins in block.instructions:
+        pc = f"{ins.pc:#010x}" if ins.pc >= 0 else "??????????"
+        lines.append(f"  {pc}  {format_instruction(ins)}")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Disassemble a whole program to text."""
+    header = (
+        f"; program {program.name!r}  entry={program.entry}  "
+        f"blocks={len(program.blocks)} "
+        f"loads={program.static_loads()} stores={program.static_stores()}"
+    )
+    parts = [header]
+    parts.extend(format_block(b) for b in program.blocks.values())
+    return "\n\n".join(parts)

@@ -1,0 +1,175 @@
+"""Instruction set for the virtual ISA.
+
+The instruction set is small but expressive enough to write realistic
+memory-bound kernels: loads/stores with full x86 addressing modes, ALU
+operations, compare-and-branch control flow, calls/returns that touch the
+stack, an indirect multi-way branch (``SWITCH``) for irregular control
+flow, and a ``WORK`` instruction that stands in for ``n`` cycles of pure
+computation (used by compute-dominant synthetic benchmarks such as the
+``eon``/``mesa`` stand-ins).
+
+Opcodes are plain module-level integers so the interpreter can dispatch
+through a list, which is measurably faster than enum attribute access in
+CPython.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .operands import MemOperand
+
+# --- Opcodes -------------------------------------------------------------
+
+MOV_RI = 0   # dst <- imm
+MOV_RR = 1   # dst <- src
+LOAD = 2     # dst <- memory[ea(mem)]
+STORE = 3    # memory[ea(mem)] <- src (or imm when src is None)
+ALU_RR = 4   # dst <- dst <aluop> src
+ALU_RI = 5   # dst <- dst <aluop> imm
+LEA = 6      # dst <- ea(mem)           (no memory reference!)
+CMP_RR = 7   # flags <- dst - src
+CMP_RI = 8   # flags <- dst - imm
+JCC = 9      # conditional branch (terminator)
+JMP = 10     # unconditional branch (terminator)
+CALL = 11    # call block (terminator); pushes on the stack
+RET = 12     # return (terminator); pops the stack
+HALT = 13    # stop the program (terminator)
+WORK = 14    # imm cycles of pure computation
+SWITCH = 15  # indirect branch: targets[regs[src] % len(targets)] (terminator)
+NOP = 16     # no operation
+
+NUM_OPCODES = 17
+
+OPCODE_NAMES: Tuple[str, ...] = (
+    "mov", "mov", "load", "store", "alu", "alu", "lea", "cmp", "cmp",
+    "jcc", "jmp", "call", "ret", "halt", "work", "switch", "nop",
+)
+
+TERMINATORS = frozenset({JCC, JMP, CALL, RET, HALT, SWITCH})
+
+# --- ALU sub-operations ---------------------------------------------------
+
+ADD = 0
+SUB = 1
+MUL = 2
+AND = 3
+OR = 4
+XOR = 5
+SHL = 6
+SHR = 7
+MOD = 8   # unsigned modulo; operand value 0 is treated as 1
+DIV = 9   # integer division; operand value 0 is treated as 1
+
+ALU_NAMES: Tuple[str, ...] = (
+    "add", "sub", "mul", "and", "or", "xor", "shl", "shr", "mod", "div",
+)
+
+# --- Condition codes -------------------------------------------------------
+
+CC_EQ = 0  # flags == 0
+CC_NE = 1  # flags != 0
+CC_LT = 2  # flags < 0
+CC_LE = 3  # flags <= 0
+CC_GT = 4  # flags > 0
+CC_GE = 5  # flags >= 0
+
+CC_NAMES: Tuple[str, ...] = ("eq", "ne", "lt", "le", "gt", "ge")
+
+
+class Instruction:
+    """A single decoded instruction.
+
+    Fields are interpreted according to ``op``; unused fields are ``None``
+    or zero.  ``pc`` is assigned when the enclosing program is finalized,
+    and uniquely identifies the static instruction -- UMI profiles and the
+    full simulator key their per-instruction statistics on it.
+    """
+
+    __slots__ = (
+        "op", "dst", "src", "imm", "mem", "aluop", "cc",
+        "target", "fallthrough", "targets", "size", "pc",
+    )
+
+    def __init__(
+        self,
+        op: int,
+        dst: Optional[int] = None,
+        src: Optional[int] = None,
+        imm: int = 0,
+        memop: Optional[MemOperand] = None,
+        aluop: int = ADD,
+        cc: int = CC_EQ,
+        target: Optional[str] = None,
+        fallthrough: Optional[str] = None,
+        targets: Optional[Sequence[str]] = None,
+        size: int = 8,
+    ) -> None:
+        self.op = op
+        self.dst = dst
+        self.src = src
+        self.imm = imm
+        self.mem = memop
+        self.aluop = aluop
+        self.cc = cc
+        self.target = target
+        self.fallthrough = fallthrough
+        self.targets: Optional[List[str]] = list(targets) if targets is not None else None
+        self.size = size
+        self.pc: int = -1
+
+    # -- classification helpers used by the instrumentor and validators --
+
+    def is_memory_ref(self) -> bool:
+        """True when executing this instruction references data memory.
+
+        Note ``LEA`` computes an address but does not touch memory, and
+        ``CALL``/``RET`` touch the stack implicitly (always filtered by
+        UMI since they go through ``esp``).
+        """
+        return self.op in (LOAD, STORE, CALL, RET)
+
+    def is_load(self) -> bool:
+        return self.op == LOAD
+
+    def is_store(self) -> bool:
+        return self.op == STORE
+
+    def is_explicit_memory_ref(self) -> bool:
+        """True for LOAD/STORE (the candidates for UMI instrumentation)."""
+        return self.op in (LOAD, STORE)
+
+    def is_terminator(self) -> bool:
+        return self.op in TERMINATORS
+
+    def is_filtered_by_umi(self) -> bool:
+        """Whether the UMI operand filter skips this memory reference.
+
+        Stack (``esp``/``ebp``-based) and static-address operands are
+        excluded from instrumentation; so are the implicit stack accesses
+        of ``CALL``/``RET``.
+        """
+        if self.op in (CALL, RET):
+            return True
+        if self.op in (LOAD, STORE):
+            assert self.mem is not None
+            return self.mem.is_filtered_by_umi()
+        return False
+
+    def branch_targets(self) -> List[str]:
+        """All possible successor labels of a terminator instruction."""
+        if self.op == JCC:
+            assert self.target is not None and self.fallthrough is not None
+            return [self.target, self.fallthrough]
+        if self.op in (JMP, CALL):
+            assert self.target is not None
+            return [self.target]
+        if self.op == SWITCH:
+            assert self.targets is not None
+            return list(self.targets)
+        return []
+
+    def __repr__(self) -> str:
+        from .disasm import format_instruction
+
+        return f"<Instruction {format_instruction(self)} @{self.pc:#x}>"

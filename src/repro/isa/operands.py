@@ -1,0 +1,114 @@
+"""Memory operands (addressing modes) for the virtual ISA.
+
+A memory operand follows the x86 ``base + index*scale + disp`` form.  Any
+component may be absent; an operand with neither base nor index register
+is an *absolute* (static) address, which -- like stack references through
+``esp``/``ebp`` -- the UMI instrumentor filters out of profiling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .registers import is_stack_reg, reg_name
+
+VALID_SCALES = (1, 2, 4, 8)
+
+
+class MemOperand:
+    """An ``[base + index*scale + disp]`` memory operand.
+
+    Attributes:
+        base: base register number, or ``None``.
+        index: index register number, or ``None``.
+        scale: multiplier applied to the index register (1, 2, 4 or 8).
+        disp: signed constant displacement in bytes.
+    """
+
+    __slots__ = ("base", "index", "scale", "disp")
+
+    def __init__(
+        self,
+        base: Optional[int] = None,
+        index: Optional[int] = None,
+        scale: int = 1,
+        disp: int = 0,
+    ) -> None:
+        if scale not in VALID_SCALES:
+            raise ValueError(f"invalid scale {scale}; must be one of {VALID_SCALES}")
+        if index is None and scale != 1:
+            raise ValueError("scale given without an index register")
+        self.base = base
+        self.index = index
+        self.scale = scale
+        self.disp = disp
+
+    def effective_address(self, regs) -> int:
+        """Compute the effective address given a register file (a sequence)."""
+        addr = self.disp
+        if self.base is not None:
+            addr += regs[self.base]
+        if self.index is not None:
+            addr += regs[self.index] * self.scale
+        return addr
+
+    def is_absolute(self) -> bool:
+        """True when the operand names a static address (no registers)."""
+        return self.base is None and self.index is None
+
+    def uses_stack_register(self) -> bool:
+        """True when the base or index is ``esp``/``ebp``.
+
+        Such references are presumed to exhibit good locality and are
+        excluded from UMI profiling (paper Section 4.1).
+        """
+        if self.base is not None and is_stack_reg(self.base):
+            return True
+        if self.index is not None and is_stack_reg(self.index):
+            return True
+        return False
+
+    def is_filtered_by_umi(self) -> bool:
+        """True when the UMI operand filter would skip this reference."""
+        return self.is_absolute() or self.uses_stack_register()
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.base is not None:
+            parts.append(reg_name(self.base))
+        if self.index is not None:
+            term = reg_name(self.index)
+            if self.scale != 1:
+                term += f"*{self.scale}"
+            parts.append(term)
+        if self.disp or not parts:
+            parts.append(f"{self.disp:#x}" if self.disp >= 0 else f"-{-self.disp:#x}")
+        return "[" + " + ".join(parts) + "]"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemOperand):
+            return NotImplemented
+        return (
+            self.base == other.base
+            and self.index == other.index
+            and self.scale == other.scale
+            and self.disp == other.disp
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.base, self.index, self.scale, self.disp))
+
+
+def mem(
+    base: Optional[int] = None,
+    index: Optional[int] = None,
+    scale: int = 1,
+    disp: int = 0,
+) -> MemOperand:
+    """Convenience constructor for :class:`MemOperand`."""
+    return MemOperand(base=base, index=index, scale=scale, disp=disp)
+
+
+def absolute(addr: int) -> MemOperand:
+    """A static-address operand (filtered by the UMI instrumentor)."""
+    return MemOperand(disp=addr)

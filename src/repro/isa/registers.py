@@ -1,0 +1,69 @@
+"""Register file definition for the virtual ISA.
+
+The ISA is deliberately x86-flavoured: it exposes the eight classic
+IA-32 general purpose registers (including ``esp`` and ``ebp``, which the
+UMI instrumentor treats specially when filtering stack references) plus
+eight extra general purpose registers ``r8``-``r15`` that make synthetic
+workload generation less register-starved.
+
+Registers are plain integers at runtime -- the interpreter indexes a flat
+list -- but this module provides symbolic names and pretty printing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+# Classic IA-32 general purpose registers.
+EAX = 0
+EBX = 1
+ECX = 2
+EDX = 3
+ESI = 4
+EDI = 5
+ESP = 6
+EBP = 7
+
+# Extra general purpose registers (x86-64 flavoured).
+R8 = 8
+R9 = 9
+R10 = 10
+R11 = 11
+R12 = 12
+R13 = 13
+R14 = 14
+R15 = 15
+
+NUM_REGS = 16
+
+#: Registers whose use as a base/index marks a memory operand as a *stack*
+#: reference.  The UMI instrumentor excludes these from profiling (see
+#: Section 4.1 of the paper).
+STACK_REGS: Tuple[int, ...] = (ESP, EBP)
+
+REG_NAMES: Tuple[str, ...] = (
+    "eax", "ebx", "ecx", "edx", "esi", "edi", "esp", "ebp",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)
+
+_NAME_TO_REG: Dict[str, int] = {name: i for i, name in enumerate(REG_NAMES)}
+
+
+def reg_name(reg: int) -> str:
+    """Return the symbolic name of register ``reg``."""
+    if 0 <= reg < NUM_REGS:
+        return REG_NAMES[reg]
+    raise ValueError(f"invalid register number: {reg}")
+
+
+def parse_reg(name: str) -> int:
+    """Parse a register name such as ``"eax"`` into its number."""
+    try:
+        return _NAME_TO_REG[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown register name: {name!r}") from None
+
+
+def is_stack_reg(reg: int) -> bool:
+    """Whether ``reg`` is one of the stack registers (``esp``/``ebp``)."""
+    return reg in STACK_REGS

@@ -1,0 +1,161 @@
+"""Static sanity checks beyond structural CFG validation.
+
+``Program.finalize`` guarantees structural well-formedness (labels
+resolve, terminators in place).  This linter catches the *semantic*
+mistakes people actually make when hand-writing ISA programs:
+
+* unreachable blocks (dead code the trace builder will never see);
+* registers read before any write on some path (conservative, per-block
+  with entry-state propagation);
+* memory operands whose static displacement points outside both the
+  data segment and the stack region;
+* ``esp``/``ebp`` used as scratch by ALU writes (breaks the stack model
+  and the UMI operand filter's assumptions);
+* loops with no conditional exit (guaranteed hangs).
+
+Used by tests and available to workload authors via
+:func:`validate_program` / :func:`lint`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from .instructions import (
+    ALU_RI, ALU_RR, CALL, CMP_RI, CMP_RR, HALT, JCC, JMP, LEA, LOAD,
+    MOV_RI, MOV_RR, RET, STORE, SWITCH,
+)
+from .program import HEAP_BASE, Program, STACK_BASE
+from .registers import EBP, ESP, reg_name
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One finding: severity is 'error' or 'warning'."""
+
+    severity: str
+    block: Optional[str]
+    message: str
+
+    def __str__(self) -> str:
+        where = f" in {self.block!r}" if self.block else ""
+        return f"{self.severity}{where}: {self.message}"
+
+
+def _reachable_blocks(program: Program) -> Set[str]:
+    seen: Set[str] = set()
+    work = [program.entry]
+    # CALL fallthrough labels are reachable via RET.
+    while work:
+        label = work.pop()
+        if label in seen:
+            continue
+        seen.add(label)
+        block = program.blocks[label]
+        term = block.terminator
+        work.extend(t for t in term.branch_targets() if t not in seen)
+        if term.op == CALL and term.fallthrough not in seen:
+            work.append(term.fallthrough)
+    return seen
+
+
+def _block_reads_writes(block) -> tuple:
+    """(registers read before written, registers written) in one block."""
+    read_first: Set[int] = set()
+    written: Set[int] = set()
+
+    def note_read(reg: Optional[int]) -> None:
+        if reg is not None and reg not in written:
+            read_first.add(reg)
+
+    for ins in block.instructions:
+        op = ins.op
+        if op in (LOAD, STORE, LEA):
+            note_read(ins.mem.base)
+            note_read(ins.mem.index)
+        if op == STORE and ins.src is not None:
+            note_read(ins.src)
+        if op in (MOV_RR, ALU_RR, CMP_RR):
+            note_read(ins.src)
+        if op in (ALU_RR, ALU_RI, CMP_RR, CMP_RI):
+            note_read(ins.dst)
+        if op == SWITCH:
+            note_read(ins.src)
+        if op in (MOV_RI, MOV_RR, LOAD, LEA, ALU_RR, ALU_RI):
+            if ins.dst is not None:
+                written.add(ins.dst)
+    return read_first, written
+
+
+def lint(program: Program) -> List[LintIssue]:
+    """Run all checks; returns the (possibly empty) issue list."""
+    issues: List[LintIssue] = []
+
+    # -- unreachable code ---------------------------------------------------
+    reachable = _reachable_blocks(program)
+    for label in program.blocks:
+        if label not in reachable:
+            issues.append(LintIssue(
+                "warning", label, "block is unreachable from the entry"))
+
+    # -- register def-use (flow-insensitive over block graph) ----------------
+    defined: Set[int] = set(program.initial_regs)
+    defined.add(ESP)
+    # One forward pass in reverse-post-order approximation: iterate until
+    # stable which registers are defined-somewhere; then flag reads of
+    # registers never written anywhere and not initialized.
+    ever_written: Set[int] = set(defined)
+    for label in reachable:
+        _, writes = _block_reads_writes(program.blocks[label])
+        ever_written |= writes
+    for label in sorted(reachable):
+        reads, _ = _block_reads_writes(program.blocks[label])
+        for reg in sorted(reads - ever_written):
+            issues.append(LintIssue(
+                "warning", label,
+                f"register {reg_name(reg)} may be read before any write"))
+
+    # -- suspicious static addresses -----------------------------------------
+    data_end = program.data.base + max(program.data.size, 1)
+    for label in reachable:
+        for ins in program.blocks[label].instructions:
+            if ins.op not in (LOAD, STORE):
+                continue
+            m = ins.mem
+            if m.base is None and m.index is None:
+                if not (HEAP_BASE <= m.disp < data_end
+                        or m.disp >= STACK_BASE - (1 << 20)):
+                    issues.append(LintIssue(
+                        "warning", label,
+                        f"absolute address {m.disp:#x} is outside the "
+                        f"data segment and stack region"))
+
+    # -- stack registers clobbered by ALU --------------------------------------
+    for label in reachable:
+        for ins in program.blocks[label].instructions:
+            if ins.op in (MOV_RI, MOV_RR, LOAD, LEA) and \
+                    ins.dst in (EBP,):
+                issues.append(LintIssue(
+                    "warning", label,
+                    f"{reg_name(ins.dst)} overwritten; the UMI stack "
+                    f"filter assumes it frames the stack"))
+
+    # -- loops without a conditional exit -----------------------------------------
+    for label in reachable:
+        term = program.blocks[label].terminator
+        if term.op == JMP and term.target == label:
+            issues.append(LintIssue(
+                "error", label, "unconditional self-loop never exits"))
+
+    return issues
+
+
+def validate_program(program: Program) -> None:
+    """Raise ``ValueError`` when the linter reports any *errors*."""
+    errors = [i for i in lint(program) if i.severity == "error"]
+    if errors:
+        raise ValueError(
+            "program failed validation:\n" +
+            "\n".join(f"  {issue}" for issue in errors)
+        )

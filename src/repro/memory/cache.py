@@ -1,0 +1,232 @@
+"""A single set-associative cache with pluggable replacement.
+
+This class is the building block for the "real hardware" hierarchy
+(:mod:`repro.memory.hierarchy`), the Cachegrind-style full simulator
+(:mod:`repro.fullsim`), and the UMI mini cache simulator
+(:mod:`repro.core.analyzer`) -- the same structure the paper describes:
+"each reference is mapped to its corresponding set.  The tag is compared
+to all tags in the set.  If there is a match, the recorded time of the
+matching line is updated.  Otherwise, an empty line, or the oldest line,
+is selected to store the current tag."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .lines import CacheLine
+from .policies import LRUPolicy, ReplacementPolicy, make_policy
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level.
+
+    Attributes:
+        size: total capacity in bytes.
+        assoc: number of ways per set.
+        line_size: line size in bytes (must be a power of two).
+        hit_latency: cycles charged for a hit at this level.
+    """
+
+    size: int
+    assoc: int
+    line_size: int = 64
+    hit_latency: int = 2
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.line_size):
+            raise ValueError(f"line_size must be a power of two: {self.line_size}")
+        if self.assoc <= 0:
+            raise ValueError(f"assoc must be positive: {self.assoc}")
+        if self.size <= 0 or self.size % (self.line_size * self.assoc) != 0:
+            raise ValueError(
+                f"size {self.size} is not a multiple of "
+                f"line_size*assoc = {self.line_size * self.assoc}"
+            )
+        if not _is_power_of_two(self.num_sets):
+            raise ValueError(
+                f"number of sets must be a power of two, got {self.num_sets}"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size // (self.line_size * self.assoc)
+
+    @property
+    def line_bits(self) -> int:
+        return self.line_size.bit_length() - 1
+
+    def scaled(self, factor: int) -> "CacheConfig":
+        """A cache ``factor``x smaller with the same associativity and
+        line size (used to shrink machine models so that synthetic
+        workloads with small footprints exercise realistic miss ratios).
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        new_size = max(self.line_size * self.assoc, self.size // factor)
+        return CacheConfig(
+            size=new_size,
+            assoc=self.assoc,
+            line_size=self.line_size,
+            hit_latency=self.hit_latency,
+        )
+
+    def describe(self) -> str:
+        kb = self.size / 1024
+        return (
+            f"{kb:g}KB {self.assoc}-way, {self.line_size}B lines, "
+            f"{self.num_sets} sets"
+        )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache level."""
+
+    reads: int = 0
+    read_misses: int = 0
+    writes: int = 0
+    write_misses: int = 0
+    evictions: int = 0
+    prefetch_fills: int = 0
+    redundant_prefetches: int = 0
+    useful_prefetches: int = 0
+    late_prefetch_stall_cycles: int = 0
+
+    @property
+    def refs(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def miss_ratio(self) -> float:
+        refs = self.refs
+        return self.misses / refs if refs else 0.0
+
+    def reset(self) -> None:
+        for field in self.__dataclass_fields__:
+            setattr(self, field, 0)
+
+
+class Cache:
+    """One level of set-associative cache."""
+
+    def __init__(self, config: CacheConfig,
+                 policy: Optional[ReplacementPolicy] = None) -> None:
+        self.config = config
+        self.policy = policy if policy is not None else LRUPolicy()
+        self.stats = CacheStats()
+        self._set_mask = config.num_sets - 1
+        self._line_bits = config.line_bits
+        self._sets: List[Dict[int, CacheLine]] = [
+            {} for _ in range(config.num_sets)
+        ]
+
+    @classmethod
+    def from_spec(cls, size: int, assoc: int, line_size: int = 64,
+                  hit_latency: int = 2, policy: str = "lru") -> "Cache":
+        return cls(
+            CacheConfig(size, assoc, line_size, hit_latency),
+            make_policy(policy),
+        )
+
+    # -- address helpers ----------------------------------------------------
+
+    def line_addr(self, addr: int) -> int:
+        return addr >> self._line_bits
+
+    def set_index(self, line_addr: int) -> int:
+        return line_addr & self._set_mask
+
+    # -- core operations ----------------------------------------------------
+
+    def probe(self, line_addr: int, is_write: bool, now: int = 0) -> Tuple[bool, int]:
+        """Demand-access one line.
+
+        Returns ``(hit, stall)``: whether the line was resident, and any
+        extra stall cycles caused by an in-flight (late) prefetch.
+        Accounting is updated; on a miss the caller is responsible for
+        calling :meth:`fill`.
+        """
+        cache_set = self._sets[line_addr & self._set_mask]
+        line = cache_set.get(line_addr)
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        if line is None:
+            if is_write:
+                self.stats.write_misses += 1
+            else:
+                self.stats.read_misses += 1
+            return False, 0
+        stall = 0
+        if line.ready_at > now:
+            stall = line.ready_at - now
+            self.stats.late_prefetch_stall_cycles += stall
+        if line.prefetched:
+            line.prefetched = False
+            self.stats.useful_prefetches += 1
+        if is_write:
+            line.dirty = True
+        self.policy.on_access(line, now)
+        return True, stall
+
+    def contains(self, line_addr: int) -> bool:
+        """Non-destructive residency check (no stats side effects)."""
+        return line_addr in self._sets[line_addr & self._set_mask]
+
+    def fill(self, line_addr: int, now: int = 0, ready_at: int = 0,
+             prefetched: bool = False, is_write: bool = False) -> Optional[int]:
+        """Insert a line, evicting if needed.
+
+        Returns the evicted line address (or ``None``).  A prefetch fill
+        of an already-resident line is counted as redundant and leaves the
+        existing line untouched.
+        """
+        cache_set = self._sets[line_addr & self._set_mask]
+        existing = cache_set.get(line_addr)
+        if existing is not None:
+            if prefetched:
+                self.stats.redundant_prefetches += 1
+            return None
+        evicted = None
+        if len(cache_set) >= self.config.assoc:
+            victim_tag = self.policy.victim(cache_set)
+            del cache_set[victim_tag]
+            self.stats.evictions += 1
+            evicted = victim_tag
+        line = CacheLine(line_addr, now=now, ready_at=ready_at,
+                         prefetched=prefetched)
+        if is_write:
+            line.dirty = True
+        cache_set[line_addr] = line
+        self.policy.on_fill(line, now)
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        return evicted
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop one line; returns whether it was present."""
+        cache_set = self._sets[line_addr & self._set_mask]
+        return cache_set.pop(line_addr, None) is not None
+
+    def flush(self) -> None:
+        """Drop every line (the analyzer's periodic decontamination)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __repr__(self) -> str:
+        return f"<Cache {self.config.describe()} policy={self.policy.name}>"

@@ -1,0 +1,33 @@
+"""A flat (uncached) memory system.
+
+Useful when a pass only needs the reference stream -- e.g. a standalone
+Cachegrind-style simulation -- and should not pay for or be affected by
+hierarchy modelling.  Implements the same interface the interpreter
+expects from :class:`repro.memory.MemoryHierarchy`.
+"""
+
+from __future__ import annotations
+
+
+class FlatMemory:
+    """Fixed-latency memory with no caches and no prefetch support."""
+
+    def __init__(self, latency: int = 1) -> None:
+        self.latency = latency
+        self.accesses = 0
+        self.sw_prefetches_issued = 0
+
+    def access(self, pc: int, addr: int, is_write: bool, size: int = 8,
+               now: int = 0) -> int:
+        self.accesses += 1
+        return self.latency
+
+    def software_prefetch(self, addr: int, now: int = 0) -> None:
+        self.sw_prefetches_issued += 1
+
+    def reset_stats(self) -> None:
+        self.accesses = 0
+        self.sw_prefetches_issued = 0
+
+    def __repr__(self) -> str:
+        return f"<FlatMemory latency={self.latency}>"

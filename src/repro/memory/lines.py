@@ -1,0 +1,38 @@
+"""Cache line metadata."""
+
+from __future__ import annotations
+
+
+class CacheLine:
+    """State tracked for one resident cache line.
+
+    Attributes:
+        tag: the line's tag (here: the full line address, since sets
+            already partition the address space).
+        stamp: replacement-policy timestamp (LRU/FIFO use it).
+        ready_at: cycle at which the line's data is available.  Demand
+            accesses that arrive earlier stall for the difference; this is
+            how prefetch *timeliness* is modelled.
+        prefetched: the line was brought in by a prefetch and has not yet
+            served a demand access (used for useful-prefetch accounting).
+        dirty: the line has been written.
+        mru: bit-PLRU recently-used bit.
+    """
+
+    __slots__ = ("tag", "stamp", "ready_at", "prefetched", "dirty", "mru")
+
+    def __init__(self, tag: int, now: int = 0, ready_at: int = 0,
+                 prefetched: bool = False) -> None:
+        self.tag = tag
+        self.stamp = now
+        self.ready_at = ready_at
+        self.prefetched = prefetched
+        self.dirty = False
+        self.mru = False
+
+    def __repr__(self) -> str:
+        flags = "".join(
+            f for f, on in (("P", self.prefetched), ("D", self.dirty))
+            if on
+        )
+        return f"<CacheLine tag={self.tag:#x} {flags}>"

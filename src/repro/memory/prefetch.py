@@ -1,0 +1,183 @@
+"""Hardware prefetcher models.
+
+The Pentium 4 in the paper implements two L2 prefetch algorithms:
+*adjacent cache line* prefetching and *stride* prefetching that "can
+track up to 8 independent prefetch streams" (Section 8).  Both are
+modelled here; they observe the stream of L2 demand accesses and issue
+prefetch fills into the L2.  The AMD K7 model has no hardware prefetcher,
+matching the paper ("The AMD K7 does not have any documented hardware
+prefetching mechanisms").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+# A prefetch request: the prefetcher asks the hierarchy to bring
+# ``line_addr`` into the L2.  The hierarchy decides latency/timeliness.
+PrefetchSink = Callable[[int], None]
+
+
+class HardwarePrefetcher:
+    """Interface for L2-attached hardware prefetchers."""
+
+    name = "abstract"
+
+    def observe(self, pc: int, line_addr: int, hit: bool,
+                issue: PrefetchSink) -> None:
+        """Observe one L2 demand access; may call ``issue`` with line
+        addresses to prefetch."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear internal state."""
+
+
+class AdjacentLinePrefetcher(HardwarePrefetcher):
+    """On an L2 miss, also fetch the pairing line of the 2-line sector.
+
+    The Pentium 4 fetches the buddy line of a 128-byte sector when a
+    64-byte line misses; pairing is computed by flipping the low line bit.
+    """
+
+    name = "adjacent"
+
+    def __init__(self) -> None:
+        self.issued = 0
+
+    def observe(self, pc: int, line_addr: int, hit: bool,
+                issue: PrefetchSink) -> None:
+        if not hit:
+            issue(line_addr ^ 1)
+            self.issued += 1
+
+    def reset(self) -> None:
+        self.issued = 0
+
+
+@dataclass
+class _Stream:
+    """One tracked prefetch stream."""
+
+    pc: int
+    last_line: int
+    stride: int = 0
+    confidence: int = 0
+    last_used: int = 0
+
+
+class StridePrefetcher(HardwarePrefetcher):
+    """PC-indexed stride prefetcher with a fixed number of streams.
+
+    Each load PC that repeatedly advances by a constant line stride gets a
+    stream; once a stream's confidence passes the threshold, the
+    prefetcher runs ``degree`` line(s) ahead.  With at most
+    ``max_streams`` (8 on the Pentium 4) concurrently tracked streams,
+    the least recently used stream is displaced on overflow.
+
+    Like the P4's data prefetch logic, the prefetcher is trained by the
+    *miss* stream (``miss_triggered``): once its prefetches turn the
+    stream into hits it stops being triggered, misses resume, and it
+    re-engages -- the self-throttling that keeps real hardware prefetch
+    well short of eliminating all misses.
+    """
+
+    name = "stride"
+
+    #: Lines per 4KB page (64B lines); hardware prefetchers do not cross
+    #: page boundaries, so every new page costs re-detection misses.
+    LINES_PER_PAGE = 64
+
+    def __init__(self, max_streams: int = 8, degree: int = 2,
+                 distance: int = 4, confidence_threshold: int = 2,
+                 page_bounded: bool = True,
+                 miss_triggered: bool = True) -> None:
+        if max_streams <= 0:
+            raise ValueError("max_streams must be positive")
+        self.max_streams = max_streams
+        self.degree = degree
+        self.distance = distance
+        self.confidence_threshold = confidence_threshold
+        self.page_bounded = page_bounded
+        self.miss_triggered = miss_triggered
+        self.issued = 0
+        self.page_stops = 0
+        self._streams: Dict[int, _Stream] = {}
+        self._clock = 0
+
+    def observe(self, pc: int, line_addr: int, hit: bool,
+                issue: PrefetchSink) -> None:
+        if self.miss_triggered and hit:
+            return
+        self._clock += 1
+        stream = self._streams.get(pc)
+        if stream is None:
+            if len(self._streams) >= self.max_streams:
+                victim = min(self._streams.values(), key=lambda s: s.last_used)
+                del self._streams[victim.pc]
+            self._streams[pc] = _Stream(pc=pc, last_line=line_addr,
+                                        last_used=self._clock)
+            return
+        stream.last_used = self._clock
+        stride = line_addr - stream.last_line
+        stream.last_line = line_addr
+        if stride == 0:
+            return
+        if stride == stream.stride:
+            stream.confidence += 1
+        else:
+            stream.stride = stride
+            stream.confidence = 1
+        if stream.confidence >= self.confidence_threshold:
+            base = line_addr + stream.stride * self.distance
+            page = line_addr // self.LINES_PER_PAGE
+            for k in range(self.degree):
+                target = base + stream.stride * k
+                if (self.page_bounded
+                        and target // self.LINES_PER_PAGE != page):
+                    self.page_stops += 1
+                    continue
+                issue(target)
+                self.issued += 1
+
+    def reset(self) -> None:
+        self._streams.clear()
+        self.issued = 0
+        self.page_stops = 0
+        self._clock = 0
+
+
+class CompositePrefetcher(HardwarePrefetcher):
+    """Run several prefetchers side by side (P4 = adjacent + stride)."""
+
+    name = "composite"
+
+    def __init__(self, parts: List[HardwarePrefetcher]) -> None:
+        self.parts = list(parts)
+
+    def observe(self, pc: int, line_addr: int, hit: bool,
+                issue: PrefetchSink) -> None:
+        for part in self.parts:
+            part.observe(pc, line_addr, hit, issue)
+
+    def reset(self) -> None:
+        for part in self.parts:
+            part.reset()
+
+
+def pentium4_prefetcher(adjacent: bool = True,
+                        stride: bool = True) -> Optional[HardwarePrefetcher]:
+    """The Pentium 4's L2 prefetch complex, with independently togglable
+    components (the paper keeps adjacent-line prefetching always on when
+    "hardware prefetching" is enabled)."""
+    parts: List[HardwarePrefetcher] = []
+    if adjacent:
+        parts.append(AdjacentLinePrefetcher())
+    if stride:
+        parts.append(StridePrefetcher(max_streams=8))
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return CompositePrefetcher(parts)

@@ -1,0 +1,83 @@
+"""Data TLB model (opt-in extension).
+
+Real hardware counters see page-walk traffic that neither Cachegrind nor
+UMI's mini-simulator models -- one more source of the
+hardware-vs-simulation gap the paper discusses.  This module provides a
+simple fully-associative LRU data TLB whose misses cost a fixed walk
+latency and (optionally) inject page-table reads into the L2.
+
+It is OFF by default (``MachineConfig`` carries no TLB): the calibrated
+reproduction numbers in EXPERIMENTS.md are measured without it.  Attach
+one explicitly for studies of translation overheads::
+
+    hierarchy = MemoryHierarchy(machine)
+    hierarchy.tlb = TLB(entries=64, walk_latency=30)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+#: 4KB pages.
+PAGE_BITS = 12
+
+
+@dataclass
+class TLBStats:
+    lookups: int = 0
+    misses: int = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        self.lookups = 0
+        self.misses = 0
+
+
+class TLB:
+    """Fully-associative LRU translation lookaside buffer."""
+
+    def __init__(self, entries: int = 64, walk_latency: int = 30,
+                 page_bits: int = PAGE_BITS) -> None:
+        if entries < 1:
+            raise ValueError("entries must be >= 1")
+        if walk_latency < 0:
+            raise ValueError("walk_latency must be >= 0")
+        self.entries = entries
+        self.walk_latency = walk_latency
+        self.page_bits = page_bits
+        self.stats = TLBStats()
+        # page -> last-use stamp; dict preserves a cheap LRU via counter.
+        self._resident: Dict[int, int] = {}
+        self._clock = 0
+
+    def translate(self, addr: int) -> int:
+        """Look up one address; returns the added latency (0 on a hit)."""
+        page = addr >> self.page_bits
+        self._clock += 1
+        self.stats.lookups += 1
+        if page in self._resident:
+            self._resident[page] = self._clock
+            return 0
+        self.stats.misses += 1
+        if len(self._resident) >= self.entries:
+            victim = min(self._resident, key=self._resident.get)
+            del self._resident[victim]
+        self._resident[page] = self._clock
+        return self.walk_latency
+
+    def flush(self) -> None:
+        """Drop all translations (context switch)."""
+        self._resident.clear()
+
+    def resident_pages(self) -> int:
+        return len(self._resident)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TLB {self.entries} entries, walk={self.walk_latency}, "
+            f"mr={self.stats.miss_ratio:.3f}>"
+        )

@@ -1,0 +1,171 @@
+"""High-level run harness: one function per measurement mode.
+
+The paper's experiments compare the same program executed several ways:
+
+* **native** -- plain interpretation on the modelled machine (the
+  baseline all figures normalise against);
+* **dynamo** -- under the DynamoRIO stand-in, no UMI;
+* **umi** -- under DynamoSim with UMI profiling/analysis, with or
+  without sample-based reinforcement, and optionally with the online
+  software prefetcher;
+* **cachegrind** -- offline full-trace simulation (no timing).
+
+A Cachegrind observer can piggyback on any timed run (it sees the same
+reference stream and keeps its own untimed cache model), which is how
+the correlation and delinquency experiments avoid a second execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core import UMIConfig, UMIResult, UMIRuntime
+from repro.counters import HardwareCounters
+from repro.fullsim import CachegrindSimulator
+from repro.isa import Program
+from repro.memory import (
+    MachineConfig, MemoryHierarchy, make_hw_prefetcher,
+)
+from repro.vm import (
+    CostModel, DEFAULT_COST_MODEL, DynamoSim, Interpreter, RuntimeConfig,
+    RuntimeStats,
+)
+
+DEFAULT_MAX_STEPS = 100_000_000
+
+
+@dataclass
+class RunOutcome:
+    """Common result envelope for every run mode."""
+
+    program_name: str
+    mode: str
+    cycles: int
+    steps: int
+    hw_l2_miss_ratio: float
+    hw_counters: Dict[str, int]
+    runtime_stats: Optional[RuntimeStats] = None
+    umi: Optional[UMIResult] = None
+    cachegrind: Optional[CachegrindSimulator] = None
+    counter_interrupt_cycles: int = 0
+
+
+def _make_hierarchy(machine: MachineConfig, hw_prefetch: bool
+                    ) -> MemoryHierarchy:
+    return MemoryHierarchy(
+        machine, make_hw_prefetcher(machine, enabled=hw_prefetch),
+    )
+
+
+def run_native(
+    program: Program,
+    machine: MachineConfig,
+    hw_prefetch: bool = False,
+    with_cachegrind: bool = False,
+    counter_sample_size: Optional[int] = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> RunOutcome:
+    """Native execution on the modelled machine.
+
+    ``counter_sample_size`` programs an L2-miss hardware counter with
+    overflow sampling (``None`` = no counters, ``0`` = free-running), the
+    Table 1 configuration.
+    """
+    hierarchy = _make_hierarchy(machine, hw_prefetch)
+    cachegrind = CachegrindSimulator(machine) if with_cachegrind else None
+    interp = Interpreter(
+        program, hierarchy, cost_model,
+        ref_observer=cachegrind.observe if cachegrind else None,
+    )
+    counters = None
+    if counter_sample_size is not None:
+        counters = HardwareCounters(state=interp.state,
+                                    cost_model=cost_model)
+        counters.program("l2_ref")
+        counters.program("l2_miss", sample_size=counter_sample_size)
+        counters.attach(hierarchy)
+    interp.run_native(max_steps=max_steps)
+    interrupt_cycles = counters.total_interrupt_cycles() if counters else 0
+    return RunOutcome(
+        program_name=program.name,
+        mode="native",
+        cycles=interp.state.cycles + interrupt_cycles,
+        steps=interp.state.steps,
+        hw_l2_miss_ratio=hierarchy.l2_miss_ratio(),
+        hw_counters=hierarchy.counters_snapshot(),
+        cachegrind=cachegrind,
+        counter_interrupt_cycles=interrupt_cycles,
+    )
+
+
+def run_dynamo(
+    program: Program,
+    machine: MachineConfig,
+    hw_prefetch: bool = False,
+    runtime_config: Optional[RuntimeConfig] = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> RunOutcome:
+    """Execution under the binary rewriter alone (no UMI)."""
+    hierarchy = _make_hierarchy(machine, hw_prefetch)
+    dynamo = DynamoSim(
+        program, hierarchy,
+        config=runtime_config or RuntimeConfig(),
+        cost_model=cost_model,
+    )
+    stats = dynamo.run()
+    return RunOutcome(
+        program_name=program.name,
+        mode="dynamo",
+        cycles=dynamo.state.cycles,
+        steps=dynamo.state.steps,
+        hw_l2_miss_ratio=hierarchy.l2_miss_ratio(),
+        hw_counters=hierarchy.counters_snapshot(),
+        runtime_stats=stats,
+    )
+
+
+def run_umi(
+    program: Program,
+    machine: MachineConfig,
+    umi_config: Optional[UMIConfig] = None,
+    hw_prefetch: bool = False,
+    with_cachegrind: bool = False,
+    runtime_config: Optional[RuntimeConfig] = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> RunOutcome:
+    """Execution under DynamoSim + UMI."""
+    hierarchy = _make_hierarchy(machine, hw_prefetch)
+    cachegrind = CachegrindSimulator(machine) if with_cachegrind else None
+    umi = UMIRuntime(
+        program, machine,
+        config=umi_config or UMIConfig(),
+        cost_model=cost_model,
+        runtime_config=runtime_config or RuntimeConfig(),
+        hierarchy=hierarchy,
+        ref_observer=cachegrind.observe if cachegrind else None,
+    )
+    result = umi.run()
+    return RunOutcome(
+        program_name=program.name,
+        mode="umi",
+        cycles=result.cycles,
+        steps=result.steps,
+        hw_l2_miss_ratio=result.hardware_l2_miss_ratio,
+        hw_counters=result.hardware_counters,
+        runtime_stats=result.runtime_stats,
+        umi=result,
+        cachegrind=cachegrind,
+    )
+
+
+def run_cachegrind(
+    program: Program,
+    machine: MachineConfig,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> CachegrindSimulator:
+    """Standalone offline full simulation (the slow baseline)."""
+    sim = CachegrindSimulator(machine)
+    sim.run(program, max_steps=max_steps)
+    return sim

@@ -1,0 +1,118 @@
+"""JSON serialization of run results.
+
+Turns :class:`repro.core.UMIResult` / :class:`repro.runners.RunOutcome`
+into JSON-safe dictionaries so that experiment outputs can be archived,
+diffed across runs, or consumed by external tooling.  Deliberately
+one-way: the dictionaries are reports, not reconstructible object state.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Optional, Union
+
+from repro.core import UMIResult
+from repro.runners import RunOutcome
+
+SCHEMA_VERSION = 1
+
+
+def umi_result_to_dict(result: UMIResult) -> Dict[str, Any]:
+    """A JSON-safe summary of one UMI run."""
+    rt = result.runtime_stats
+    payload: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "umi_result",
+        "program": result.program_name,
+        "cycles": result.cycles,
+        "steps": result.steps,
+        "runtime": {
+            "blocks_translated": rt.blocks_translated,
+            "traces_built": rt.traces_built,
+            "trace_entries": rt.trace_entries,
+            "trace_residency": rt.trace_residency,
+            "timer_samples": rt.timer_samples,
+        },
+        "umi": {
+            "profiles_collected": result.umi_stats.profiles_collected,
+            "analyzer_invocations": result.umi_stats.analyzer_invocations,
+            "profiled_operations":
+                result.instrumentation.profiled_operations,
+            "traces_instrumented":
+                result.instrumentation.traces_instrumented,
+        },
+        "miss_ratios": {
+            "simulated": result.simulated_miss_ratio,
+            "hardware": result.hardware_l2_miss_ratio,
+        },
+        # pcs as hex strings: stable, diff-friendly keys.
+        "pc_miss_ratios": {
+            hex(pc): ratio
+            for pc, ratio in sorted(result.pc_miss_ratios.items())
+        },
+        "predicted_delinquent": sorted(
+            hex(pc) for pc in result.predicted_delinquent
+        ),
+        "hardware_counters": dict(result.hardware_counters),
+    }
+    if result.prefetch_stats is not None:
+        payload["prefetches"] = {
+            hex(pc): {
+                "stride": rec.stride,
+                "lookahead": rec.lookahead,
+                "confidence": rec.confidence,
+                "trace": rec.trace_head,
+            }
+            for pc, rec in result.prefetch_stats.injected.items()
+        }
+    return payload
+
+
+def outcome_to_dict(outcome: RunOutcome) -> Dict[str, Any]:
+    """A JSON-safe summary of any run mode's outcome."""
+    payload: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "run_outcome",
+        "program": outcome.program_name,
+        "mode": outcome.mode,
+        "cycles": outcome.cycles,
+        "steps": outcome.steps,
+        "hw_l2_miss_ratio": outcome.hw_l2_miss_ratio,
+        "hw_counters": dict(outcome.hw_counters),
+        "counter_interrupt_cycles": outcome.counter_interrupt_cycles,
+    }
+    if outcome.umi is not None:
+        payload["umi"] = umi_result_to_dict(outcome.umi)
+    if outcome.cachegrind is not None:
+        payload["cachegrind"] = {
+            k: v for k, v in outcome.cachegrind.summary().items()
+        }
+    return payload
+
+
+def dump(obj: Union[UMIResult, RunOutcome],
+         destination: Union[str, IO[str]]) -> None:
+    """Serialize a result to a path or open text stream."""
+    if isinstance(obj, UMIResult):
+        payload = umi_result_to_dict(obj)
+    elif isinstance(obj, RunOutcome):
+        payload = outcome_to_dict(obj)
+    else:
+        raise TypeError(f"cannot serialize {type(obj).__name__}")
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+    else:
+        json.dump(payload, destination, indent=2, sort_keys=True)
+
+
+def loads(text: str) -> Dict[str, Any]:
+    """Parse a serialized result, checking the schema version."""
+    payload = json.loads(text)
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    return payload

@@ -1,0 +1,6 @@
+"""Statistics utilities: correlations (Table 4/5) and table rendering."""
+
+from .correlation import paper_formula, pearson, spearman
+from .tables import Table
+
+__all__ = ["pearson", "paper_formula", "spearman", "Table"]

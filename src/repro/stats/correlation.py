@@ -1,0 +1,88 @@
+"""Correlation coefficients (paper Section 6.2).
+
+The paper prints the group coefficient of correlation as
+
+    C(s, h) = sum_i (s_i - sbar)(h_i - hbar)
+              / sqrt( sum_i (s_i - sbar)^2 (h_i - hbar)^2 )
+
+Note the denominator as *printed* multiplies the squared deviations
+inside a single sum, which is not the standard Pearson form
+``sqrt(sum (s-sbar)^2) * sqrt(sum (h-hbar)^2)``; for the data in the
+paper the two give similar magnitudes and Pearson is clearly what is
+meant (coefficients like 0.997 only make sense for Pearson).  We expose
+both: :func:`pearson` (used everywhere) and :func:`paper_formula` (the
+literal transcription, for the curious).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def _check(xs: Sequence[float], ys: Sequence[float]) -> None:
+    if len(xs) != len(ys):
+        raise ValueError(
+            f"series lengths differ: {len(xs)} vs {len(ys)}"
+        )
+    if len(xs) < 2:
+        raise ValueError("need at least two points for a correlation")
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson's product-moment correlation coefficient.
+
+    Returns 0.0 when either series is constant (undefined correlation),
+    which is the conservative choice for miss-ratio series that can be
+    all zero.
+    """
+    _check(xs, ys)
+    n = len(xs)
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    sxx = sum((x - mx) ** 2 for x in xs)
+    syy = sum((y - my) ** 2 for y in ys)
+    if sxx == 0.0 or syy == 0.0:
+        return 0.0
+    return sxy / math.sqrt(sxx * syy)
+
+
+def paper_formula(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """The coefficient exactly as printed in the paper.
+
+    Kept for completeness; not recommended (it is not scale-invariant
+    the way Pearson is).
+    """
+    _check(xs, ys)
+    n = len(xs)
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    num = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    den_sq = sum(((x - mx) ** 2) * ((y - my) ** 2)
+                 for x, y in zip(xs, ys))
+    if den_sq == 0.0:
+        return 0.0
+    return num / math.sqrt(den_sq)
+
+
+def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation (a robustness check for the tables)."""
+    _check(xs, ys)
+
+    def ranks(values: Sequence[float]) -> list:
+        order = sorted(range(len(values)), key=lambda i: values[i])
+        rank = [0.0] * len(values)
+        i = 0
+        while i < len(order):
+            j = i
+            while (j + 1 < len(order)
+                   and values[order[j + 1]] == values[order[i]]):
+                j += 1
+            avg = (i + j) / 2 + 1
+            for k in range(i, j + 1):
+                rank[order[k]] = avg
+            i = j + 1
+        return rank
+
+    return pearson(ranks(xs), ranks(ys))

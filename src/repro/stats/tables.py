@@ -1,0 +1,106 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every experiment module produces a :class:`Table`; the benchmark harness
+and examples print them in the same row/column layout as the paper's
+tables and figures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+class Table:
+    """A titled grid of rows with typed formatting."""
+
+    def __init__(self, title: str, columns: Sequence[str],
+                 formats: Optional[Sequence[str]] = None) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.formats = list(formats) if formats else ["{}"] * len(columns)
+        if len(self.formats) != len(self.columns):
+            raise ValueError("formats length must match columns")
+        self.rows: List[List[Any]] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(list(values))
+
+    def add_dict_row(self, row: Dict[str, Any]) -> None:
+        self.add_row(*(row[c] for c in self.columns))
+
+    def column_values(self, name: str) -> List[Any]:
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def render(self) -> str:
+        cells = [
+            [fmt.format(v) if v is not None else "-"
+             for fmt, v in zip(self.formats, row)]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(self.columns[j]), *(len(r[j]) for r in cells))
+            if cells else len(self.columns[j])
+            for j in range(len(self.columns))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines = [self.title, "=" * len(self.title), header, sep]
+        for row in cells:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def render_bars(self, value_columns: Optional[Sequence[str]] = None,
+                    label_column: Optional[str] = None,
+                    width: int = 40) -> str:
+        """Render numeric columns as horizontal ASCII bars.
+
+        Approximates the paper's figures in a terminal: one group of
+        bars per row, one bar per selected column, scaled to the largest
+        value in the table.
+        """
+        if not self.rows:
+            return self.title
+        if label_column is None:
+            label_column = self.columns[0]
+        if value_columns is None:
+            value_columns = [
+                c for c in self.columns
+                if c != label_column and all(
+                    isinstance(v, (int, float))
+                    for v in self.column_values(c) if v is not None
+                )
+            ]
+        if not value_columns:
+            raise ValueError("no numeric columns to plot")
+        peak = max(
+            (v for c in value_columns for v in self.column_values(c)
+             if isinstance(v, (int, float))),
+            default=0,
+        )
+        if peak <= 0:
+            peak = 1.0
+        label_w = max(len(str(v)) for v in self.column_values(label_column))
+        series_w = max(len(c) for c in value_columns)
+        lines = [self.title, "=" * len(self.title)]
+        for row in self.as_dicts():
+            lines.append(str(row[label_column]))
+            for column in value_columns:
+                value = row[column]
+                if not isinstance(value, (int, float)):
+                    continue
+                bar = "#" * max(0, round(width * value / peak))
+                lines.append(
+                    f"  {column:<{series_w}} |{bar} {value:.3f}"
+                )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,21 @@
+"""The virtual machine: interpreter, cost model, and DynamoRIO stand-in.
+
+``Interpreter.run_native`` gives the paper's "native execution" baseline;
+:class:`DynamoSim` is the runtime code manipulation system whose trace
+cache UMI piggybacks on.
+"""
+
+from .cost_model import DEFAULT_COST_MODEL, CostModel
+from .interpreter import ExecutionLimitExceeded, Interpreter
+from .runtime import DynamoSim, RuntimeConfig, RuntimeHooks, RuntimeStats
+from .state import MachineState
+from .trace import Trace
+from .trace_builder import TraceBuilder
+
+__all__ = [
+    "CostModel", "DEFAULT_COST_MODEL",
+    "Interpreter", "ExecutionLimitExceeded",
+    "MachineState",
+    "DynamoSim", "RuntimeConfig", "RuntimeHooks", "RuntimeStats",
+    "Trace", "TraceBuilder",
+]

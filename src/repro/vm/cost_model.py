@@ -1,0 +1,89 @@
+"""The cycle cost model.
+
+Everything the paper measures as wall-clock time is accounted here in
+model cycles: native instruction execution, the DynamoRIO-like runtime's
+translation/dispatch overheads, UMI's instrumentation and analysis costs,
+and interrupt costs for hardware-counter sampling.  All the paper's
+figures report *ratios* of running times, so only the relative magnitudes
+of these constants matter; they are chosen to sit in realistic ranges
+(e.g. an instrumented memory operation costs "four to six operations",
+Section 4.2; a counter overflow costs a kernel interrupt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa import instructions as ins
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs for execution, translation, and instrumentation."""
+
+    # -- plain instruction execution (added on top of memory latency) ----
+    alu_cost: int = 1
+    mul_cost: int = 3
+    div_cost: int = 20
+    mov_cost: int = 1
+    mem_op_cost: int = 1       # address generation etc.; cache latency extra
+    branch_cost: int = 1
+    call_ret_cost: int = 2
+    lea_cost: int = 1
+    nop_cost: int = 1
+
+    # -- DynamoRIO-like runtime (Section 3) --------------------------------
+    block_translation_cost: int = 400   # copy a basic block into the cache
+    trace_build_cost_per_block: int = 250
+    dispatch_cost: int = 20             # unlinked block transition
+    indirect_lookup_cost: int = 5       # fast hashtable lookup
+    trace_branch_discount: int = 1      # cycles saved per intra-trace branch
+
+    # -- UMI instrumentation (Section 4.2) ----------------------------------
+    prolog_cost: int = 2                # single conditional jump + counter
+    # "four to six operations" per recorded reference; a superscalar
+    # core overlaps them with the surrounding code, so the marginal
+    # cycle cost is below the operation count.
+    profiled_op_cost: int = 2
+    clone_cost_per_instr: int = 30      # building T_c and rewriting T
+    analyzer_invoke_cost: int = 2000    # context switch + setup
+    analyzer_cost_per_record: int = 2   # mini-simulating one reference
+    sample_interrupt_cost: int = 10     # one PC-sampling timer tick
+    sw_prefetch_issue_cost: int = 1     # injected prefetch instruction
+
+    # -- hardware counters (Section 1.2 / Table 1) ---------------------------
+    # Calibrated so the Table 1 sweep shows the paper's overhead
+    # explosion: one overflow costs a kernel interrupt plus PAPI signal
+    # delivery and handler work (tens of microseconds at GHz clocks).
+    counter_interrupt_cost: int = 25_000
+
+    def instruction_cost(self, op: int, aluop: int = ins.ADD) -> int:
+        """Base cost of one instruction, excluding memory latency."""
+        if op in (ins.ALU_RR, ins.ALU_RI):
+            if aluop == ins.MUL:
+                return self.mul_cost
+            if aluop in (ins.DIV, ins.MOD):
+                return self.div_cost
+            return self.alu_cost
+        if op in (ins.LOAD, ins.STORE):
+            return self.mem_op_cost
+        if op in (ins.MOV_RI, ins.MOV_RR):
+            return self.mov_cost
+        if op in (ins.JCC, ins.JMP, ins.SWITCH):
+            return self.branch_cost
+        if op in (ins.CALL, ins.RET):
+            return self.call_ret_cost
+        if op == ins.LEA:
+            return self.lea_cost
+        if op in (ins.CMP_RR, ins.CMP_RI):
+            return self.alu_cost
+        if op == ins.NOP:
+            return self.nop_cost
+        if op == ins.WORK:
+            return 0  # WORK charges its own immediate cycle count
+        if op == ins.HALT:
+            return 0
+        raise ValueError(f"unknown opcode {op}")
+
+
+DEFAULT_COST_MODEL = CostModel()

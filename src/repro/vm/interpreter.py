@@ -1,0 +1,300 @@
+"""The basic-block interpreter.
+
+Executes one basic block at a time against a :class:`MachineState`,
+sending every data reference to the memory hierarchy (which returns its
+latency) and optionally to a raw reference observer (used by the
+Cachegrind-style full simulator).
+
+The interpreter also carries the *instrumentation context* used when a
+UMI-instrumented trace is executing: ``profile_cols`` maps instrumented
+pcs to columns of the current address-profile row, and ``prefetch_map``
+maps pcs of delinquent loads to injected software-prefetch deltas.  Both
+are ``None`` during normal execution, keeping the hot path cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.isa import Program
+from repro.isa.instructions import (
+    ADD, ALU_RI, ALU_RR, AND, CALL, CC_EQ, CC_GE, CC_GT, CC_LE, CC_LT,
+    CC_NE, CMP_RI, CMP_RR, DIV, HALT, JCC, JMP, LEA, LOAD, MOD, MOV_RI,
+    MOV_RR, MUL, NOP, OR, RET, SHL, SHR, STORE, SUB, SWITCH, WORK, XOR,
+)
+from repro.isa.registers import ESP
+
+from .cost_model import DEFAULT_COST_MODEL, CostModel
+from .state import MachineState
+
+_U64_MASK = (1 << 64) - 1
+
+#: Raw reference observer signature: ``(pc, addr, is_write, size)``.
+RefObserver = Callable[[int, int, bool, int], None]
+
+#: Indirect terminators end DynamoRIO-style traces and pay the indirect
+#: branch lookup cost in the runtime.
+INDIRECT_TERMINATORS = frozenset({SWITCH, RET})
+
+
+class ExecutionLimitExceeded(Exception):
+    """The configured dynamic instruction budget was exhausted."""
+
+
+class Interpreter:
+    """Executes basic blocks of one program against one memory system."""
+
+    def __init__(
+        self,
+        program: Program,
+        memsys,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        ref_observer: Optional[RefObserver] = None,
+    ) -> None:
+        if not program.finalized:
+            raise ValueError("program must be finalized")
+        self.program = program
+        self.memsys = memsys
+        self.cost_model = cost_model
+        self.ref_observer = ref_observer
+        self.state = MachineState(program)
+        # Instrumentation context (managed by the UMI runtime).
+        self.profile_cols: Optional[Dict[int, int]] = None
+        self.profile_row: Optional[List[Optional[int]]] = None
+        self.prefetch_map: Optional[Dict[int, int]] = None
+        # Opcode of the terminator of the most recently executed block;
+        # the runtime uses it to decide dispatch costs.
+        self.last_terminator_op: int = HALT
+        # Per-block (instruction, base_cost) lists, built lazily.
+        self._cost_cache: Dict[str, list] = {}
+        # Instruction fetch modelling: only when the memory system has an
+        # instruction cache (FlatMemory and bare caches do not).
+        self._models_ifetch = bool(getattr(memsys, "models_ifetch", False))
+        self._code_lines: Dict[str, tuple] = {}
+
+    # -- helpers --------------------------------------------------------------
+
+    def _costed_instructions(self, label: str):
+        cached = self._cost_cache.get(label)
+        if cached is None:
+            model = self.cost_model
+            cached = [
+                (ins, model.instruction_cost(ins.op, ins.aluop))
+                for ins in self.program.blocks[label].instructions
+            ]
+            self._cost_cache[label] = cached
+        return cached
+
+    # -- execution --------------------------------------------------------------
+
+    def execute_block(self, label: str) -> Optional[str]:
+        """Execute the block named ``label``; return the next label.
+
+        Returns ``None`` when the program halts (``HALT``, or ``RET``
+        with an empty call stack).  All cycle costs (instruction base
+        cost + memory latency + any software-prefetch issue cost) are
+        charged to the machine state.
+        """
+        state = self.state
+        regs = state.regs
+        memory = state.memory
+        memsys = self.memsys
+        observer = self.ref_observer
+        profile_cols = self.profile_cols
+        prefetch_map = self.prefetch_map
+        cycles = state.cycles
+        flags = state.flags
+        steps = 0
+        next_label: Optional[str] = None
+
+        if self._models_ifetch:
+            lines = self._code_lines.get(label)
+            if lines is None:
+                block = self.program.blocks[label]
+                first = block.base_pc >> 6
+                last = (block.base_pc + 4 * len(block.instructions) - 1) >> 6
+                lines = tuple(range(first, last + 1))
+                self._code_lines[label] = lines
+            cycles += memsys.fetch(lines, cycles)
+
+        for ins, base_cost in self._costed_instructions(label):
+            op = ins.op
+            steps += 1
+            cycles += base_cost
+
+            if op == LOAD:
+                m = ins.mem
+                addr = m.disp
+                if m.base is not None:
+                    addr += regs[m.base]
+                if m.index is not None:
+                    addr += regs[m.index] * m.scale
+                cycles += memsys.access(ins.pc, addr, False, ins.size, cycles)
+                regs[ins.dst] = memory.get(addr, 0)
+                if observer is not None:
+                    observer(ins.pc, addr, False, ins.size)
+                if profile_cols is not None:
+                    col = profile_cols.get(ins.pc)
+                    if col is not None:
+                        self.profile_row[col] = addr
+                        cycles += self.cost_model.profiled_op_cost
+                if prefetch_map is not None:
+                    delta = prefetch_map.get(ins.pc)
+                    if delta is not None:
+                        memsys.software_prefetch(addr + delta, cycles)
+                        cycles += self.cost_model.sw_prefetch_issue_cost
+                continue
+
+            if op == STORE:
+                m = ins.mem
+                addr = m.disp
+                if m.base is not None:
+                    addr += regs[m.base]
+                if m.index is not None:
+                    addr += regs[m.index] * m.scale
+                cycles += memsys.access(ins.pc, addr, True, ins.size, cycles)
+                memory[addr] = regs[ins.src] if ins.src is not None else ins.imm
+                if observer is not None:
+                    observer(ins.pc, addr, True, ins.size)
+                if profile_cols is not None:
+                    col = profile_cols.get(ins.pc)
+                    if col is not None:
+                        self.profile_row[col] = addr
+                        cycles += self.cost_model.profiled_op_cost
+                continue
+
+            if op == ALU_RI or op == ALU_RR:
+                operand = ins.imm if op == ALU_RI else regs[ins.src]
+                aluop = ins.aluop
+                dst = ins.dst
+                value = regs[dst]
+                if aluop == ADD:
+                    value += operand
+                elif aluop == SUB:
+                    value -= operand
+                elif aluop == MUL:
+                    value *= operand
+                elif aluop == AND:
+                    value &= operand
+                elif aluop == OR:
+                    value |= operand
+                elif aluop == XOR:
+                    value ^= operand
+                elif aluop == SHL:
+                    value <<= operand & 63
+                elif aluop == SHR:
+                    value = (value & _U64_MASK) >> (operand & 63)
+                elif aluop == MOD:
+                    value %= operand if operand else 1
+                else:  # DIV
+                    value //= operand if operand else 1
+                regs[dst] = value & _U64_MASK
+                continue
+
+            if op == CMP_RI:
+                flags = regs[ins.dst] - ins.imm
+                continue
+            if op == CMP_RR:
+                flags = regs[ins.dst] - regs[ins.src]
+                continue
+
+            if op == JCC:
+                cc = ins.cc
+                if cc == CC_EQ:
+                    taken = flags == 0
+                elif cc == CC_NE:
+                    taken = flags != 0
+                elif cc == CC_LT:
+                    taken = flags < 0
+                elif cc == CC_LE:
+                    taken = flags <= 0
+                elif cc == CC_GT:
+                    taken = flags > 0
+                else:  # CC_GE
+                    taken = flags >= 0
+                next_label = ins.target if taken else ins.fallthrough
+                break
+
+            if op == MOV_RI:
+                regs[ins.dst] = ins.imm & _U64_MASK
+                continue
+            if op == MOV_RR:
+                regs[ins.dst] = regs[ins.src]
+                continue
+
+            if op == LEA:
+                m = ins.mem
+                addr = m.disp
+                if m.base is not None:
+                    addr += regs[m.base]
+                if m.index is not None:
+                    addr += regs[m.index] * m.scale
+                regs[ins.dst] = addr & _U64_MASK
+                continue
+
+            if op == WORK:
+                cycles += ins.imm
+                continue
+
+            if op == JMP:
+                next_label = ins.target
+                break
+
+            if op == SWITCH:
+                targets = ins.targets
+                next_label = targets[regs[ins.src] % len(targets)]
+                break
+
+            if op == CALL:
+                regs[ESP] -= 8
+                addr = regs[ESP]
+                cycles += memsys.access(ins.pc, addr, True, 8, cycles)
+                memory[addr] = 0
+                if observer is not None:
+                    observer(ins.pc, addr, True, 8)
+                state.call_stack.append(ins.fallthrough)
+                next_label = ins.target
+                break
+
+            if op == RET:
+                addr = regs[ESP]
+                cycles += memsys.access(ins.pc, addr, False, 8, cycles)
+                regs[ESP] += 8
+                if observer is not None:
+                    observer(ins.pc, addr, False, 8)
+                if state.call_stack:
+                    next_label = state.call_stack.pop()
+                else:
+                    next_label = None
+                    state.halted = True
+                break
+
+            if op == NOP:
+                continue
+
+            if op == HALT:
+                next_label = None
+                state.halted = True
+                break
+
+            raise ValueError(f"unknown opcode {op} at pc {ins.pc:#x}")
+
+        state.cycles = cycles
+        state.flags = flags
+        state.steps += steps
+        self.last_terminator_op = op
+        return next_label
+
+    def run_native(self, max_steps: int = 500_000_000) -> MachineState:
+        """Run the whole program natively (no runtime system overhead)."""
+        label: Optional[str] = self.program.entry
+        state = self.state
+        limit = max_steps
+        while label is not None:
+            label = self.execute_block(label)
+            if state.steps > limit:
+                raise ExecutionLimitExceeded(
+                    f"{self.program.name}: exceeded {max_steps} dynamic "
+                    f"instructions"
+                )
+        return state

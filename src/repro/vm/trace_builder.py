@@ -1,0 +1,85 @@
+"""NET-style hot trace construction.
+
+Mirrors DynamoRIO's behaviour as described in Section 3 of the paper:
+all code initially executes from the basic-block cache "until some set of
+blocks is considered hot.  At that point, the blocks are inlined into a
+single-entry, multiple-exits trace, and placed in the trace cache via the
+trace builder."  The builder counts block executions in the dispatcher;
+once a block's count saturates, the next execution path from that block
+is recorded and frozen into a :class:`Trace`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.isa import Program
+from repro.isa.instructions import CALL, HALT, JCC, JMP, RET, SWITCH
+
+from .trace import Trace
+
+
+class TraceBuilder:
+    """Counts hot blocks and records execution paths into traces."""
+
+    def __init__(self, program: Program, hot_threshold: int = 50,
+                 max_blocks: int = 32) -> None:
+        if hot_threshold < 1:
+            raise ValueError("hot_threshold must be >= 1")
+        if max_blocks < 1:
+            raise ValueError("max_blocks must be >= 1")
+        self.program = program
+        self.hot_threshold = hot_threshold
+        self.max_blocks = max_blocks
+        self.exec_counts: Dict[str, int] = {}
+        self.recording_head: Optional[str] = None
+        self._recorded: List[str] = []
+        self._recorded_set: Set[str] = set()
+
+    @property
+    def recording(self) -> bool:
+        return self.recording_head is not None
+
+    def note_block_execution(self, label: str,
+                             existing_trace_heads: Set[str]) -> None:
+        """Count a dispatcher-mode block execution; may begin recording."""
+        if self.recording or label in existing_trace_heads:
+            return
+        count = self.exec_counts.get(label, 0) + 1
+        self.exec_counts[label] = count
+        if count >= self.hot_threshold:
+            self.recording_head = label
+            self._recorded = []
+            self._recorded_set = set()
+
+    def record_step(self, label: str, terminator_op: int,
+                    next_label: Optional[str],
+                    existing_trace_heads: Set[str]) -> Optional[Trace]:
+        """Record one executed block while in recording mode.
+
+        Returns a finished :class:`Trace` when a trace-ending condition
+        is met, else ``None`` (recording continues with ``next_label``).
+        """
+        assert self.recording
+        self._recorded.append(label)
+        self._recorded_set.add(label)
+
+        head = self.recording_head
+        loops = next_label == head
+        ends = (
+            loops
+            or next_label is None
+            or terminator_op in (SWITCH, RET, HALT)
+            or next_label in existing_trace_heads
+            or next_label in self._recorded_set
+            or len(self._recorded) >= self.max_blocks
+        )
+        if not ends:
+            return None
+        blocks = [self.program.blocks[lbl] for lbl in self._recorded]
+        trace = Trace(head, blocks, loops_to_head=loops)
+        self.recording_head = None
+        self._recorded = []
+        self._recorded_set = set()
+        self.exec_counts[head] = 0
+        return trace

@@ -1,0 +1,17 @@
+"""Synthetic benchmark suite standing in for the paper's workloads.
+
+47 programs written in the virtual ISA: 14 CFP2000, 12 CINT2000, 6
+Olden/Ptrdist (the paper's evaluation suite of 32), plus the 15-benchmark
+SPEC CPU2006 subset of Table 5.
+"""
+
+from .base import (
+    GROUPS, ProgramComposer, WorkloadSpec, all_workloads, get_workload,
+    prefetchable_workloads, register, scaled, workloads_in_group,
+)
+
+__all__ = [
+    "WorkloadSpec", "ProgramComposer", "GROUPS",
+    "register", "get_workload", "all_workloads", "workloads_in_group",
+    "prefetchable_workloads", "scaled",
+]

@@ -1,0 +1,89 @@
+"""Workload catalog: list and characterize the synthetic benchmarks.
+
+Console entry point ``umi-workloads``::
+
+    umi-workloads                 # list all workloads
+    umi-workloads --group OLDEN   # one group
+    umi-workloads --measure       # also run each briefly and report
+                                  # size/miss-ratio measurements
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.stats import Table
+
+from .base import GROUPS, WorkloadSpec, all_workloads, workloads_in_group
+
+
+def catalog_table(groups: Optional[List[str]] = None,
+                  measure: bool = False,
+                  scale: float = 0.25,
+                  machine_name: str = "pentium4") -> Table:
+    """Build the catalog table, optionally with measured columns."""
+    if groups:
+        specs: List[WorkloadSpec] = []
+        for group in groups:
+            specs.extend(workloads_in_group(group))
+    else:
+        specs = all_workloads(list(GROUPS))
+
+    if measure:
+        from repro.memory import get_machine
+        from repro.runners import run_native
+
+        machine = get_machine(machine_name, scale=16)
+        table = Table(
+            f"Workload catalog ({len(specs)} benchmarks, measured at "
+            f"scale {scale})",
+            ["name", "group", "prefetchable", "blocks", "static_mem_ops",
+             "footprint_kb", "l2_miss_ratio", "description"],
+            ["{}", "{}", "{}", "{}", "{}", "{:.1f}", "{:.4f}", "{}"],
+        )
+        for spec in specs:
+            program = spec.build(scale)
+            outcome = run_native(program, machine)
+            table.add_row(
+                spec.name, spec.group,
+                "yes" if spec.prefetchable else "",
+                len(program.blocks), program.static_memory_ops(),
+                program.data.size / 1024, outcome.hw_l2_miss_ratio,
+                spec.description,
+            )
+    else:
+        table = Table(
+            f"Workload catalog ({len(specs)} benchmarks)",
+            ["name", "group", "prefetchable", "description"],
+            ["{}", "{}", "{}", "{}"],
+        )
+        for spec in specs:
+            table.add_row(spec.name, spec.group,
+                          "yes" if spec.prefetchable else "",
+                          spec.description)
+    return table
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="umi-workloads",
+        description="List the synthetic benchmark suite.",
+    )
+    parser.add_argument("--group", action="append", choices=GROUPS,
+                        help="restrict to a group (repeatable)")
+    parser.add_argument("--measure", action="store_true",
+                        help="run each workload briefly and report "
+                             "footprint and L2 miss ratio")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="measurement scale (default %(default)s)")
+    args = parser.parse_args(argv)
+    table = catalog_table(groups=args.group, measure=args.measure,
+                          scale=args.scale)
+    print(table.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""Heap data-structure generators for synthetic workloads.
+
+These write initial memory images into a program's data segment:
+linked lists (sequential or shuffled -- the latter defeats spatial
+locality the way a long-lived allocator-fragmented heap does), binary
+trees laid out in allocation order, and index arrays with controllable
+randomness for gather kernels.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.isa import ProgramBuilder
+
+#: Field offsets used by linked-list nodes.
+LIST_NEXT_OFFSET = 0
+LIST_VALUE_OFFSET = 8
+
+#: Field offsets used by binary-tree nodes.
+TREE_LEFT_OFFSET = 0
+TREE_RIGHT_OFFSET = 8
+TREE_VALUE_OFFSET = 16
+
+
+def make_linked_list(
+    b: ProgramBuilder,
+    name: str,
+    n: int,
+    node_bytes: int = 64,
+    shuffled: bool = True,
+    seed: int = 1,
+    value_of=lambda i: i,
+    value_offset: int = LIST_VALUE_OFFSET,
+) -> int:
+    """Build an ``n``-node singly linked list; returns the head address.
+
+    ``shuffled`` permutes node placement so that successive ``next``
+    pointers jump across the arena (the pointer-chasing pattern of
+    ``mcf``/``em3d``/``health``); otherwise nodes are laid out in order
+    (an easy, cache-friendly list).
+
+    ``value_offset`` places the payload; fat nodes (128B) with the value
+    a cache line away from the ``next`` pointer model structures whose
+    payload touch is itself a miss.
+    """
+    if n < 1:
+        raise ValueError("list needs at least one node")
+    if node_bytes < 16:
+        raise ValueError("node_bytes must fit next+value fields (>=16)")
+    if not 0 <= value_offset <= node_bytes - 8:
+        raise ValueError("value_offset must lie inside the node")
+    base = b.data.alloc(name, n * node_bytes, align=node_bytes)
+    order: List[int] = list(range(n))
+    if shuffled:
+        random.Random(seed).shuffle(order)
+    addrs = [base + slot * node_bytes for slot in order]
+    for i, addr in enumerate(addrs):
+        nxt = addrs[i + 1] if i + 1 < n else 0
+        b.data.write_word(addr + LIST_NEXT_OFFSET, nxt)
+        b.data.write_word(addr + value_offset, value_of(i))
+    return addrs[0]
+
+
+def make_binary_tree(
+    b: ProgramBuilder,
+    name: str,
+    depth: int,
+    node_bytes: int = 32,
+    seed: int = 1,
+    shuffled: bool = False,
+) -> int:
+    """Build a complete binary tree of the given depth; returns the root.
+
+    Nodes hold (left, right, value).  ``shuffled`` scatters node
+    placement across the arena; the default allocation-order layout is
+    what a simple recursive builder (like Olden's ``treeadd``) produces.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    if node_bytes < 24:
+        raise ValueError("node_bytes must fit left+right+value (>=24)")
+    n = (1 << depth) - 1
+    base = b.data.alloc(name, n * node_bytes, align=node_bytes)
+    order = list(range(n))
+    if shuffled:
+        random.Random(seed).shuffle(order)
+    addr_of = [base + slot * node_bytes for slot in order]
+
+    def fill(i: int) -> int:
+        addr = addr_of[i]
+        left = 2 * i + 1
+        right = 2 * i + 2
+        b.data.write_word(addr + TREE_LEFT_OFFSET,
+                          fill(left) if left < n else 0)
+        b.data.write_word(addr + TREE_RIGHT_OFFSET,
+                          fill(right) if right < n else 0)
+        b.data.write_word(addr + TREE_VALUE_OFFSET, i + 1)
+        return addr
+
+    # Iterative fill to avoid Python recursion limits on deep trees.
+    import sys
+    if depth < 500:
+        old = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old, 10 * depth + 100))
+        try:
+            root = fill(0)
+        finally:
+            sys.setrecursionlimit(old)
+    else:  # pragma: no cover - depths that large are never used
+        raise ValueError("tree too deep")
+    return root
+
+
+def make_index_array(
+    b: ProgramBuilder,
+    name: str,
+    n: int,
+    max_index: int,
+    seed: int = 1,
+    sequential_fraction: float = 0.0,
+) -> int:
+    """An index array for gather kernels; returns the base address.
+
+    ``sequential_fraction`` of the entries follow ``i mod max_index``
+    (streamable); the rest are uniform random (gather misses).
+    """
+    if not 0.0 <= sequential_fraction <= 1.0:
+        raise ValueError("sequential_fraction must be in [0,1]")
+    rng = random.Random(seed)
+
+    def value(i: int) -> int:
+        if rng.random() < sequential_fraction:
+            return i % max_index
+        return rng.randrange(max_index)
+
+    return b.data.alloc_array(name, n, elem_size=8, init=value)

@@ -1,0 +1,566 @@
+"""Composable instruction kernels for synthetic benchmarks.
+
+Every synthetic benchmark in this suite is assembled from these kernels,
+each of which reproduces one archetypal memory access pattern:
+
+====================  =====================================================
+``stream_sum``        unit/strided sequential reads (+ optional writes)
+``saxpy``             two read streams and a write stream
+``stencil3``          1-D three-point stencil over a 2-D row-major grid
+``pointer_chase``     linked-list traversal (the classic delinquent load)
+``random_walk``       LCG-indexed random access over an array
+``indirect_gather``   a[idx[i]] gathers with a streamed index array
+``byte_copy``         byte-granularity memcpy (164.gzip's copy loop)
+``hash_probe``        randomized probe + compare into a hash table
+``tree_sum``          binary-tree traversal with an explicit node stack
+``state_machine``     SWITCH-driven irregular control flow (gcc/parser)
+``compute_loop``      computation-dominant loop with few references
+====================  =====================================================
+
+Kernels use a common register discipline: ``eax``/``ebx`` are scratch,
+``ecx`` the inner index, ``edx`` an accumulator, ``esi``/``edi``/``r8``-
+``r15`` bases and counters.  ``ebp``-relative *spill* references are
+sprinkled per iteration on request -- they model the stack traffic real
+compilers emit, give the UMI operand filter something to filter (Table 3
+reports ~80% of memory operations filtered), and keep L1 hit traffic
+realistic.
+
+Each kernel creates its blocks starting at the caller-supplied ``entry``
+label and transfers to ``exit`` when done, so kernels chain into whole
+programs by label plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.isa import (
+    ADD, AND, CC_EQ, CC_GE, CC_GT, CC_LE, CC_LT, CC_NE, EAX, EBP, EBX,
+    ECX, EDI, EDX, ESI, MOD, MUL, ProgramBuilder, R8, R9, R10, R11, R12,
+    R13, R14, R15, SHR, SUB, XOR, mem,
+)
+
+#: LCG constants (Numerical Recipes flavour) used by randomized kernels.
+LCG_A = 1664525
+LCG_C = 1013904223
+
+
+def _spills(blk, count: int, slot: int = 0) -> None:
+    """Emit ``count`` store+load pairs through ``ebp`` (filtered refs)."""
+    for j in range(count):
+        off = -8 * (slot + j + 1)
+        blk.store(mem(base=EBP, disp=off), EDX)
+        blk.load(EAX, mem(base=EBP, disp=off))
+
+
+def stream_sum(
+    b: ProgramBuilder, prefix: str, entry: str, exit: str, *,
+    base: int, n: int, elem: int = 8, stride: int = 1, reps: int = 1,
+    store_base: Optional[int] = None, spills: int = 1,
+) -> None:
+    """Sum a sequential array; optionally write a second stream.
+
+    ``stride`` is in elements; with ``stride`` large enough every access
+    touches a new line (the worst streaming case).
+    """
+    if n < 1 or reps < 1 or stride < 1:
+        raise ValueError("n, reps and stride must be >= 1")
+    loop_l, rep_l = f"{prefix}_loop", f"{prefix}_rep"
+
+    init = b.block(entry)
+    init.mov_imm(R8, reps)
+    init.mov_imm(ESI, base)
+    if store_base is not None:
+        init.mov_imm(EDI, store_base)
+    init.jmp(rep_l)
+
+    rep = b.block(rep_l)
+    rep.mov_imm(ECX, 0)
+    rep.jmp(loop_l)
+
+    loop = b.block(loop_l)
+    loop.load(EAX, mem(base=ESI, index=ECX, scale=elem), size=elem)
+    loop.alu(ADD, EDX, EAX)
+    if store_base is not None:
+        loop.store(mem(base=EDI, index=ECX, scale=elem), EDX, size=elem)
+    _spills(loop, spills)
+    loop.alu_imm(ADD, ECX, stride)
+    loop.cmp_imm(ECX, n)
+    loop.jcc(CC_LT, loop_l, f"{prefix}_next")
+
+    nxt = b.block(f"{prefix}_next")
+    nxt.alu_imm(SUB, R8, 1)
+    nxt.cmp_imm(R8, 0)
+    nxt.jcc(CC_GT, rep_l, exit)
+
+
+def saxpy(
+    b: ProgramBuilder, prefix: str, entry: str, exit: str, *,
+    x_base: int, y_base: int, out_base: int, n: int, reps: int = 1,
+    spills: int = 1,
+) -> None:
+    """out[i] = a*x[i] + y[i]: two read streams plus a write stream."""
+    if n < 1 or reps < 1:
+        raise ValueError("n and reps must be >= 1")
+    loop_l, rep_l = f"{prefix}_loop", f"{prefix}_rep"
+
+    init = b.block(entry)
+    init.mov_imm(R8, reps)
+    init.mov_imm(ESI, x_base)
+    init.mov_imm(EDI, y_base)
+    init.mov_imm(R9, out_base)
+    init.jmp(rep_l)
+
+    rep = b.block(rep_l)
+    rep.mov_imm(ECX, 0)
+    rep.jmp(loop_l)
+
+    loop = b.block(loop_l)
+    loop.load(EAX, mem(base=ESI, index=ECX, scale=8))
+    loop.alu_imm(MUL, EAX, 3)
+    loop.load(EBX, mem(base=EDI, index=ECX, scale=8))
+    loop.alu(ADD, EAX, EBX)
+    loop.store(mem(base=R9, index=ECX, scale=8), EAX)
+    _spills(loop, spills)
+    loop.alu_imm(ADD, ECX, 1)
+    loop.cmp_imm(ECX, n)
+    loop.jcc(CC_LT, loop_l, f"{prefix}_next")
+
+    nxt = b.block(f"{prefix}_next")
+    nxt.alu_imm(SUB, R8, 1)
+    nxt.cmp_imm(R8, 0)
+    nxt.jcc(CC_GT, rep_l, exit)
+
+
+def stencil3(
+    b: ProgramBuilder, prefix: str, entry: str, exit: str, *,
+    in_base: int, out_base: int, rows: int, cols: int, reps: int = 1,
+    spills: int = 1,
+) -> None:
+    """Three-point stencil across each row of a row-major 2-D grid.
+
+    Inner columns run ``1..cols-1`` so the three loads stay in-row; the
+    row walk gives the large-stride component typical of ``swim``/
+    ``mgrid``-style grid sweeps.
+    """
+    if rows < 1 or cols < 3 or reps < 1:
+        raise ValueError("need rows >= 1, cols >= 3, reps >= 1")
+    row_l, col_l = f"{prefix}_row", f"{prefix}_col"
+    rep_l, next_l = f"{prefix}_rep", f"{prefix}_next"
+
+    init = b.block(entry)
+    init.mov_imm(R8, reps)
+    init.jmp(rep_l)
+
+    rep = b.block(rep_l)
+    rep.mov_imm(R10, 0)            # row counter
+    rep.mov_imm(ESI, in_base)      # current input row base
+    rep.mov_imm(EDI, out_base)     # current output row base
+    rep.jmp(row_l)
+
+    row = b.block(row_l)
+    row.mov_imm(ECX, 1)
+    row.jmp(col_l)
+
+    col = b.block(col_l)
+    col.load(EAX, mem(base=ESI, index=ECX, scale=8, disp=-8))
+    col.load(EBX, mem(base=ESI, index=ECX, scale=8))
+    col.alu(ADD, EAX, EBX)
+    col.load(EBX, mem(base=ESI, index=ECX, scale=8, disp=8))
+    col.alu(ADD, EAX, EBX)
+    col.store(mem(base=EDI, index=ECX, scale=8), EAX)
+    _spills(col, spills)
+    col.alu_imm(ADD, ECX, 1)
+    col.cmp_imm(ECX, cols - 1)
+    col.jcc(CC_LT, col_l, f"{prefix}_rowend")
+
+    rowend = b.block(f"{prefix}_rowend")
+    rowend.alu_imm(ADD, ESI, cols * 8)
+    rowend.alu_imm(ADD, EDI, cols * 8)
+    rowend.alu_imm(ADD, R10, 1)
+    rowend.cmp_imm(R10, rows)
+    rowend.jcc(CC_LT, row_l, next_l)
+
+    nxt = b.block(next_l)
+    nxt.alu_imm(SUB, R8, 1)
+    nxt.cmp_imm(R8, 0)
+    nxt.jcc(CC_GT, rep_l, exit)
+
+
+def pointer_chase(
+    b: ProgramBuilder, prefix: str, entry: str, exit: str, *,
+    head: int, reps: int = 1, value_offset: int = 8, read_value: bool = True,
+    store_value: bool = False, spills: int = 0,
+) -> None:
+    """Chase a null-terminated linked list ``reps`` times."""
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    rep_l, chase_l, next_l = f"{prefix}_rep", f"{prefix}_chase", f"{prefix}_next"
+
+    init = b.block(entry)
+    init.mov_imm(R8, reps)
+    init.jmp(rep_l)
+
+    rep = b.block(rep_l)
+    rep.mov_imm(ESI, head)
+    rep.jmp(chase_l)
+
+    chase = b.block(chase_l)
+    if read_value:
+        chase.load(EBX, mem(base=ESI, disp=value_offset))
+        chase.alu(ADD, EDX, EBX)
+    if store_value:
+        chase.store(mem(base=ESI, disp=value_offset), EDX)
+    _spills(chase, spills)
+    chase.load(EAX, mem(base=ESI))  # the chased (delinquent) load
+    chase.mov(ESI, EAX)
+    chase.cmp_imm(ESI, 0)
+    chase.jcc(CC_NE, chase_l, next_l)
+
+    nxt = b.block(next_l)
+    nxt.alu_imm(SUB, R8, 1)
+    nxt.cmp_imm(R8, 0)
+    nxt.jcc(CC_GT, rep_l, exit)
+
+
+def random_walk(
+    b: ProgramBuilder, prefix: str, entry: str, exit: str, *,
+    base: int, n_elems: int, steps: int, elem: int = 8, seed: int = 12345,
+    store_every: bool = False, spills: int = 1,
+) -> None:
+    """LCG-indexed random accesses over an array.
+
+    ``n_elems`` must be a power of two (the LCG output is masked).
+    """
+    if n_elems & (n_elems - 1):
+        raise ValueError("n_elems must be a power of two")
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    loop_l = f"{prefix}_loop"
+
+    init = b.block(entry)
+    init.mov_imm(ESI, base)
+    init.mov_imm(R12, seed)
+    init.mov_imm(ECX, 0)
+    init.jmp(loop_l)
+
+    loop = b.block(loop_l)
+    loop.alu_imm(MUL, R12, LCG_A)
+    loop.alu_imm(ADD, R12, LCG_C)
+    loop.mov(EBX, R12)
+    loop.alu_imm(SHR, EBX, 8)           # drop low-bit LCG regularity
+    loop.alu_imm(AND, EBX, n_elems - 1)
+    loop.load(EAX, mem(base=ESI, index=EBX, scale=elem), size=elem)
+    loop.alu(ADD, EDX, EAX)
+    if store_every:
+        loop.store(mem(base=ESI, index=EBX, scale=elem), EDX, size=elem)
+    _spills(loop, spills)
+    loop.alu_imm(ADD, ECX, 1)
+    loop.cmp_imm(ECX, steps)
+    loop.jcc(CC_LT, loop_l, exit)
+
+
+def indirect_gather(
+    b: ProgramBuilder, prefix: str, entry: str, exit: str, *,
+    idx_base: int, data_base: int, n: int, reps: int = 1,
+    data_elem: int = 8, spills: int = 1, store_result: Optional[int] = None,
+) -> None:
+    """a[idx[i]] gathers: a streamed index load feeding a random load.
+
+    This is the sparse-matrix/unstructured-mesh pattern of ``equake``/
+    ``183``-style codes: the index load is prefetchable, the gather is
+    delinquent.
+    """
+    if n < 1 or reps < 1:
+        raise ValueError("n and reps must be >= 1")
+    loop_l, rep_l = f"{prefix}_loop", f"{prefix}_rep"
+
+    init = b.block(entry)
+    init.mov_imm(R8, reps)
+    init.mov_imm(ESI, idx_base)
+    init.mov_imm(EDI, data_base)
+    if store_result is not None:
+        init.mov_imm(R9, store_result)
+    init.jmp(rep_l)
+
+    rep = b.block(rep_l)
+    rep.mov_imm(ECX, 0)
+    rep.jmp(loop_l)
+
+    loop = b.block(loop_l)
+    loop.load(EBX, mem(base=ESI, index=ECX, scale=8))      # index stream
+    loop.load(EAX, mem(base=EDI, index=EBX, scale=data_elem),
+              size=data_elem)                              # gather
+    loop.alu(ADD, EDX, EAX)
+    if store_result is not None:
+        loop.store(mem(base=R9, index=ECX, scale=8), EDX)
+    _spills(loop, spills)
+    loop.alu_imm(ADD, ECX, 1)
+    loop.cmp_imm(ECX, n)
+    loop.jcc(CC_LT, loop_l, f"{prefix}_next")
+
+    nxt = b.block(f"{prefix}_next")
+    nxt.alu_imm(SUB, R8, 1)
+    nxt.cmp_imm(R8, 0)
+    nxt.jcc(CC_GT, rep_l, exit)
+
+
+def byte_copy(
+    b: ProgramBuilder, prefix: str, entry: str, exit: str, *,
+    src: int, dst: int, nbytes: int, reps: int = 1,
+) -> None:
+    """Byte-by-byte memory copy (164.gzip's single hot miss source)."""
+    if nbytes < 1 or reps < 1:
+        raise ValueError("nbytes and reps must be >= 1")
+    loop_l, rep_l = f"{prefix}_loop", f"{prefix}_rep"
+
+    init = b.block(entry)
+    init.mov_imm(R8, reps)
+    init.mov_imm(ESI, src)
+    init.mov_imm(EDI, dst)
+    init.jmp(rep_l)
+
+    rep = b.block(rep_l)
+    rep.mov_imm(ECX, 0)
+    rep.jmp(loop_l)
+
+    loop = b.block(loop_l)
+    loop.load(EAX, mem(base=ESI, index=ECX), size=1)
+    loop.store(mem(base=EDI, index=ECX), EAX, size=1)
+    loop.alu_imm(ADD, ECX, 1)
+    loop.cmp_imm(ECX, nbytes)
+    loop.jcc(CC_LT, loop_l, f"{prefix}_next")
+
+    nxt = b.block(f"{prefix}_next")
+    nxt.alu_imm(SUB, R8, 1)
+    nxt.cmp_imm(R8, 0)
+    nxt.jcc(CC_GT, rep_l, exit)
+
+
+def hash_probe(
+    b: ProgramBuilder, prefix: str, entry: str, exit: str, *,
+    table_base: int, table_elems: int, probes: int, seed: int = 99,
+    hit_work: int = 4, spills: int = 2,
+) -> None:
+    """Random probes into a hash table with a compare-and-branch.
+
+    Matching entries (value lsb zero) take a second probe into the next
+    slot, giving data-dependent control flow (crafty/vortex style).
+    ``table_elems`` must be a power of two.
+    """
+    if table_elems & (table_elems - 1):
+        raise ValueError("table_elems must be a power of two")
+    loop_l, hit_l, miss_l = f"{prefix}_loop", f"{prefix}_hit", f"{prefix}_miss"
+
+    init = b.block(entry)
+    init.mov_imm(ESI, table_base)
+    init.mov_imm(R12, seed)
+    init.mov_imm(ECX, 0)
+    init.jmp(loop_l)
+
+    loop = b.block(loop_l)
+    loop.alu_imm(MUL, R12, LCG_A)
+    loop.alu_imm(ADD, R12, LCG_C)
+    loop.mov(EBX, R12)
+    loop.alu_imm(SHR, EBX, 8)
+    loop.alu_imm(AND, EBX, table_elems - 1)
+    loop.load(EAX, mem(base=ESI, index=EBX, scale=8))
+    _spills(loop, spills)
+    loop.mov(R13, EAX)
+    loop.alu_imm(AND, R13, 1)
+    loop.cmp_imm(R13, 0)
+    loop.jcc(CC_EQ, hit_l, miss_l)
+
+    hit = b.block(hit_l)
+    hit.work(hit_work)
+    hit.load(EAX, mem(base=ESI, index=EBX, scale=8, disp=8))
+    hit.alu(ADD, EDX, EAX)
+    hit.jmp(miss_l)
+
+    miss = b.block(miss_l)
+    miss.alu_imm(ADD, ECX, 1)
+    miss.cmp_imm(ECX, probes)
+    miss.jcc(CC_LT, loop_l, exit)
+
+
+def tree_sum(
+    b: ProgramBuilder, prefix: str, entry: str, exit: str, *,
+    root: int, stack_base: int, reps: int = 1, spills: int = 0,
+) -> None:
+    """Sum a binary tree's values using an explicit pointer stack.
+
+    The node stack lives in a heap array addressed through ``r14``, so
+    its pushes/pops *are* profiled memory traffic (unlike ``esp`` pushes)
+    -- matching how Olden codes keep their own worklists.
+    """
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    rep_l, loop_l = f"{prefix}_rep", f"{prefix}_loop"
+    node_l, next_l = f"{prefix}_node", f"{prefix}_next"
+
+    init = b.block(entry)
+    init.mov_imm(R8, reps)
+    init.jmp(rep_l)
+
+    rep = b.block(rep_l)
+    rep.mov_imm(R14, stack_base)
+    rep.store(mem(base=R14), src=None, imm=root)
+    rep.alu_imm(ADD, R14, 8)
+    rep.jmp(loop_l)
+
+    loop = b.block(loop_l)
+    loop.cmp_imm(R14, stack_base)
+    loop.jcc(CC_LE, next_l, node_l)
+
+    node = b.block(node_l)
+    node.alu_imm(SUB, R14, 8)
+    node.load(ESI, mem(base=R14))                 # pop
+    node.cmp_imm(ESI, 0)
+    node.jcc(CC_EQ, loop_l, f"{prefix}_visit")
+
+    visit = b.block(f"{prefix}_visit")
+    visit.load(EAX, mem(base=ESI, disp=16))       # node value
+    visit.alu(ADD, EDX, EAX)
+    _spills(visit, spills)
+    visit.load(EBX, mem(base=ESI))                # left child
+    visit.store(mem(base=R14), EBX)
+    visit.alu_imm(ADD, R14, 8)
+    visit.load(EBX, mem(base=ESI, disp=8))        # right child
+    visit.store(mem(base=R14), EBX)
+    visit.alu_imm(ADD, R14, 8)
+    visit.jmp(loop_l)
+
+    nxt = b.block(next_l)
+    nxt.alu_imm(SUB, R8, 1)
+    nxt.cmp_imm(R8, 0)
+    nxt.jcc(CC_GT, rep_l, exit)
+
+
+def state_machine(
+    b: ProgramBuilder, prefix: str, entry: str, exit: str, *,
+    n_states: int, steps: int, state_array_elems: int = 64,
+    shared_base: Optional[int] = None, shared_elems: int = 0,
+    seed: int = 7, spills: int = 2, inner_loop_states: float = 0.25,
+    work: int = 2,
+) -> None:
+    """SWITCH-driven irregular control flow over many small blocks.
+
+    Models control-intensive integer codes (176.gcc, 197.parser,
+    253.perlbmk): a large static footprint of blocks, each touching its
+    own small array plus (optionally) a shared medium array, with
+    data-dependent transitions.  A fraction of the states contain short
+    inner loops whose trip counts are too small to amortize trace
+    formation -- the behaviour the paper highlights for 197.parser.
+
+    ``n_states`` must be a power of two.
+    """
+    if n_states & (n_states - 1) or n_states < 2:
+        raise ValueError("n_states must be a power of two >= 2")
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    import random as _random
+    rng = _random.Random(seed)
+
+    arrays = [
+        b.data.alloc_array(f"{prefix}_s{i}", state_array_elems, elem_size=8,
+                           init=lambda j: j)
+        for i in range(n_states)
+    ]
+    dispatch_l = f"{prefix}_dispatch"
+    state_labels = [f"{prefix}_state{i}" for i in range(n_states)]
+
+    init = b.block(entry)
+    init.mov_imm(R15, seed & (n_states - 1))      # current state
+    init.mov_imm(R11, 0)                          # step counter
+    if shared_base is not None:
+        init.mov_imm(EDI, shared_base)
+    init.jmp(dispatch_l)
+
+    disp = b.block(dispatch_l)
+    disp.alu_imm(ADD, R11, 1)
+    disp.cmp_imm(R11, steps)
+    disp.jcc(CC_GE, exit, f"{prefix}_switch")
+
+    sw = b.block(f"{prefix}_switch")
+    sw.switch(R15, state_labels)
+
+    for i, label in enumerate(state_labels):
+        blk = b.block(label)
+        has_loop = rng.random() < inner_loop_states
+        # a couple of references into this state's own little array
+        offs = rng.randrange(state_array_elems)
+        blk.load(EAX, mem(disp=arrays[i] + offs * 8))  # static addr (filtered)
+        blk.alu(ADD, EDX, EAX)
+        blk.mov(EBX, R15)
+        blk.alu_imm(AND, EBX, state_array_elems - 1)
+        blk.load(EAX, mem(base=EBX, index=None, scale=1, disp=arrays[i]))
+        blk.alu(XOR, EDX, EAX)
+        if shared_base is not None and shared_elems and rng.random() < 0.5:
+            blk.mov(EBX, EDX)
+            blk.alu_imm(SHR, EBX, 4)
+            blk.alu_imm(AND, EBX, shared_elems - 1)
+            blk.load(EAX, mem(base=EDI, index=EBX, scale=8))
+            blk.alu(ADD, EDX, EAX)
+            if rng.random() < 0.3:
+                blk.store(mem(base=EDI, index=EBX, scale=8), EDX)
+        _spills(blk, spills)
+        if work:
+            blk.work(work)
+        # next state from the evolving hash of edx and the step count
+        blk.mov(EBX, EDX)
+        blk.alu(ADD, EBX, R11)
+        blk.alu_imm(MUL, EBX, LCG_A)
+        blk.alu_imm(SHR, EBX, 6)
+        blk.alu_imm(AND, EBX, n_states - 1)
+        blk.mov(R15, EBX)
+        if has_loop:
+            loop_l = f"{prefix}_inner{i}"
+            blk.mov(R12, R15)
+            blk.alu_imm(AND, R12, 7)
+            blk.alu_imm(ADD, R12, 2)              # 2..9 iterations
+            blk.mov_imm(R13, 0)
+            blk.jmp(loop_l)
+            inner = b.block(loop_l)
+            inner.load(EAX, mem(base=R13, scale=1, disp=arrays[i]))
+            inner.alu(ADD, EDX, EAX)
+            inner.alu_imm(ADD, R13, 8)
+            inner.mov(EBX, R13)
+            inner.alu_imm(SHR, EBX, 3)
+            inner.cmp(EBX, R12)
+            inner.jcc(CC_LT, loop_l, dispatch_l)
+        else:
+            blk.jmp(dispatch_l)
+
+
+def compute_loop(
+    b: ProgramBuilder, prefix: str, entry: str, exit: str, *,
+    iters: int, work: int = 20, array_base: Optional[int] = None,
+    array_elems: int = 0, spills: int = 2,
+) -> None:
+    """A computation-dominant loop touching at most a small array.
+
+    Models 252.eon / 177.mesa / 200.sixtrack: lots of arithmetic, tiny
+    data working set, near-zero L2 misses.
+    """
+    if iters < 1:
+        raise ValueError("iters must be >= 1")
+    loop_l = f"{prefix}_loop"
+
+    init = b.block(entry)
+    init.mov_imm(ECX, 0)
+    if array_base is not None:
+        init.mov_imm(ESI, array_base)
+    init.jmp(loop_l)
+
+    loop = b.block(loop_l)
+    loop.work(work)
+    if array_base is not None and array_elems:
+        loop.mov(EBX, ECX)
+        loop.alu_imm(AND, EBX, array_elems - 1)
+        loop.load(EAX, mem(base=ESI, index=EBX, scale=8))
+        loop.alu(ADD, EDX, EAX)
+        loop.store(mem(base=ESI, index=EBX, scale=8), EDX)
+    _spills(loop, spills)
+    loop.alu_imm(ADD, ECX, 1)
+    loop.cmp_imm(ECX, iters)
+    loop.jcc(CC_LT, loop_l, exit)

@@ -1,0 +1,238 @@
+"""SPEC CPU2006 stand-ins (the Table 5 subset, 15 benchmarks).
+
+The paper evaluates the CPU2006 benchmarks that do not overlap with
+CPU2000: milc, gromacs, namd, soplex, povray, lbm, sphinx3 (CFP2006) and
+gobmk, hmmer, sjeng, libquantum, h264ref, omnetpp, astar, xalancbmk
+(CINT2006).  As with the 2000 suites, each stand-in mixes kernels to
+match the benchmark's qualitative memory character.
+"""
+
+from __future__ import annotations
+
+from repro.isa import Program
+
+from .base import ProgramComposer, WorkloadSpec, register, scaled
+from .datagen import make_index_array, make_linked_list
+from .kernels import (
+    byte_copy, compute_loop, hash_probe, indirect_gather, pointer_chase,
+    random_walk, saxpy, state_machine, stencil3, stream_sum,
+)
+
+
+def build_milc(scale: float = 1.0) -> Program:
+    """Lattice QCD: big lattice sweeps."""
+    c = ProgramComposer("433.milc")
+    lat = c.data.alloc_array("lattice", 12288, elem_size=8,
+                             init=lambda i: i)               # 96KB
+    c.add_phase("mult", stream_sum, base=lat, n=12288, stride=8,
+                reps=scaled(12, scale), spills=0)
+    c.add_phase("force", stream_sum, base=lat, n=12288, stride=4,
+                reps=scaled(6, scale))
+    return c.build()
+
+
+def build_gromacs(scale: float = 1.0) -> Program:
+    """Molecular dynamics: neighbour gathers + bonded compute."""
+    c = ProgramComposer("435.gromacs")
+    pos = c.data.alloc_array("pos", 4096, elem_size=8, init=lambda i: i)
+    idx = make_index_array(c.builder, "nbr", 1024, 4096, seed=101,
+                           sequential_fraction=0.5)
+    c.add_phase("nonb", indirect_gather, idx_base=idx, data_base=pos,
+                n=1024, reps=scaled(8, scale))
+    c.add_phase("bond", compute_loop, iters=scaled(5000, scale), work=10,
+                array_base=pos, array_elems=4096)
+    return c.build()
+
+
+def build_namd(scale: float = 1.0) -> Program:
+    """Biomolecular simulation: compute with medium tiles."""
+    c = ProgramComposer("444.namd")
+    a = c.data.alloc_array("fa", 1024, elem_size=8, init=lambda i: i)
+    bb = c.data.alloc_array("fb", 1024, elem_size=8, init=lambda i: i)
+    out = c.data.alloc_array("fo", 1024, elem_size=8)
+    c.add_phase("pair", saxpy, x_base=a, y_base=bb, out_base=out,
+                n=1024, reps=scaled(10, scale))
+    c.add_phase("integ", compute_loop, iters=scaled(7000, scale), work=12,
+                array_base=a, array_elems=1024)
+    return c.build()
+
+
+def build_soplex(scale: float = 1.0) -> Program:
+    """LP solver: sparse gathers over a big constraint matrix."""
+    c = ProgramComposer("450.soplex")
+    mat = c.data.alloc_array("lp", 16384, elem_size=8,
+                             init=lambda i: i)               # 128KB
+    idx = make_index_array(c.builder, "cols", 2048, 16384, seed=111,
+                           sequential_fraction=0.2)
+    c.add_phase("price", indirect_gather, idx_base=idx, data_base=mat,
+                n=2048, reps=scaled(6, scale))
+    c.add_phase("ratio", stream_sum, base=mat, n=16384, stride=8,
+                reps=scaled(4, scale), spills=0)
+    return c.build()
+
+
+def build_povray(scale: float = 1.0) -> Program:
+    """Ray tracer: computation with small scene tables."""
+    c = ProgramComposer("453.povray")
+    tbl = c.data.alloc_array("prims", 1024, elem_size=8, init=lambda i: i)
+    c.add_phase("trace", compute_loop, iters=scaled(10000, scale), work=16,
+                array_base=tbl, array_elems=1024)
+    probe_tbl = c.data.alloc_array("tex", 256, elem_size=8,
+                                   init=lambda i: i)
+    c.add_phase("texture", hash_probe, table_base=probe_tbl,
+                table_elems=256, probes=scaled(4000, scale), seed=113)
+    return c.build()
+
+
+def build_lbm(scale: float = 1.0) -> Program:
+    """Lattice Boltzmann: streaming stencils over a big fluid grid."""
+    c = ProgramComposer("470.lbm")
+    rows, cols = 48, 96                                      # 36KB per grid
+    g = c.data.alloc_array("fluid", rows * cols, elem_size=8,
+                           init=lambda i: i)
+    go = c.data.alloc_array("fluid2", rows * cols, elem_size=8)
+    c.add_phase("collide", stencil3, in_base=g, out_base=go,
+                rows=rows, cols=cols, reps=scaled(4, scale))
+    c.add_phase("stream", stream_sum, base=g, n=rows * cols, stride=8,
+                reps=scaled(14, scale), spills=0)
+    return c.build()
+
+
+def build_sphinx3(scale: float = 1.0) -> Program:
+    """Speech recognition: big acoustic-model scans + random senones."""
+    c = ProgramComposer("482.sphinx3")
+    am = c.data.alloc_array("gauden", 8192, elem_size=8,
+                            init=lambda i: i)                # 64KB
+    c.add_phase("gauden", stream_sum, base=am, n=8192, reps=scaled(5, scale))
+    c.add_phase("senone", random_walk, base=am, n_elems=8192,
+                steps=scaled(5000, scale))
+    return c.build()
+
+
+def build_gobmk(scale: float = 1.0) -> Program:
+    """Go engine: branchy board evaluation over small boards."""
+    c = ProgramComposer("445.gobmk")
+    c.add_phase("read", state_machine, n_states=64,
+                steps=scaled(6000, scale), state_array_elems=32, seed=121,
+                inner_loop_states=0.3)
+    c.add_phase("eval", compute_loop, iters=scaled(4000, scale), work=10)
+    return c.build()
+
+
+def build_hmmer(scale: float = 1.0) -> Program:
+    """Profile HMM search: regular dynamic-programming sweeps."""
+    c = ProgramComposer("456.hmmer")
+    dp = c.data.alloc_array("dp", 1024, elem_size=8, init=lambda i: i)
+    dp2 = c.data.alloc_array("dp2", 1024, elem_size=8, init=lambda i: i)
+    out = c.data.alloc_array("dpo", 1024, elem_size=8)
+    c.add_phase("viterbi", saxpy, x_base=dp, y_base=dp2, out_base=out,
+                n=1024, reps=scaled(18, scale))
+    return c.build()
+
+
+def build_sjeng(scale: float = 1.0) -> Program:
+    """Chess engine: hash probes + branchy search."""
+    c = ProgramComposer("458.sjeng")
+    tt = c.data.alloc_array("tt", 512, elem_size=8, init=lambda i: i)
+    c.add_phase("tt", hash_probe, table_base=tt, table_elems=512,
+                probes=scaled(6000, scale), seed=131)
+    c.add_phase("search", state_machine, n_states=16,
+                steps=scaled(3500, scale), seed=132)
+    return c.build()
+
+
+def build_libquantum(scale: float = 1.0) -> Program:
+    """Quantum simulation: perfectly strided giant vector sweeps."""
+    c = ProgramComposer("462.libquantum")
+    reg = c.data.alloc_array("qreg", 24576, elem_size=8,
+                             init=lambda i: i)               # 192KB
+    c.add_phase("gate", stream_sum, base=reg, n=24576, stride=8,
+                reps=scaled(16, scale), spills=0)
+    c.add_phase("phase", stream_sum, base=reg, n=24576, reps=scaled(2, scale),
+                spills=0)
+    return c.build()
+
+
+def build_h264ref(scale: float = 1.0) -> Program:
+    """Video encoder: block copies + medium motion search."""
+    c = ProgramComposer("464.h264ref")
+    frame = c.data.alloc("frame", 8 * 1024)
+    ref = c.data.alloc("reff", 8 * 1024)
+    mv = c.data.alloc_array("mv", 2048, elem_size=8, init=lambda i: i)
+    c.add_phase("mc", byte_copy, src=ref, dst=frame, nbytes=8 * 1024,
+                reps=scaled(5, scale))
+    c.add_phase("me", random_walk, base=mv, n_elems=2048,
+                steps=scaled(5000, scale))
+    return c.build()
+
+
+def build_omnetpp(scale: float = 1.0) -> Program:
+    """Discrete event simulation: big scattered event lists."""
+    c = ProgramComposer("471.omnetpp")
+    head = make_linked_list(c.builder, "events", 896, node_bytes=128,
+                            shuffled=True, seed=141,
+                            value_offset=64)                 # 112KB
+    c.add_phase("sched", pointer_chase, head=head, reps=scaled(18, scale),
+                store_value=True, value_offset=64)
+    return c.build()
+
+
+def build_astar(scale: float = 1.0) -> Program:
+    """Path finding: random map lookups plus open-list walks."""
+    c = ProgramComposer("473.astar")
+    grid = c.data.alloc_array("map", 16384, elem_size=8,
+                              init=lambda i: i)              # 128KB
+    open_list = make_linked_list(c.builder, "open", 512, node_bytes=32,
+                                 shuffled=True, seed=151)
+    c.add_phase("expand", random_walk, base=grid, n_elems=16384,
+                steps=scaled(6000, scale))
+    c.add_phase("open", pointer_chase, head=open_list, reps=scaled(8, scale))
+    return c.build()
+
+
+def build_xalancbmk(scale: float = 1.0) -> Program:
+    """XSLT processor: DOM-walking state machine + node lists."""
+    c = ProgramComposer("483.xalancbmk")
+    dom = c.data.alloc_array("dom", 2048, elem_size=8, init=lambda i: i)
+    nodes = make_linked_list(c.builder, "nodes", 640, node_bytes=32,
+                             shuffled=True, seed=161)
+    c.add_phase("xform", state_machine, n_states=32,
+                steps=scaled(4500, scale), shared_base=dom,
+                shared_elems=2048, seed=162, inner_loop_states=0.35)
+    c.add_phase("walk", pointer_chase, head=nodes, reps=scaled(7, scale))
+    return c.build()
+
+
+for _spec in (
+    WorkloadSpec("433.milc", "CFP2006", build_milc,
+                 description="lattice QCD sweeps"),
+    WorkloadSpec("435.gromacs", "CFP2006", build_gromacs,
+                 description="MD neighbour gathers"),
+    WorkloadSpec("444.namd", "CFP2006", build_namd,
+                 description="biomolecular compute"),
+    WorkloadSpec("450.soplex", "CFP2006", build_soplex,
+                 description="LP sparse gathers"),
+    WorkloadSpec("453.povray", "CFP2006", build_povray,
+                 description="ray tracing compute"),
+    WorkloadSpec("470.lbm", "CFP2006", build_lbm,
+                 description="lattice Boltzmann streaming"),
+    WorkloadSpec("482.sphinx3", "CFP2006", build_sphinx3,
+                 description="speech model scans"),
+    WorkloadSpec("445.gobmk", "CINT2006", build_gobmk,
+                 description="Go engine, branchy"),
+    WorkloadSpec("456.hmmer", "CINT2006", build_hmmer,
+                 description="HMM dynamic programming"),
+    WorkloadSpec("458.sjeng", "CINT2006", build_sjeng,
+                 description="chess transposition probes"),
+    WorkloadSpec("462.libquantum", "CINT2006", build_libquantum,
+                 description="strided quantum register sweeps"),
+    WorkloadSpec("464.h264ref", "CINT2006", build_h264ref,
+                 description="video encoder copies + search"),
+    WorkloadSpec("471.omnetpp", "CINT2006", build_omnetpp,
+                 description="event list chasing"),
+    WorkloadSpec("473.astar", "CINT2006", build_astar,
+                 description="path finding lookups"),
+    WorkloadSpec("483.xalancbmk", "CINT2006", build_xalancbmk,
+                 description="XSLT DOM walking"),
+):
+    register(_spec)

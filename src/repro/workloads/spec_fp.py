@@ -1,0 +1,260 @@
+"""SPEC CFP2000 stand-ins (14 benchmarks).
+
+Each builder assembles kernels whose memory behaviour mirrors the
+qualitative character of the real benchmark on the paper's (scaled)
+machines: loop-intensive array codes with regular access patterns,
+working sets sized against the scaled cache hierarchy, and -- for the
+benchmarks the paper found high L2 miss ratios in (179.art at 27%) --
+footprints that overflow the L2.
+
+Footprint vocabulary (bytes), relative to the default scaled machines
+(Pentium4/16: 512B L1, 32KB L2; K7/16: 4KB L1, 16KB L2):
+
+* SMALL (2KB): L2-trivial, streams the tiny L1.
+* MED (8KB): fits both L2s.
+* MED2 (24KB): fits the scaled P4 L2 but not the scaled K7 L2.
+* BIG (128KB) / HUGE (256KB+): overflow both.
+"""
+
+from __future__ import annotations
+
+from repro.isa import Program
+
+from .base import ProgramComposer, WorkloadSpec, register, scaled
+from .datagen import make_index_array, make_linked_list
+from .kernels import (
+    compute_loop, indirect_gather, pointer_chase, random_walk, saxpy,
+    state_machine, stencil3, stream_sum,
+)
+
+KB = 1024
+
+
+def build_wupwise(scale: float = 1.0) -> Program:
+    """Blocked linear algebra: medium resident arrays, low miss ratio."""
+    c = ProgramComposer("168.wupwise")
+    x = c.data.alloc_array("x", 512, elem_size=8, init=lambda i: i)
+    y = c.data.alloc_array("y", 512, elem_size=8, init=lambda i: 2 * i)
+    out = c.data.alloc_array("out", 512, elem_size=8)
+    small = c.data.alloc_array("small", 256, elem_size=8, init=lambda i: i)
+    c.add_phase("axpy", saxpy, x_base=x, y_base=y, out_base=out,
+                n=512, reps=scaled(20, scale))
+    c.add_phase("hot", stream_sum, base=small, n=256,
+                reps=scaled(40, scale))
+    return c.build()
+
+
+def build_swim(scale: float = 1.0) -> Program:
+    """Shallow-water grid sweeps: streaming stencils over a big grid."""
+    c = ProgramComposer("171.swim")
+    rows, cols = 32, 80                       # 20KB per grid
+    grid = c.data.alloc_array("grid", rows * cols, elem_size=8,
+                              init=lambda i: i & 0xFF)
+    out = c.data.alloc_array("gout", rows * cols, elem_size=8)
+    small = c.data.alloc_array("u", 512, elem_size=8, init=lambda i: i)
+    c.add_phase("sweep", stencil3, in_base=grid, out_base=out,
+                rows=rows, cols=cols, reps=scaled(4, scale))
+    c.add_phase("upd", stream_sum, base=small, n=512,
+                reps=scaled(16, scale))
+    return c.build()
+
+
+def build_mgrid(scale: float = 1.0) -> Program:
+    """Multigrid: stencils at several grid sizes, medium residency."""
+    c = ProgramComposer("172.mgrid")
+    fine = c.data.alloc_array("fine", 24 * 64, elem_size=8,
+                              init=lambda i: i)
+    fout = c.data.alloc_array("fout", 24 * 64, elem_size=8)
+    coarse = c.data.alloc_array("coarse", 8 * 64, elem_size=8,
+                                init=lambda i: i)
+    cout = c.data.alloc_array("cout", 8 * 64, elem_size=8)
+    c.add_phase("fine", stencil3, in_base=fine, out_base=fout,
+                rows=24, cols=64, reps=scaled(6, scale))
+    c.add_phase("coarse", stencil3, in_base=coarse, out_base=cout,
+                rows=8, cols=64, reps=scaled(18, scale))
+    return c.build()
+
+
+def build_applu(scale: float = 1.0) -> Program:
+    """SSOR solver: several medium arrays swept repeatedly."""
+    c = ProgramComposer("173.applu")
+    a = c.data.alloc_array("a", 1024, elem_size=8, init=lambda i: i)
+    bb = c.data.alloc_array("b", 1024, elem_size=8, init=lambda i: i * 3)
+    out = c.data.alloc_array("o", 1024, elem_size=8)
+    g = c.data.alloc_array("g", 16 * 96, elem_size=8, init=lambda i: i)
+    gout = c.data.alloc_array("go", 16 * 96, elem_size=8)
+    c.add_phase("rhs", saxpy, x_base=a, y_base=bb, out_base=out,
+                n=1024, reps=scaled(8, scale))
+    c.add_phase("jac", stencil3, in_base=g, out_base=gout,
+                rows=16, cols=96, reps=scaled(6, scale))
+    c.add_phase("norm", stream_sum, base=a, n=1024, reps=scaled(8, scale))
+    return c.build()
+
+
+def build_mesa(scale: float = 1.0) -> Program:
+    """3-D graphics library: computation-dominant, tiny working set."""
+    c = ProgramComposer("177.mesa")
+    tiny = c.data.alloc_array("vtx", 1024, elem_size=8, init=lambda i: i)
+    c.add_phase("xform", compute_loop, iters=scaled(9000, scale),
+                work=12, array_base=tiny, array_elems=1024)
+    c.add_phase("shade", compute_loop, iters=scaled(6000, scale),
+                work=16, array_base=tiny, array_elems=1024)
+    return c.build()
+
+
+def build_galgel(scale: float = 1.0) -> Program:
+    """Galerkin FEM: many distinct small loops over medium arrays."""
+    c = ProgramComposer("178.galgel")
+    arrays = [
+        c.data.alloc_array(f"m{k}", 768, elem_size=8, init=lambda i: i)
+        for k in range(4)
+    ]
+    out = c.data.alloc_array("out", 768, elem_size=8)
+    for k, arr in enumerate(arrays):
+        c.add_phase(f"g{k}", stream_sum, base=arr, n=768,
+                    reps=scaled(6, scale), store_base=out if k % 2 else None)
+    c.add_phase("fin", saxpy, x_base=arrays[0], y_base=arrays[1],
+                out_base=out, n=768, reps=scaled(6, scale))
+    return c.build()
+
+
+def build_art(scale: float = 1.0) -> Program:
+    """Neural-net image recognition: huge scans, very high miss ratio."""
+    c = ProgramComposer("179.art")
+    f1 = c.data.alloc_array("f1", 16384, elem_size=8,
+                            init=lambda i: i & 0xFFFF)      # 128KB
+    med = c.data.alloc_array("weights", 1024, elem_size=8,
+                             init=lambda i: i)              # 8KB
+    c.add_phase("scan", stream_sum, base=f1, n=16384, stride=8,
+                reps=scaled(28, scale), spills=0)
+    c.add_phase("train", random_walk, base=f1, n_elems=16384,
+                steps=scaled(12000, scale), spills=0)
+    c.add_phase("match", stream_sum, base=med, n=1024,
+                reps=scaled(10, scale))
+    return c.build()
+
+
+def build_equake(scale: float = 1.0) -> Program:
+    """Seismic simulation: sparse matrix-vector gathers."""
+    c = ProgramComposer("183.equake")
+    data = c.data.alloc_array("K", 8192, elem_size=8,
+                              init=lambda i: i)             # 64KB
+    idx = make_index_array(c.builder, "col", 2048, 8192, seed=3,
+                           sequential_fraction=0.3)
+    vec = c.data.alloc_array("disp", 1024, elem_size=8, init=lambda i: i)
+    c.add_phase("smvp", indirect_gather, idx_base=idx, data_base=data,
+                n=2048, reps=scaled(7, scale))
+    c.add_phase("time", stream_sum, base=vec, n=1024, reps=scaled(10, scale))
+    return c.build()
+
+
+def build_facerec(scale: float = 1.0) -> Program:
+    """Face recognition: medium image sweeps plus small gabor banks."""
+    c = ProgramComposer("187.facerec")
+    img = c.data.alloc_array("img", 12 * 80, elem_size=8,
+                             init=lambda i: i & 0xFF)
+    iout = c.data.alloc_array("iout", 12 * 80, elem_size=8)
+    bank = c.data.alloc_array("bank", 512, elem_size=8, init=lambda i: i)
+    c.add_phase("conv", stencil3, in_base=img, out_base=iout,
+                rows=12, cols=80, reps=scaled(10, scale))
+    c.add_phase("proj", stream_sum, base=bank, n=512, reps=scaled(24, scale))
+    return c.build()
+
+
+def build_ammp(scale: float = 1.0) -> Program:
+    """Molecular dynamics: neighbour-list chases plus array sweeps."""
+    c = ProgramComposer("188.ammp")
+    head = make_linked_list(c.builder, "atoms", 384, node_bytes=64,
+                            shuffled=True, seed=5)          # 24KB arena
+    coords = c.data.alloc_array("xyz", 1024, elem_size=8, init=lambda i: i)
+    c.add_phase("nb", pointer_chase, head=head, reps=scaled(20, scale))
+    c.add_phase("force", stream_sum, base=coords, n=1024,
+                reps=scaled(12, scale), store_base=coords)
+    return c.build()
+
+
+def build_lucas(scale: float = 1.0) -> Program:
+    """Lucas-Lehmer FFT: large power-of-two strides over a big array."""
+    c = ProgramComposer("189.lucas")
+    fft = c.data.alloc_array("fft", 8192, elem_size=8,
+                             init=lambda i: i)               # 64KB
+    tw = c.data.alloc_array("tw", 768, elem_size=8, init=lambda i: i)
+    c.add_phase("pass1", stream_sum, base=fft, n=8192, stride=16,
+                reps=scaled(18, scale))
+    c.add_phase("pass2", stream_sum, base=fft, n=8192, stride=1,
+                reps=scaled(2, scale))
+    c.add_phase("twid", stream_sum, base=tw, n=768, reps=scaled(16, scale))
+    return c.build()
+
+
+def build_fma3d(scale: float = 1.0) -> Program:
+    """Crash simulation: mixed element sweeps and medium stencils."""
+    c = ProgramComposer("191.fma3d")
+    el = c.data.alloc_array("elem", 1024, elem_size=8, init=lambda i: i)
+    nd = c.data.alloc_array("node", 1024, elem_size=8, init=lambda i: 2 * i)
+    out = c.data.alloc_array("res", 1024, elem_size=8)
+    g = c.data.alloc_array("gs", 12 * 80, elem_size=8, init=lambda i: i)
+    go = c.data.alloc_array("gso", 12 * 80, elem_size=8)
+    c.add_phase("stress", saxpy, x_base=el, y_base=nd, out_base=out,
+                n=1024, reps=scaled(12, scale))
+    c.add_phase("hour", stencil3, in_base=g, out_base=go,
+                rows=12, cols=80, reps=scaled(8, scale))
+    return c.build()
+
+
+def build_sixtrack(scale: float = 1.0) -> Program:
+    """Particle tracking: tight computation, small resident tables."""
+    c = ProgramComposer("200.sixtrack")
+    tbl = c.data.alloc_array("lat", 1024, elem_size=8, init=lambda i: i)
+    c.add_phase("track", compute_loop, iters=scaled(12000, scale),
+                work=14, array_base=tbl, array_elems=1024)
+    c.add_phase("corr", compute_loop, iters=scaled(5000, scale),
+                work=10, array_base=tbl, array_elems=1024)
+    return c.build()
+
+
+def build_apsi(scale: float = 1.0) -> Program:
+    """Meteorology: several medium fields with mixed patterns."""
+    c = ProgramComposer("301.apsi")
+    t = c.data.alloc_array("temp", 1024, elem_size=8, init=lambda i: i)
+    w = c.data.alloc_array("wind", 1024, elem_size=8, init=lambda i: i)
+    out = c.data.alloc_array("aout", 1024, elem_size=8)
+    g = c.data.alloc_array("ag", 16 * 64, elem_size=8, init=lambda i: i)
+    go = c.data.alloc_array("ago", 16 * 64, elem_size=8)
+    c.add_phase("adv", saxpy, x_base=t, y_base=w, out_base=out,
+                n=1024, reps=scaled(9, scale))
+    c.add_phase("diff", stencil3, in_base=g, out_base=go,
+                rows=16, cols=64, reps=scaled(6, scale))
+    c.add_phase("stat", stream_sum, base=t, n=1024, reps=scaled(9, scale))
+    return c.build()
+
+
+register(WorkloadSpec("168.wupwise", "CFP2000", build_wupwise,
+                      description="quantum chromodynamics kernel mix"))
+register(WorkloadSpec("171.swim", "CFP2000", build_swim, prefetchable=True,
+                      description="shallow water grid sweeps"))
+register(WorkloadSpec("172.mgrid", "CFP2000", build_mgrid,
+                      description="multigrid stencils"))
+register(WorkloadSpec("173.applu", "CFP2000", build_applu, prefetchable=True,
+                      description="SSOR solver array sweeps"))
+register(WorkloadSpec("177.mesa", "CFP2000", build_mesa,
+                      description="graphics library, compute bound"))
+register(WorkloadSpec("178.galgel", "CFP2000", build_galgel,
+                      description="Galerkin FEM small loops"))
+register(WorkloadSpec("179.art", "CFP2000", build_art, prefetchable=True,
+                      description="neural net, streaming + random, high miss"))
+register(WorkloadSpec("183.equake", "CFP2000", build_equake,
+                      prefetchable=True,
+                      description="sparse matrix-vector gathers"))
+register(WorkloadSpec("187.facerec", "CFP2000", build_facerec,
+                      description="image convolutions"))
+register(WorkloadSpec("188.ammp", "CFP2000", build_ammp,
+                      description="molecular dynamics neighbour lists"))
+register(WorkloadSpec("189.lucas", "CFP2000", build_lucas, prefetchable=True,
+                      description="FFT strides over a large array"))
+register(WorkloadSpec("191.fma3d", "CFP2000", build_fma3d,
+                      description="crash simulation element sweeps"))
+register(WorkloadSpec("200.sixtrack", "CFP2000", build_sixtrack,
+                      description="particle tracking, compute bound"))
+register(WorkloadSpec("301.apsi", "CFP2000", build_apsi,
+                      description="meteorology field updates"))

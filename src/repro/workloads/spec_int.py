@@ -1,0 +1,238 @@
+"""SPEC CINT2000 stand-ins (12 benchmarks).
+
+Control-intensive integer codes: irregular control flow through SWITCH
+state machines, pointer chasing (181.mcf's 20% L2 miss ratio), hash
+probes, byte copies (164.gzip's single dominant miss source), and
+computation-dominant codes with near-zero miss ratios (252.eon).
+176.gcc additionally gets a long tail of *cold* short loops that never
+reach the trace builder's hot threshold, reproducing its low trace-cache
+residency ("176.gcc ... spends less than 70% of its execution running
+from the trace cache").
+"""
+
+from __future__ import annotations
+
+from repro.isa import (
+    ADD, CC_LT, EAX, ECX, EDX, Program, SUB, mem,
+)
+
+from .base import ProgramComposer, WorkloadSpec, register, scaled
+from .datagen import make_index_array, make_linked_list
+from .kernels import (
+    byte_copy, compute_loop, hash_probe, indirect_gather, pointer_chase,
+    random_walk, state_machine, stream_sum,
+)
+
+
+def _cold_loop_tail(b, prefix: str, entry: str, exit: str, *,
+                    n_loops: int, iters_each: int, elems: int = 32) -> None:
+    """A chain of distinct short loops, each too cold to become a trace.
+
+    With ``iters_each`` below the runtime's hot threshold, every loop
+    stays in the basic-block cache -- dispatcher-heavy execution that
+    drags down trace residency like 176.gcc's sprawling code footprint.
+    """
+    import random as _random
+    rng = _random.Random(11)
+    arrays = [
+        b.data.alloc_array(f"{prefix}_c{i}", elems, elem_size=8,
+                           init=lambda j: j)
+        for i in range(n_loops)
+    ]
+    lead = b.block(entry)
+    lead.jmp(f"{prefix}_l0_init")
+    for i in range(n_loops):
+        nxt = f"{prefix}_l{i + 1}_init" if i + 1 < n_loops else exit
+        init = b.block(f"{prefix}_l{i}_init")
+        init.mov_imm(ECX, 0)
+        init.jmp(f"{prefix}_l{i}_body")
+        body = b.block(f"{prefix}_l{i}_body")
+        body.load(EAX, mem(base=ECX, scale=1, disp=arrays[i]))
+        body.alu(ADD, EDX, EAX)
+        body.alu_imm(ADD, ECX, 8)
+        body.cmp_imm(ECX, 8 * (iters_each + rng.randrange(4)))
+        body.jcc(CC_LT, f"{prefix}_l{i}_body", nxt)
+
+
+def build_gzip(scale: float = 1.0) -> Program:
+    """Compression: one byte-copy instruction causes ~all L2 misses."""
+    c = ProgramComposer("164.gzip")
+    src = c.data.alloc("window", 8 * 1024)
+    dst = c.data.alloc("outbuf", 8 * 1024)
+    tbl = c.data.alloc_array("huff", 256, elem_size=8, init=lambda i: i)
+    c.add_phase("copy", byte_copy, src=src, dst=dst, nbytes=8 * 1024,
+                reps=scaled(6, scale))
+    c.add_phase("code", compute_loop, iters=scaled(7000, scale),
+                work=8, array_base=tbl, array_elems=256)
+    return c.build()
+
+
+def build_vpr(scale: float = 1.0) -> Program:
+    """FPGA place & route: irregular control plus medium random access."""
+    c = ProgramComposer("175.vpr")
+    shared = c.data.alloc_array("rr_graph", 1024, elem_size=8,
+                                init=lambda i: i)
+    c.add_phase("route", state_machine, n_states=16,
+                steps=scaled(5000, scale), shared_base=shared,
+                shared_elems=1024, seed=21)
+    c.add_phase("place", random_walk, base=shared, n_elems=1024,
+                steps=scaled(4000, scale), store_every=True)
+    return c.build()
+
+
+def build_gcc(scale: float = 1.0) -> Program:
+    """Compiler: sprawling code, flat miss distribution, low residency."""
+    c = ProgramComposer("176.gcc")
+    shared = c.data.alloc_array("rtl", 2048, elem_size=8, init=lambda i: i)
+    c.add_phase("parse", state_machine, n_states=64,
+                steps=scaled(4000, scale), state_array_elems=32,
+                shared_base=shared, shared_elems=2048, seed=13,
+                inner_loop_states=0.4)
+    # The long cold tail re-runs a few times: plenty of dispatcher time.
+    for k in range(scaled(6, scale)):
+        c.add_phase(f"pass{k}", _cold_loop_tail, n_loops=96,
+                    iters_each=12)
+    return c.build()
+
+
+def build_mcf(scale: float = 1.0) -> Program:
+    """Network simplex: arena-wide pointer chasing, ~20% L2 miss ratio."""
+    c = ProgramComposer("181.mcf")
+    arena = c.data.alloc("arc_arena_pad", 0, align=4096)
+    head = make_linked_list(c.builder, "arcs", 1024, node_bytes=128,
+                            shuffled=True, seed=8,
+                            value_offset=64)                # 128KB arena
+    small = c.data.alloc_array("basket", 512, elem_size=8, init=lambda i: i)
+    c.add_phase("simplex", pointer_chase, head=head, reps=scaled(18, scale),
+                spills=1, value_offset=64)
+    # price_out scans the arc arena sequentially, one access per arc
+    # half-node (line-strided) -- the prefetchable side of mcf.
+    c.add_phase("price", stream_sum, base=arena, n=16384, stride=8,
+                reps=scaled(6, scale), spills=0)
+    c.add_phase("basket", stream_sum, base=small, n=512,
+                reps=scaled(12, scale))
+    return c.build()
+
+
+def build_crafty(scale: float = 1.0) -> Program:
+    """Chess: hash probes into a resident table, heavy computation."""
+    c = ProgramComposer("186.crafty")
+    table = c.data.alloc_array("hash", 512, elem_size=8, init=lambda i: i)
+    c.add_phase("search", hash_probe, table_base=table, table_elems=512,
+                probes=scaled(7000, scale), hit_work=6)
+    c.add_phase("eval", compute_loop, iters=scaled(6000, scale),
+                work=12, array_base=table, array_elems=512)
+    return c.build()
+
+
+def build_parser(scale: float = 1.0) -> Program:
+    """NL parser: dynamic control flow, many short-lived loops."""
+    c = ProgramComposer("197.parser")
+    dictionary = c.data.alloc_array("dict", 1024, elem_size=8,
+                                    init=lambda i: i)
+    head = make_linked_list(c.builder, "links", 384, node_bytes=32,
+                            shuffled=True, seed=17)
+    c.add_phase("parse", state_machine, n_states=32,
+                steps=scaled(5000, scale), shared_base=dictionary,
+                shared_elems=1024, seed=29, inner_loop_states=0.6)
+    c.add_phase("link", pointer_chase, head=head, reps=scaled(10, scale))
+    return c.build()
+
+
+def build_eon(scale: float = 1.0) -> Program:
+    """Ray tracer: computation with excellent locality (~0% misses)."""
+    c = ProgramComposer("252.eon")
+    scene = c.data.alloc_array("bvh", 1024, elem_size=8, init=lambda i: i)
+    c.add_phase("trace", compute_loop, iters=scaled(11000, scale),
+                work=18, array_base=scene, array_elems=1024)
+    c.add_phase("shade", compute_loop, iters=scaled(7000, scale),
+                work=14, array_base=scene, array_elems=1024)
+    return c.build()
+
+
+def build_perlbmk(scale: float = 1.0) -> Program:
+    """Perl interpreter: branchy dispatch over small operator tables."""
+    c = ProgramComposer("253.perlbmk")
+    c.add_phase("interp", state_machine, n_states=32,
+                steps=scaled(7000, scale), state_array_elems=32, seed=31,
+                inner_loop_states=0.2)
+    c.add_phase("regex", compute_loop, iters=scaled(4000, scale), work=8)
+    return c.build()
+
+
+def build_gap(scale: float = 1.0) -> Program:
+    """Group theory: medium streams with occasional table probes."""
+    c = ProgramComposer("254.gap")
+    bag = c.data.alloc_array("bags", 1536, elem_size=8, init=lambda i: i)
+    table = c.data.alloc_array("ops", 1024, elem_size=8, init=lambda i: i)
+    c.add_phase("mul", stream_sum, base=bag, n=1536, reps=scaled(9, scale),
+                store_base=bag)
+    c.add_phase("probe", hash_probe, table_base=table, table_elems=1024,
+                probes=scaled(4500, scale))
+    return c.build()
+
+
+def build_vortex(scale: float = 1.0) -> Program:
+    """OO database: store-heavy state machine over object pools."""
+    c = ProgramComposer("255.vortex")
+    pool = c.data.alloc_array("objs", 1024, elem_size=8, init=lambda i: i)
+    c.add_phase("txn", state_machine, n_states=64,
+                steps=scaled(6000, scale), state_array_elems=48,
+                shared_base=pool, shared_elems=1024, seed=41,
+                inner_loop_states=0.15)
+    c.add_phase("commit", stream_sum, base=pool, n=1024,
+                reps=scaled(8, scale), store_base=pool)
+    return c.build()
+
+
+def build_bzip2(scale: float = 1.0) -> Program:
+    """Block compressor: byte moves plus medium random sorting."""
+    c = ProgramComposer("256.bzip2")
+    block = c.data.alloc("block", 8 * 1024)
+    out = c.data.alloc("bout", 8 * 1024)
+    ptr = c.data.alloc_array("ptr", 4096, elem_size=8, init=lambda i: i)
+    c.add_phase("move", byte_copy, src=block, dst=out, nbytes=8 * 1024,
+                reps=scaled(4, scale))
+    c.add_phase("sort", random_walk, base=ptr, n_elems=4096,
+                steps=scaled(6000, scale), store_every=True)
+    return c.build()
+
+
+def build_twolf(scale: float = 1.0) -> Program:
+    """Place & route annealer: random cell lookups over medium arrays."""
+    c = ProgramComposer("300.twolf")
+    cells = c.data.alloc_array("cells", 8192, elem_size=8,
+                               init=lambda i: i)             # 64KB
+    nets = c.data.alloc_array("nets", 768, elem_size=8, init=lambda i: i)
+    c.add_phase("anneal", random_walk, base=cells, n_elems=8192,
+                steps=scaled(9000, scale), store_every=True)
+    c.add_phase("cost", stream_sum, base=nets, n=768, reps=scaled(12, scale))
+    return c.build()
+
+
+register(WorkloadSpec("164.gzip", "CINT2000", build_gzip,
+                      description="compression, one dominant copy loop"))
+register(WorkloadSpec("175.vpr", "CINT2000", build_vpr,
+                      description="place & route, irregular + random"))
+register(WorkloadSpec("176.gcc", "CINT2000", build_gcc,
+                      description="compiler, sprawling cold code"))
+register(WorkloadSpec("181.mcf", "CINT2000", build_mcf, prefetchable=True,
+                      description="network simplex pointer chasing"))
+register(WorkloadSpec("186.crafty", "CINT2000", build_crafty,
+                      description="chess, resident hash table"))
+register(WorkloadSpec("197.parser", "CINT2000", build_parser,
+                      description="NL parser, short-lived loops"))
+register(WorkloadSpec("252.eon", "CINT2000", build_eon,
+                      description="ray tracer, compute bound"))
+register(WorkloadSpec("253.perlbmk", "CINT2000", build_perlbmk,
+                      description="interpreter dispatch"))
+register(WorkloadSpec("254.gap", "CINT2000", build_gap,
+                      description="computer algebra streams"))
+register(WorkloadSpec("255.vortex", "CINT2000", build_vortex,
+                      description="OO database transactions"))
+register(WorkloadSpec("256.bzip2", "CINT2000", build_bzip2,
+                      prefetchable=True,
+                      description="block compressor moves + sorting"))
+register(WorkloadSpec("300.twolf", "CINT2000", build_twolf,
+                      prefetchable=True,
+                      description="annealing random lookups"))

@@ -1,0 +1,51 @@
+"""Shared fixtures: tiny machines and micro-programs for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import (
+    ADD, CC_LT, CC_NE, EAX, EBX, ECX, EDX, ESI, ProgramBuilder, mem,
+)
+from repro.memory import CacheConfig, MachineConfig, MemoryHierarchy
+
+
+@pytest.fixture
+def tiny_machine() -> MachineConfig:
+    """A very small two-level machine for fast unit tests."""
+    return MachineConfig(
+        name="tiny",
+        l1=CacheConfig(size=256, assoc=2, line_size=64, hit_latency=1),
+        l2=CacheConfig(size=2048, assoc=4, line_size=64, hit_latency=8),
+        memory_latency=50,
+    )
+
+
+@pytest.fixture
+def tiny_machine_with_icache() -> MachineConfig:
+    return MachineConfig(
+        name="tiny-i",
+        l1=CacheConfig(size=256, assoc=2, line_size=64, hit_latency=1),
+        l2=CacheConfig(size=2048, assoc=4, line_size=64, hit_latency=8),
+        memory_latency=50,
+        l1i=CacheConfig(size=256, assoc=2, line_size=64, hit_latency=1),
+    )
+
+
+@pytest.fixture
+def tiny_hierarchy(tiny_machine) -> MemoryHierarchy:
+    return MemoryHierarchy(tiny_machine)
+
+
+from helpers import build_chase_program, build_stream_program  # noqa: E402,F401
+
+@pytest.fixture
+def stream_program():
+    program, _arr = build_stream_program()
+    return program
+
+
+@pytest.fixture
+def chase_program():
+    program, _head = build_chase_program()
+    return program

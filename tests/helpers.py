@@ -1,0 +1,57 @@
+"""Reusable micro-program builders for the test suite."""
+
+from __future__ import annotations
+
+from repro.isa import (
+    ADD, CC_GT, CC_LT, CC_NE, EAX, EBX, ECX, EDX, ESI, ProgramBuilder,
+    R8, SUB, mem,
+)
+
+
+def build_stream_program(n: int = 256, reps: int = 4, name: str = "stream"):
+    """A simple summing loop over an initialized array."""
+    b = ProgramBuilder(name)
+    arr = b.data.alloc_array("a", n, elem_size=8, init=lambda i: i)
+    b.start_regs({ESI: arr, ECX: 0, EDX: 0, EBX: reps})
+    rep = b.block("rep")
+    rep.mov_imm(ECX, 0)
+    rep.jmp("loop")
+    loop = b.block("loop")
+    loop.load(EAX, mem(base=ESI, index=ECX, scale=8))
+    loop.alu(ADD, EDX, EAX)
+    loop.alu_imm(ADD, ECX, 1)
+    loop.cmp_imm(ECX, n)
+    loop.jcc(CC_LT, "loop", "next")
+    nxt = b.block("next")
+    nxt.alu_imm(ADD, EBX, -1 & ((1 << 64) - 1))  # decrement via wraparound
+    nxt.cmp_imm(EBX, 0)
+    nxt.jcc(CC_NE, "rep", "done")
+    b.block("done").halt()
+    return b.build(entry="rep"), arr
+
+
+def build_chase_program(n: int = 64, reps: int = 4, node_bytes: int = 64,
+                        shuffled: bool = True, name: str = "chase"):
+    """A linked-list pointer chase; returns (program, head address)."""
+    from repro.workloads.datagen import make_linked_list
+
+    b = ProgramBuilder(name)
+    head = make_linked_list(b, "nodes", n, node_bytes=node_bytes,
+                            shuffled=shuffled, seed=7)
+    b.start_regs({R8: reps})
+    rep = b.block("rep")
+    rep.mov_imm(ESI, head)
+    rep.jmp("chase")
+    chase = b.block("chase")
+    chase.load(EAX, mem(base=ESI))
+    chase.mov(ESI, EAX)
+    chase.cmp_imm(ESI, 0)
+    chase.jcc(CC_NE, "chase", "next")
+    nxt = b.block("next")
+    nxt.alu_imm(SUB, R8, 1)
+    nxt.cmp_imm(R8, 0)
+    nxt.jcc(CC_GT, "rep", "done")
+    b.block("done").halt()
+    return b.build(entry="rep"), head
+
+

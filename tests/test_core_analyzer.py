@@ -1,0 +1,116 @@
+"""Tests for the mini cache simulator (Section 5)."""
+
+import pytest
+
+from repro.core import AddressProfile, MiniCacheSimulator, UMIConfig
+from repro.memory import CacheConfig
+
+L2 = CacheConfig(size=2048, assoc=4, line_size=64, hit_latency=8)
+
+
+def make_profile(columns, trace="t"):
+    """Build a profile from per-op address lists (equal lengths)."""
+    n_ops = len(columns)
+    n_rows = len(columns[0])
+    profile = AddressProfile(trace, [0x400000 + 4 * i for i in range(n_ops)],
+                             max_rows=n_rows)
+    for r in range(n_rows):
+        row = profile.new_row()
+        for c in range(n_ops):
+            row[c] = columns[c][r]
+    return profile
+
+
+class TestMiniSimulation:
+    def test_repeated_address_hits_after_first(self):
+        sim = MiniCacheSimulator(UMIConfig(warmup_executions=0), L2)
+        profile = make_profile([[0x1000] * 10])
+        result = sim.analyze(profile)
+        op = result.per_op[0x400000]
+        assert op.refs == 10
+        assert op.misses == 1
+
+    def test_warmup_rows_fill_but_do_not_count(self):
+        sim = MiniCacheSimulator(UMIConfig(warmup_executions=2), L2)
+        profile = make_profile([[0x1000] * 10])
+        result = sim.analyze(profile)
+        op = result.per_op[0x400000]
+        assert op.refs == 8            # two rows uncounted
+        assert op.misses == 0          # the compulsory miss fell in warmup
+        assert result.warmup_refs == 2
+
+    def test_streaming_miss_ratio_reflects_line_reuse(self):
+        sim = MiniCacheSimulator(UMIConfig(warmup_executions=0), L2)
+        addrs = [0x10000 + 8 * i for i in range(64)]  # unit stride, 8/line
+        result = sim.analyze(make_profile([addrs]))
+        assert result.per_op[0x400000].miss_ratio == pytest.approx(1 / 8)
+
+    def test_line_stride_misses_every_reference(self):
+        sim = MiniCacheSimulator(UMIConfig(warmup_executions=0), L2)
+        addrs = [0x100000 + 64 * i for i in range(64)]  # one line each
+        result = sim.analyze(make_profile([addrs]))
+        assert result.per_op[0x400000].miss_ratio == 1.0
+
+    def test_shared_cache_carries_state_across_profiles(self):
+        sim = MiniCacheSimulator(
+            UMIConfig(warmup_executions=0, shared_cache=True,
+                      flush_interval=None), L2)
+        sim.analyze(make_profile([[0x1000] * 4]))
+        result = sim.analyze(make_profile([[0x1000] * 4]))
+        assert result.counted_misses == 0  # still resident
+
+    def test_cold_cache_per_profile_ablation(self):
+        sim = MiniCacheSimulator(
+            UMIConfig(warmup_executions=0, shared_cache=False), L2)
+        sim.analyze(make_profile([[0x1000] * 4]))
+        result = sim.analyze(make_profile([[0x1000] * 4]))
+        assert result.counted_misses == 1  # compulsory again
+
+    def test_flush_heuristic(self):
+        config = UMIConfig(warmup_executions=0, flush_interval=1000)
+        sim = MiniCacheSimulator(config, L2)
+        sim.maybe_flush(now_cycles=0)
+        sim.analyze(make_profile([[0x1000] * 4]))
+        # Not enough time elapsed: no flush.
+        assert sim.maybe_flush(now_cycles=500) is False
+        # Long gap: flush.
+        assert sim.maybe_flush(now_cycles=5000) is True
+        assert sim.flushes == 1
+        result = sim.analyze(make_profile([[0x1000] * 4]))
+        assert result.counted_misses == 1
+
+    def test_flush_disabled(self):
+        sim = MiniCacheSimulator(
+            UMIConfig(warmup_executions=0, flush_interval=None), L2)
+        sim.maybe_flush(0)
+        assert sim.maybe_flush(10**9) is False
+
+    def test_mini_cache_override(self):
+        custom = CacheConfig(size=128, assoc=1, line_size=64)
+        sim = MiniCacheSimulator(UMIConfig(mini_cache=custom), L2)
+        assert sim.cache_config is custom
+
+    def test_default_cache_matches_host_l2(self):
+        sim = MiniCacheSimulator(UMIConfig(), L2)
+        assert sim.cache_config is L2
+
+    def test_per_pc_accumulation_across_profiles(self):
+        sim = MiniCacheSimulator(
+            UMIConfig(warmup_executions=0, flush_interval=None), L2)
+        sim.analyze(make_profile([[0x1000, 0x2000]]))
+        sim.analyze(make_profile([[0x3000, 0x1000]]))
+        assert sim.pc_stats[0x400000].refs == 4
+        assert sim.profiles_analyzed == 2
+        assert sim.references_simulated == 4
+
+    def test_overall_miss_ratio(self):
+        sim = MiniCacheSimulator(UMIConfig(warmup_executions=0), L2)
+        addrs = [0x100000 + 64 * i for i in range(16)]
+        sim.analyze(make_profile([addrs]))
+        assert sim.overall_miss_ratio() == 1.0
+
+    def test_pc_miss_ratios_min_refs_filter(self):
+        sim = MiniCacheSimulator(UMIConfig(warmup_executions=0), L2)
+        sim.analyze(make_profile([[0x1000, 0x2000]]))
+        assert sim.pc_miss_ratios(min_refs=3) == {}
+        assert 0x400000 in sim.pc_miss_ratios(min_refs=2)

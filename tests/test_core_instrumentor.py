@@ -1,0 +1,116 @@
+"""Tests for operation filtering and trace instrumentation (Section 4)."""
+
+import pytest
+
+from repro.core import Instrumentor, UMIConfig, select_operations
+from repro.isa import (
+    ADD, CC_LT, EAX, EBP, EBX, ECX, ESI, ProgramBuilder, absolute, mem,
+)
+from repro.vm import DEFAULT_COST_MODEL, Trace
+from repro.vm.state import MachineState
+
+
+def mixed_trace():
+    """A trace whose block mixes heap, stack, and static references."""
+    b = ProgramBuilder("p")
+    glob = b.data.alloc("g", 8)
+    loop = b.block("loop")
+    loop.load(EAX, mem(base=ESI, index=ECX, scale=8))      # heap: selected
+    loop.store(mem(base=EBP, disp=-8), EAX)                # stack: filtered
+    loop.load(EBX, mem(base=EBP, disp=-8))                 # stack: filtered
+    loop.load(EBX, absolute(glob))                         # static: filtered
+    loop.store(mem(base=ESI, index=ECX, scale=8), EBX)     # heap: selected
+    loop.lea(EBX, mem(base=ESI, index=ECX, scale=8))       # not a mem ref
+    loop.alu_imm(ADD, ECX, 1)
+    loop.cmp_imm(ECX, 10)
+    loop.jcc(CC_LT, "loop", "done")
+    b.block("done").halt()
+    program = b.build(entry="loop")
+    return program, Trace("loop", [program.blocks["loop"]],
+                          loops_to_head=True)
+
+
+class TestSelectOperations:
+    def test_filter_drops_stack_and_static(self):
+        _, trace = mixed_trace()
+        ops = select_operations(trace, filter_operands=True, max_ops=256)
+        assert len(ops) == 2
+        assert all(not ins.is_filtered_by_umi() for ins in ops)
+
+    def test_no_filtering_keeps_all_explicit_refs(self):
+        _, trace = mixed_trace()
+        ops = select_operations(trace, filter_operands=False, max_ops=256)
+        assert len(ops) == 5
+
+    def test_op_cap_respected(self):
+        _, trace = mixed_trace()
+        ops = select_operations(trace, filter_operands=False, max_ops=3)
+        assert len(ops) == 3
+
+
+class TestInstrumentor:
+    def make(self, program, **config_kwargs):
+        state = MachineState(program)
+        inst = Instrumentor(UMIConfig(**config_kwargs),
+                            DEFAULT_COST_MODEL, state)
+        return inst, state
+
+    def test_instrument_assigns_columns_in_order(self):
+        program, trace = mixed_trace()
+        inst, _ = self.make(program)
+        profile = inst.instrument(trace)
+        assert trace.instrumented
+        assert profile is not None
+        assert profile.num_ops == 2
+        cols = sorted(trace.profile_cols.values())
+        assert cols == [0, 1]
+        assert list(profile.op_pcs) == trace.profiled_pcs()
+
+    def test_instrumentation_charges_clone_cost(self):
+        program, trace = mixed_trace()
+        inst, state = self.make(program)
+        inst.instrument(trace)
+        expected = (DEFAULT_COST_MODEL.clone_cost_per_instr
+                    * trace.num_instructions())
+        assert state.cycles == expected
+
+    def test_nothing_to_profile_returns_none(self):
+        b = ProgramBuilder("p")
+        loop = b.block("loop")
+        loop.store(mem(base=EBP, disp=-8), EAX)  # only a stack ref
+        loop.alu_imm(ADD, ECX, 1)
+        loop.cmp_imm(ECX, 10)
+        loop.jcc(CC_LT, "loop", "done")
+        b.block("done").halt()
+        program = b.build(entry="loop")
+        trace = Trace("loop", [program.blocks["loop"]], loops_to_head=True)
+        inst, state = self.make(program)
+        assert inst.instrument(trace) is None
+        assert not trace.instrumented
+        assert state.cycles == 0
+
+    def test_stats_track_unique_pcs(self):
+        program, trace = mixed_trace()
+        inst, _ = self.make(program)
+        inst.instrument(trace)
+        inst.swap_to_clone(trace)
+        inst.instrument(trace)  # same ops again
+        assert inst.stats.profiled_operations == 2
+        assert inst.stats.traces_instrumented == 2
+        assert inst.stats.clone_swaps == 1
+
+    def test_swap_to_clone_preserves_prefetch_map(self):
+        program, trace = mixed_trace()
+        inst, _ = self.make(program)
+        inst.instrument(trace)
+        trace.prefetch_map = {123: 64}
+        inst.swap_to_clone(trace)
+        assert not trace.instrumented
+        assert trace.profile_cols is None
+        assert trace.prefetch_map == {123: 64}
+
+    def test_profile_row_limit_from_config(self):
+        program, trace = mixed_trace()
+        inst, _ = self.make(program, address_profile_entries=7)
+        profile = inst.instrument(trace)
+        assert profile.max_rows == 7

@@ -1,0 +1,92 @@
+"""Tests for phase detection."""
+
+import pytest
+
+from repro.core import Phase, PhaseTracker, UMIConfig, UMIRuntime
+from repro.memory import CacheConfig, MachineConfig
+from repro.vm import RuntimeConfig
+
+from helpers import build_chase_program
+
+
+class TestPhaseTracker:
+    def test_first_observation_opens_phase(self):
+        tracker = PhaseTracker()
+        assert tracker.observe(0.5) is True
+        assert len(tracker) == 1
+        assert tracker.current_phase.mean_miss_ratio == 0.5
+
+    def test_stable_stream_stays_in_one_phase(self):
+        tracker = PhaseTracker(threshold=0.15)
+        for value in (0.50, 0.52, 0.48, 0.55, 0.45):
+            tracker.observe(value)
+        assert len(tracker) == 1
+        phase = tracker.current_phase
+        assert phase.observations == 5
+        assert phase.mean_miss_ratio == pytest.approx(0.50)
+
+    def test_confirmed_shift_opens_new_phase(self):
+        tracker = PhaseTracker(threshold=0.15, confirm=2)
+        for value in (0.1, 0.1, 0.1, 0.9, 0.9, 0.9):
+            tracker.observe(value)
+        assert len(tracker) == 2
+        first, second = tracker.phases()
+        assert first.mean_miss_ratio == pytest.approx(0.1)
+        assert second.mean_miss_ratio == pytest.approx(0.9)
+        assert second.first_observation == 3
+
+    def test_transient_spike_debounced(self):
+        tracker = PhaseTracker(threshold=0.15, confirm=2)
+        for value in (0.1, 0.1, 0.9, 0.1, 0.1):
+            tracker.observe(value)
+        assert len(tracker) == 1
+        # The spike was discarded as a transient; the mean is unmoved.
+        assert tracker.current_phase.observations == 4
+        assert tracker.current_phase.mean_miss_ratio == pytest.approx(0.1)
+
+    def test_three_phases(self):
+        tracker = PhaseTracker(threshold=0.2, confirm=1)
+        for value in (0.1, 0.1, 0.8, 0.8, 0.3, 0.3):
+            tracker.observe(value)
+        assert len(tracker) == 3
+        assert [round(p.mean_miss_ratio, 1) for p in tracker.phases()] == \
+            [0.1, 0.8, 0.3]
+
+    def test_phase_length(self):
+        phase = Phase(index=0, first_observation=2, last_observation=6,
+                      mean_miss_ratio=0.5, observations=5)
+        assert phase.length == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseTracker(threshold=0.0)
+        with pytest.raises(ValueError):
+            PhaseTracker(confirm=0)
+
+
+class TestUMIPhaseIntegration:
+    MACHINE = MachineConfig(
+        name="phase-test",
+        l1=CacheConfig(size=256, assoc=2, line_size=64, hit_latency=1),
+        l2=CacheConfig(size=2048, assoc=4, line_size=64, hit_latency=8),
+        memory_latency=50,
+    )
+
+    def test_phases_tracked_when_enabled(self):
+        program, _ = build_chase_program(n=128, reps=16)
+        umi = UMIRuntime(
+            program, self.MACHINE,
+            UMIConfig(use_sampling=True, sample_period=300,
+                      track_phases=True, frequency_threshold=4),
+            runtime_config=RuntimeConfig(hot_threshold=8),
+        )
+        result = umi.run()
+        assert result.phases is not None
+        assert len(result.phases) >= 1
+        assert all(0.0 <= p.mean_miss_ratio <= 1.0 for p in result.phases)
+
+    def test_phases_none_by_default(self):
+        program, _ = build_chase_program(n=64, reps=4)
+        umi = UMIRuntime(program, self.MACHINE,
+                         UMIConfig(use_sampling=False))
+        assert umi.run().phases is None

@@ -1,0 +1,79 @@
+"""Tests for the introspection report formatter."""
+
+from repro.core import UMIConfig
+from repro.core.report import format_report, format_summary_line
+from repro.memory import CacheConfig, MachineConfig
+from repro.runners import run_umi
+
+from helpers import build_chase_program
+
+MACHINE = MachineConfig(
+    name="report-test",
+    l1=CacheConfig(size=256, assoc=2, line_size=64, hit_latency=1),
+    l2=CacheConfig(size=2048, assoc=4, line_size=64, hit_latency=8),
+    memory_latency=50,
+)
+
+
+def run():
+    program, _ = build_chase_program(n=64, reps=8)
+    out = run_umi(program, MACHINE,
+                  umi_config=UMIConfig(use_sampling=False,
+                                       warmup_executions=0,
+                                       flush_interval=None))
+    return out.umi, program
+
+
+class TestFormatReport:
+    def test_contains_all_sections(self):
+        result, program = run()
+        text = format_report(result, program)
+        for section in ("run summary", "profiling", "memory behaviour",
+                        "hottest profiled operations"):
+            assert section in text
+
+    def test_delinquent_marker_present(self):
+        result, program = run()
+        text = format_report(result, program)
+        if result.predicted_delinquent:
+            assert "DELINQUENT" in text
+
+    def test_locations_resolve(self):
+        result, program = run()
+        text = format_report(result, program)
+        assert "chase[" in text  # block label + index
+
+    def test_top_limits_rows(self):
+        result, program = run()
+        text = format_report(result, program, top=1)
+        detail_lines = [l for l in text.splitlines() if "0x00" in l]
+        assert len(detail_lines) <= 1
+
+    def test_prefetch_section_only_with_injections(self):
+        result, program = run()
+        text = format_report(result, program)
+        assert "injected software prefetches" not in text
+
+    def test_prefetch_section_with_injections(self):
+        program, _ = build_chase_program(n=64, reps=8)
+        from helpers import build_stream_program
+        stream, _ = build_stream_program(n=512, reps=8)
+        out = run_umi(
+            stream, MACHINE,
+            umi_config=UMIConfig(use_sampling=False, warmup_executions=0,
+                                 flush_interval=None,
+                                 adaptive_threshold=False,
+                                 initial_delinquency_threshold=0.10,
+                                 enable_sw_prefetch=True))
+        text = format_report(out.umi, stream)
+        assert "injected software prefetches" in text
+        assert "stride" in text
+
+
+class TestSummaryLine:
+    def test_one_line(self):
+        result, _ = run()
+        line = format_summary_line(result)
+        assert "\n" not in line
+        assert "chase" in line
+        assert "delinquent" in line

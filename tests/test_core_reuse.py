@@ -1,0 +1,103 @@
+"""Tests for the reuse-distance analyzer extension."""
+
+import pytest
+
+from repro.core import (
+    COLD, AddressProfile, ReuseDistanceAnalyzer, reuse_distances,
+)
+
+
+def make_profile(addresses, trace="t"):
+    profile = AddressProfile(trace, [0x400000], max_rows=len(addresses))
+    for addr in addresses:
+        profile.new_row()[0] = addr
+    return profile
+
+
+class TestReuseDistances:
+    def test_cold_references(self):
+        assert reuse_distances([1, 2, 3]) == [COLD, COLD, COLD]
+
+    def test_immediate_reuse_is_zero(self):
+        assert reuse_distances([1, 1]) == [COLD, 0]
+
+    def test_classic_sequence(self):
+        # a b c a : the second 'a' has 2 distinct lines in between.
+        assert reuse_distances([1, 2, 3, 1]) == [COLD, COLD, COLD, 2]
+
+    def test_interleaved(self):
+        # a b a b -> distances 1, 1 after the colds.
+        assert reuse_distances([1, 2, 1, 2]) == [COLD, COLD, 1, 1]
+
+    def test_repeats_do_not_inflate_distance(self):
+        # a b b a : distinct lines between the two a's is 1.
+        assert reuse_distances([1, 2, 2, 1]) == [COLD, COLD, 0, 1]
+
+    def test_empty(self):
+        assert reuse_distances([]) == []
+
+
+class TestReuseDistanceAnalyzer:
+    def test_working_set_counts_distinct_lines(self):
+        analyzer = ReuseDistanceAnalyzer(line_size=64)
+        result = analyzer.analyze(make_profile([0, 8, 64, 128, 130]))
+        assert result.working_set_lines == 3
+        assert result.working_set_bytes == 3 * 64
+
+    def test_histogram_and_cold_counts(self):
+        analyzer = ReuseDistanceAnalyzer(line_size=64)
+        result = analyzer.analyze(make_profile([0, 64, 0, 64]))
+        assert result.cold_references == 2
+        assert result.histogram[1] == 2
+        assert result.total_references == 4
+
+    def test_miss_ratio_curve_monotone(self):
+        import random
+        rng = random.Random(5)
+        addrs = [rng.randrange(64) * 64 for _ in range(300)]
+        analyzer = ReuseDistanceAnalyzer(line_size=64)
+        result = analyzer.analyze(make_profile(addrs))
+        curve = result.miss_ratio_curve([1, 4, 16, 64, 256])
+        ratios = [ratio for _, ratio in curve]
+        assert all(a >= b - 1e-12 for a, b in zip(ratios, ratios[1:]))
+        # A cache holding the whole working set only misses cold refs.
+        assert curve[-1][1] == pytest.approx(
+            result.cold_references / result.total_references)
+
+    def test_miss_ratio_matches_lru_semantics(self):
+        # Loop over 3 lines with capacity 2: every access misses
+        # (classic LRU pathological case); with capacity 3: all hit.
+        addrs = [0, 64, 128] * 10
+        analyzer = ReuseDistanceAnalyzer(line_size=64)
+        result = analyzer.analyze(make_profile(addrs))
+        assert result.miss_ratio_for_capacity(2) == 1.0
+        assert result.miss_ratio_for_capacity(3) == pytest.approx(3 / 30)
+
+    def test_aggregates_across_profiles(self):
+        analyzer = ReuseDistanceAnalyzer(line_size=64)
+        analyzer.analyze(make_profile([0, 64]))
+        result = analyzer.analyze(make_profile([128, 0]))
+        assert result.total_references == 4
+        assert result.working_set_lines == 3
+
+    def test_median_reuse_distance(self):
+        analyzer = ReuseDistanceAnalyzer(line_size=64)
+        result = analyzer.analyze(make_profile([0, 64, 0, 64, 0]))
+        assert result.median_reuse_distance() == 1
+        fresh = ReuseDistanceAnalyzer().analyze(make_profile([0, 64]))
+        assert fresh.median_reuse_distance() is None
+
+    def test_invalid_line_size(self):
+        with pytest.raises(ValueError):
+            ReuseDistanceAnalyzer(line_size=48)
+
+    def test_invalid_capacity(self):
+        analyzer = ReuseDistanceAnalyzer()
+        result = analyzer.analyze(make_profile([0]))
+        with pytest.raises(ValueError):
+            result.miss_ratio_for_capacity(-1)
+
+    def test_skip_rows_excludes_warmup(self):
+        analyzer = ReuseDistanceAnalyzer(line_size=64)
+        result = analyzer.analyze(make_profile([0, 0, 0]), skip_rows=2)
+        assert result.total_references == 1

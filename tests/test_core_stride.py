@@ -1,0 +1,148 @@
+"""Tests for stride detection, lookahead choice, and prefetch injection."""
+
+import pytest
+
+from repro.core import (
+    AddressProfile, SoftwarePrefetchOptimizer, UMIConfig, choose_lookahead,
+    detect_stride,
+)
+from repro.memory import CacheConfig, MachineConfig
+from repro.vm import Trace
+from repro.isa import ADD, CC_LT, EAX, ECX, ESI, ProgramBuilder, mem
+
+
+class TestDetectStride:
+    def test_constant_stride(self):
+        info = detect_stride([0, 8, 16, 24, 32])
+        assert info.stride == 8
+        assert info.confidence == 1.0
+        assert info.samples == 5
+        assert info.is_constant_stride
+
+    def test_negative_stride(self):
+        info = detect_stride([100, 90, 80, 70])
+        assert info.stride == -10
+
+    def test_dominant_stride_with_noise(self):
+        addrs = [0, 8, 16, 24, 1000, 1008, 1016, 1024]
+        info = detect_stride(addrs)
+        assert info.stride == 8
+        assert info.confidence == pytest.approx(6 / 7)
+
+    def test_repeated_address_reports_zero_stride(self):
+        info = detect_stride([5, 5, 5, 5])
+        assert info.stride == 0
+        assert not info.is_constant_stride
+
+    def test_too_few_samples(self):
+        assert detect_stride([0, 8]) is None
+        assert detect_stride([]) is None
+
+    def test_random_addresses_low_confidence(self):
+        import random
+        rng = random.Random(3)
+        addrs = [rng.randrange(10**6) for _ in range(50)]
+        info = detect_stride(addrs)
+        assert info.confidence < 0.2
+
+
+class TestChooseLookahead:
+    def test_slow_trace_prefetches_close(self):
+        # One trace pass already covers the memory latency.
+        assert choose_lookahead(64, trace_pass_cycles=300,
+                                memory_latency=250) == 1
+
+    def test_fast_trace_prefetches_far(self):
+        assert choose_lookahead(64, trace_pass_cycles=25,
+                                memory_latency=250) == 10
+
+    def test_clamped_to_max(self):
+        assert choose_lookahead(64, trace_pass_cycles=1,
+                                memory_latency=250, max_lookahead=16) == 16
+
+    def test_degenerate_pass_cycles(self):
+        assert choose_lookahead(64, trace_pass_cycles=0,
+                                memory_latency=10) >= 1
+
+
+def make_trace_and_profile(addresses):
+    b = ProgramBuilder("p")
+    loop = b.block("loop")
+    loop.load(EAX, mem(base=ESI, index=ECX, scale=8))
+    loop.alu_imm(ADD, ECX, 1)
+    loop.cmp_imm(ECX, 10)
+    loop.jcc(CC_LT, "loop", "done")
+    b.block("done").halt()
+    program = b.build(entry="loop")
+    trace = Trace("loop", [program.blocks["loop"]], loops_to_head=True)
+    load_pc = program.blocks["loop"].instructions[0].pc
+    profile = AddressProfile("loop", [load_pc], max_rows=len(addresses))
+    for addr in addresses:
+        profile.new_row()[0] = addr
+    return trace, profile, load_pc
+
+
+MACHINE = MachineConfig(
+    name="m",
+    l1=CacheConfig(size=256, assoc=2, line_size=64),
+    l2=CacheConfig(size=2048, assoc=4, line_size=64),
+    memory_latency=200,
+)
+
+
+class TestSoftwarePrefetchOptimizer:
+    def test_injects_for_strided_delinquent_load(self):
+        trace, profile, pc = make_trace_and_profile(
+            [0x1000 + 64 * i for i in range(16)])
+        opt = SoftwarePrefetchOptimizer(UMIConfig(enable_sw_prefetch=True),
+                                        MACHINE)
+        injected = opt.optimize(trace, profile, {pc})
+        assert injected == 1
+        assert pc in trace.prefetch_map
+        delta = trace.prefetch_map[pc]
+        assert delta % 64 == 0 and delta > 0
+        record = opt.stats.injected[pc]
+        assert record.stride == 64
+
+    def test_skips_unstrided_load(self):
+        import random
+        rng = random.Random(1)
+        trace, profile, pc = make_trace_and_profile(
+            [rng.randrange(10**6) for _ in range(16)])
+        opt = SoftwarePrefetchOptimizer(UMIConfig(enable_sw_prefetch=True),
+                                        MACHINE)
+        assert opt.optimize(trace, profile, {pc}) == 0
+        assert trace.prefetch_map is None
+        assert opt.stats.rejected_low_confidence == 1
+
+    def test_skips_zero_stride(self):
+        trace, profile, pc = make_trace_and_profile([0x1000] * 16)
+        opt = SoftwarePrefetchOptimizer(UMIConfig(enable_sw_prefetch=True),
+                                        MACHINE)
+        assert opt.optimize(trace, profile, {pc}) == 0
+        assert opt.stats.rejected_no_stride == 1
+
+    def test_skips_pcs_not_in_profile(self):
+        trace, profile, pc = make_trace_and_profile(
+            [0x1000 + 64 * i for i in range(16)])
+        opt = SoftwarePrefetchOptimizer(UMIConfig(enable_sw_prefetch=True),
+                                        MACHINE)
+        assert opt.optimize(trace, profile, {pc + 4}) == 0
+
+    def test_no_delinquents_is_noop(self):
+        trace, profile, pc = make_trace_and_profile(
+            [0x1000 + 64 * i for i in range(16)])
+        opt = SoftwarePrefetchOptimizer(UMIConfig(enable_sw_prefetch=True),
+                                        MACHINE)
+        assert opt.optimize(trace, profile, set()) == 0
+
+    def test_reinjection_updates_existing_map(self):
+        trace, profile, pc = make_trace_and_profile(
+            [0x1000 + 64 * i for i in range(16)])
+        opt = SoftwarePrefetchOptimizer(UMIConfig(enable_sw_prefetch=True),
+                                        MACHINE)
+        opt.optimize(trace, profile, {pc})
+        first = trace.prefetch_map[pc]
+        opt.optimize(trace, profile, {pc})
+        assert trace.prefetch_map[pc] == first
+        assert opt.stats.count == 1

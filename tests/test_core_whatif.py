@@ -1,0 +1,105 @@
+"""Tests for the what-if scenario explorer extension."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    AddressProfile, Scenario, UMIConfig, UMIRuntime, WhatIfExplorer,
+    capacity_sweep, policy_sweep,
+)
+from repro.memory import CacheConfig
+
+from helpers import build_chase_program
+
+BASE = CacheConfig(size=4096, assoc=4, line_size=64, hit_latency=8)
+
+
+def make_profile(addresses):
+    profile = AddressProfile("t", [0x400000], max_rows=len(addresses))
+    for addr in addresses:
+        profile.new_row()[0] = addr
+    return profile
+
+
+def random_profile(n_lines, refs, seed=1):
+    rng = random.Random(seed)
+    return make_profile([rng.randrange(n_lines) * 64 for _ in range(refs)])
+
+
+class TestWhatIfExplorer:
+    def test_bigger_cache_never_loses_on_random_traffic(self):
+        explorer = WhatIfExplorer(capacity_sweep(BASE, factors=(1, 4)),
+                                  warmup_executions=0)
+        explorer.analyze(random_profile(256, 600))
+        results = {r.scenario.name: r for r in explorer.ranking()}
+        assert results["1/1x"].miss_ratio <= results["1/4x"].miss_ratio
+        assert explorer.best().scenario.name == "1/1x"
+
+    def test_tie_prefers_cheaper_cache(self):
+        # A tiny working set: both capacities behave identically, the
+        # smaller configuration should rank first.
+        explorer = WhatIfExplorer(capacity_sweep(BASE, factors=(1, 4)),
+                                  warmup_executions=0)
+        explorer.analyze(make_profile([0, 64, 0, 64, 0, 64]))
+        assert explorer.best().scenario.name == "1/4x"
+
+    def test_all_scenarios_see_same_refs(self):
+        explorer = WhatIfExplorer(capacity_sweep(BASE, factors=(1, 2, 8)),
+                                  warmup_executions=1)
+        explorer.analyze(random_profile(64, 200))
+        counts = {r.refs for r in explorer.results.values()}
+        assert len(counts) == 1
+
+    def test_policy_sweep(self):
+        explorer = WhatIfExplorer(policy_sweep(BASE))
+        explorer.analyze(random_profile(128, 400))
+        names = {r.scenario.name for r in explorer.ranking()}
+        assert names == {"lru", "fifo", "random", "plru"}
+        for r in explorer.results.values():
+            assert 0.0 <= r.miss_ratio <= 1.0
+
+    def test_analyze_all(self):
+        explorer = WhatIfExplorer(capacity_sweep(BASE, factors=(1, 2)),
+                                  warmup_executions=0)
+        explorer.analyze_all([random_profile(64, 50, seed=s)
+                              for s in range(3)])
+        assert all(r.refs == 150 for r in explorer.results.values())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            WhatIfExplorer([Scenario("x", BASE), Scenario("x", BASE)])
+
+    def test_empty_scenarios_rejected(self):
+        with pytest.raises(ValueError):
+            WhatIfExplorer([])
+
+
+class TestRetainedProfilesIntegration:
+    def test_umi_archive_feeds_whatif(self, tiny_machine):
+        program, _ = build_chase_program(n=64, reps=8)
+        umi = UMIRuntime(
+            program, tiny_machine,
+            UMIConfig(use_sampling=False, retain_profiles=True,
+                      flush_interval=None),
+        )
+        umi.run()
+        assert umi.profile_archive
+        explorer = WhatIfExplorer(
+            capacity_sweep(tiny_machine.l2, factors=(1, 2, 4)),
+            warmup_executions=0,
+        )
+        explorer.analyze_all(umi.profile_archive)
+        ranking = explorer.ranking()
+        assert ranking[0].refs > 0
+        # On a 64-node shuffled chase (4KB arena), larger candidate
+        # caches dominate smaller ones.
+        by_name = {r.scenario.name: r.miss_ratio for r in ranking}
+        assert by_name["1/1x"] <= by_name["1/4x"]
+
+    def test_archive_empty_by_default(self, tiny_machine):
+        program, _ = build_chase_program(n=32, reps=4)
+        umi = UMIRuntime(program, tiny_machine,
+                         UMIConfig(use_sampling=False))
+        umi.run()
+        assert umi.profile_archive == []

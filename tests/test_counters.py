@@ -1,0 +1,156 @@
+"""Tests for the hardware performance counter model and PAPI facade."""
+
+import pytest
+
+from repro.counters import (
+    EventCounter, HardwareCounters, PAPI_EVENTS, PapiError, PapiSession,
+)
+from repro.isa import EAX, ECX, ESI, ProgramBuilder, mem
+from repro.memory import CacheConfig, MachineConfig, MemoryHierarchy
+from repro.runners import run_native
+from repro.vm import Interpreter
+
+from helpers import build_stream_program
+
+
+def tiny_hier():
+    machine = MachineConfig(
+        name="t",
+        l1=CacheConfig(size=256, assoc=2, line_size=64, hit_latency=1),
+        l2=CacheConfig(size=2048, assoc=4, line_size=64, hit_latency=8),
+        memory_latency=50,
+    )
+    return machine, MemoryHierarchy(machine)
+
+
+class TestEventCounter:
+    def test_free_running_never_interrupts(self):
+        counter = EventCounter("l2_miss", sample_size=0)
+        for _ in range(1000):
+            counter.increment()
+        assert counter.count == 1000
+        assert counter.interrupts == 0
+        assert counter.interrupt_cycles == 0
+
+    def test_overflow_interrupts_every_sample_size(self):
+        counter = EventCounter("l2_miss", sample_size=10,
+                               interrupt_cost=100)
+        for _ in range(35):
+            counter.increment()
+        assert counter.interrupts == 3
+        assert counter.interrupt_cycles == 300
+
+    def test_invalid_event(self):
+        with pytest.raises(ValueError):
+            EventCounter("tlb_miss")
+
+    def test_negative_sample_size(self):
+        with pytest.raises(ValueError):
+            EventCounter("l2_miss", sample_size=-1)
+
+    def test_reading_and_reset(self):
+        counter = EventCounter("l2_ref", sample_size=5)
+        for _ in range(7):
+            counter.increment()
+        reading = counter.reading()
+        assert reading.count == 7 and reading.interrupts == 1
+        counter.reset()
+        assert counter.count == 0 and counter.interrupts == 0
+
+
+class TestHardwareCounters:
+    def test_counts_match_hierarchy_stats(self):
+        _, hier = tiny_hier()
+        hw = HardwareCounters()
+        hw.program("l2_ref")
+        hw.program("l2_miss")
+        hw.program("l1_miss")
+        hw.attach(hier)
+        for i in range(128):
+            hier.access(1, 0x1000 + i * 64, False)
+        for i in range(16):  # re-touch a window that still fits L2
+            hier.access(1, 0x1000 + i * 64, False)
+        snap = hier.counters_snapshot()
+        assert hw.counters["l2_ref"].count == snap["l2_refs"]
+        assert hw.counters["l2_miss"].count == snap["l2_misses"]
+        assert hw.counters["l1_miss"].count == snap["l1_misses"]
+
+    def test_miss_ratio_from_counters(self):
+        _, hier = tiny_hier()
+        hw = HardwareCounters()
+        hw.program("l2_ref")
+        hw.program("l2_miss")
+        hw.attach(hier)
+        for i in range(64):
+            hier.access(1, 0x1000 + i * 64, False)
+        assert hw.l2_miss_ratio() == hier.l2_miss_ratio()
+
+    def test_ratio_zero_without_events(self):
+        hw = HardwareCounters()
+        assert hw.l2_miss_ratio() == 0.0
+
+
+class TestCounterOverheadShape:
+    """The Table 1 phenomenon: smaller sample sizes cost more."""
+
+    def test_overhead_monotone_in_sample_size(self):
+        program, _ = build_stream_program(n=512, reps=4)
+        machine, _ = tiny_hier()
+        cycles = {}
+        for size in (None, 10, 1000):
+            out = run_native(program, machine, counter_sample_size=size)
+            cycles[size] = out.cycles
+        assert cycles[10] > cycles[1000] >= cycles[None]
+
+    def test_interrupt_cycles_reported(self):
+        program, _ = build_stream_program(n=512, reps=2)
+        machine, _ = tiny_hier()
+        out = run_native(program, machine, counter_sample_size=1)
+        assert out.counter_interrupt_cycles > 0
+        assert out.cycles >= out.counter_interrupt_cycles
+
+
+class TestPapiSession:
+    def test_session_lifecycle(self):
+        _, hier = tiny_hier()
+        session = PapiSession(hier)
+        session.add_event("PAPI_L2_TCA")
+        session.add_event("PAPI_L2_TCM")
+        session.start()
+        for i in range(64):
+            hier.access(1, 0x1000 + i * 64, False)
+        readings = session.stop()
+        assert readings["PAPI_L2_TCA"] == 64
+        assert readings["PAPI_L2_TCM"] == 64
+
+    def test_stop_detaches_observer(self):
+        _, hier = tiny_hier()
+        session = PapiSession(hier)
+        session.add_event("PAPI_L2_TCM")
+        session.start()
+        session.stop()
+        hier.access(1, 0x1000, False)
+        assert session.read()["PAPI_L2_TCM"] == 0
+
+    def test_unknown_event_rejected(self):
+        _, hier = tiny_hier()
+        session = PapiSession(hier)
+        with pytest.raises(PapiError):
+            session.add_event("PAPI_FP_OPS")
+
+    def test_start_without_events_rejected(self):
+        _, hier = tiny_hier()
+        with pytest.raises(PapiError):
+            PapiSession(hier).start()
+
+    def test_double_start_rejected(self):
+        _, hier = tiny_hier()
+        session = PapiSession(hier)
+        session.add_event("PAPI_L2_TCM")
+        session.start()
+        with pytest.raises(PapiError):
+            session.start()
+
+    def test_all_presets_map_to_model_events(self):
+        from repro.counters.hwcounters import EVENTS
+        assert set(PAPI_EVENTS.values()) <= set(EVENTS)

@@ -1,0 +1,181 @@
+"""Edge cases and failure injection across the stack."""
+
+import pytest
+
+from repro.core import UMIConfig, UMIRuntime
+from repro.isa import (
+    ADD, CC_LT, EAX, ECX, ESI, ProgramBuilder, mem,
+)
+from repro.memory import CacheConfig, MachineConfig, MemoryHierarchy
+from repro.memory.flat import FlatMemory
+from repro.vm import DynamoSim, Interpreter, RuntimeConfig
+
+MACHINE = MachineConfig(
+    name="edge-test",
+    l1=CacheConfig(size=256, assoc=2, line_size=64, hit_latency=1),
+    l2=CacheConfig(size=2048, assoc=4, line_size=64, hit_latency=8),
+    memory_latency=50,
+)
+
+
+def one_shot_program():
+    """A program whose only block runs once (nothing is ever hot)."""
+    b = ProgramBuilder("oneshot")
+    blk = b.block("main")
+    blk.mov_imm(EAX, 1)
+    blk.halt()
+    return b.build(entry="main")
+
+
+class TestRuntimeConfigValidation:
+    def test_defaults_valid(self):
+        RuntimeConfig()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"hot_threshold": 0},
+        {"max_trace_blocks": 0},
+        {"sample_period": 0},
+        {"max_steps": 0},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RuntimeConfig(**kwargs)
+
+
+class TestDegenerateePrograms:
+    def test_one_shot_program_under_every_mode(self):
+        program = one_shot_program()
+        native = Interpreter(program, FlatMemory())
+        native.run_native()
+        dyn = DynamoSim(program, FlatMemory())
+        stats = dyn.run()
+        umi = UMIRuntime(program, MACHINE, UMIConfig(use_sampling=False))
+        result = umi.run()
+        assert native.state.steps == dyn.state.steps == result.steps == 2
+        assert stats.traces_built == 0
+        assert result.umi_stats.profiles_collected == 0
+        assert result.predicted_delinquent == frozenset()
+
+    def test_program_with_no_memory_references(self):
+        b = ProgramBuilder("pure")
+        blk = b.block("main")
+        blk.mov_imm(ECX, 0)
+        blk.jmp("loop")
+        loop = b.block("loop")
+        loop.work(5)
+        loop.alu_imm(ADD, ECX, 1)
+        loop.cmp_imm(ECX, 200)
+        loop.jcc(CC_LT, "loop", "done")
+        b.block("done").halt()
+        program = b.build(entry="main")
+        umi = UMIRuntime(program, MACHINE,
+                         UMIConfig(use_sampling=False))
+        result = umi.run()
+        # A hot trace exists but filtering leaves nothing to profile.
+        assert result.runtime_stats.traces_built >= 1
+        assert result.instrumentation.profiled_operations == 0
+        assert result.simulated_miss_ratio == 0.0
+
+    def test_umi_with_traces_disabled_is_a_noop_profiler(self):
+        from helpers import build_stream_program
+        program, _ = build_stream_program(n=128, reps=4)
+        umi = UMIRuntime(
+            program, MACHINE, UMIConfig(use_sampling=False),
+            runtime_config=RuntimeConfig(enable_traces=False),
+        )
+        result = umi.run()
+        assert result.runtime_stats.traces_built == 0
+        assert result.umi_stats.analyzer_invocations == 0
+        # Execution itself still completes correctly.
+        assert result.steps > 0
+
+    def test_tiny_address_profile_rows(self):
+        from helpers import build_stream_program
+        program, _ = build_stream_program(n=64, reps=8)
+        umi = UMIRuntime(
+            program, MACHINE,
+            UMIConfig(use_sampling=False, address_profile_entries=1),
+            runtime_config=RuntimeConfig(hot_threshold=8),
+        )
+        result = umi.run()
+        # One-row profiles trigger the analyzer on every other entry.
+        assert result.umi_stats.analyzer_invocations >= 1
+
+    def test_max_ops_cap_of_one(self):
+        from helpers import build_stream_program
+        program, _ = build_stream_program(n=128, reps=4)
+        umi = UMIRuntime(
+            program, MACHINE,
+            UMIConfig(use_sampling=False, address_profile_max_ops=1),
+            runtime_config=RuntimeConfig(hot_threshold=8),
+        )
+        result = umi.run()
+        assert result.instrumentation.profiled_operations <= \
+            result.runtime_stats.traces_built
+
+
+class TestHierarchyEdges:
+    def test_zero_size_access_treated_as_one_line(self):
+        hier = MemoryHierarchy(MACHINE)
+        latency = hier.access(1, 0x1000, False, size=1)
+        assert latency > 0
+        assert hier.l1.stats.refs == 1
+
+    def test_giant_access_spans_many_lines(self):
+        hier = MemoryHierarchy(MACHINE)
+        hier.access(1, 0x1000, False, size=256)
+        assert hier.l1.stats.refs == 4
+
+    def test_address_zero(self):
+        hier = MemoryHierarchy(MACHINE)
+        assert hier.access(1, 0, False) > 0
+
+    def test_interleaved_prefetch_and_demand(self):
+        hier = MemoryHierarchy(MACHINE)
+        for i in range(16):
+            hier.software_prefetch(0x1000 + i * 64, now=i)
+            hier.access(1, 0x1000 + i * 64, False, now=i + 1000)
+        snap = hier.counters_snapshot()
+        assert snap["l2_useful_prefetches"] == 16
+        assert snap["l2_misses"] == 0
+
+
+class TestInterpreterRobustness:
+    def test_deep_call_nesting(self):
+        depth = 100
+        b = ProgramBuilder("deep")
+        for i in range(depth):
+            blk = b.block(f"f{i}")
+            if i + 1 < depth:
+                blk.call(f"f{i + 1}", return_to=f"r{i}")
+                b.block(f"r{i}").ret()
+            else:
+                blk.ret()
+        b.block("main").call("f0", return_to="end")
+        b.block("end").halt()
+        program = b.build(entry="main")
+        interp = Interpreter(program, FlatMemory())
+        interp.run_native()
+        assert interp.state.halted
+        assert not interp.state.call_stack
+
+    def test_switch_with_single_target(self):
+        b = ProgramBuilder("sw1")
+        blk = b.block("main")
+        blk.mov_imm(EAX, 12345)
+        blk.switch(EAX, ["only"])
+        b.block("only").halt()
+        interp = Interpreter(b.build(entry="main"), FlatMemory())
+        interp.run_native()
+        assert interp.state.halted
+
+    def test_negative_effective_address(self):
+        b = ProgramBuilder("neg")
+        blk = b.block("main")
+        blk.mov_imm(ESI, 4)
+        blk.load(EAX, mem(base=ESI, disp=-4))   # address 0
+        blk.halt()
+        interp = Interpreter(b.build(entry="main"),
+                             MemoryHierarchy(MACHINE))
+        interp.run_native()
+        assert interp.state.regs[EAX] == 0

@@ -1,0 +1,117 @@
+"""Tests for the Cachegrind-style full simulator and delinquent sets."""
+
+import pytest
+
+from repro.fullsim import (
+    CachegrindSimulator, delinquent_set, miss_coverage,
+)
+from repro.memory import CacheConfig, MachineConfig, MemoryHierarchy
+from repro.vm import Interpreter
+
+from helpers import build_chase_program, build_stream_program
+
+
+def tiny_machine():
+    return MachineConfig(
+        name="t",
+        l1=CacheConfig(size=256, assoc=2, line_size=64, hit_latency=1),
+        l2=CacheConfig(size=2048, assoc=4, line_size=64, hit_latency=8),
+        memory_latency=50,
+    )
+
+
+class TestCachegrindSimulator:
+    def test_standalone_run_counts_refs(self):
+        program, _ = build_stream_program(n=128, reps=2)
+        sim = CachegrindSimulator(tiny_machine())
+        sim.run(program)
+        summary = sim.summary()
+        assert summary["d1_refs"] >= 2 * 128
+        assert 0.0 <= summary["l2_miss_ratio"] <= 1.0
+
+    def test_per_pc_load_accounting(self):
+        program, _ = build_stream_program(n=512, reps=2)
+        sim = CachegrindSimulator(tiny_machine())
+        sim.run(program)
+        load_pc = next(ins.pc for ins in program.iter_instructions()
+                       if ins.is_load())
+        assert load_pc in sim.load_stats
+        assert sim.load_stats[load_pc].refs == 2 * 512
+        # 512 x 8B = 4KB array, 2KB L2: the stream load misses plenty.
+        assert sim.load_stats[load_pc].l2_misses > 0
+
+    def test_chase_load_dominates_misses(self):
+        program, _ = build_chase_program(n=64, reps=4)
+        sim = CachegrindSimulator(tiny_machine())
+        sim.run(program)
+        pc_misses = sim.pc_load_misses()
+        chase_pc = max(pc_misses, key=pc_misses.get)
+        assert pc_misses[chase_pc] >= 0.9 * sum(pc_misses.values())
+
+    def test_observer_matches_standalone(self):
+        """Piggybacking on a timed run gives identical statistics."""
+        program, _ = build_stream_program(n=256, reps=2)
+        standalone = CachegrindSimulator(tiny_machine())
+        standalone.run(program)
+
+        piggyback = CachegrindSimulator(tiny_machine())
+        interp = Interpreter(program, MemoryHierarchy(tiny_machine()),
+                             ref_observer=piggyback.observe)
+        interp.run_native()
+        assert piggyback.summary() == standalone.summary()
+        assert piggyback.pc_load_misses() == standalone.pc_load_misses()
+
+    def test_store_tracking_optional(self):
+        program, _ = build_stream_program(n=64, reps=1)
+        sim = CachegrindSimulator(tiny_machine(), track_stores=False)
+        sim.run(program)
+        assert not sim.store_stats
+
+    def test_line_crossing_counts_two_refs(self):
+        sim = CachegrindSimulator(tiny_machine())
+        sim.observe(pc=1, addr=60, is_write=False, size=8)
+        assert sim.load_stats[1].refs == 2
+
+
+class TestDelinquentSet:
+    def test_minimal_prefix_covering_90pct(self):
+        misses = {1: 900, 2: 60, 3: 30, 4: 10}
+        # 900 covers 90% exactly.
+        assert delinquent_set(misses, coverage=0.90) == frozenset({1})
+
+    def test_needs_more_instructions(self):
+        misses = {1: 50, 2: 30, 3: 15, 4: 5}
+        assert delinquent_set(misses, coverage=0.90) == frozenset({1, 2, 3})
+
+    def test_empty_input(self):
+        assert delinquent_set({}) == frozenset()
+
+    def test_all_zero_misses(self):
+        assert delinquent_set({1: 0, 2: 0}) == frozenset()
+
+    def test_full_coverage_includes_all_nonzero(self):
+        misses = {1: 5, 2: 3, 3: 0}
+        assert delinquent_set(misses, coverage=1.0) == frozenset({1, 2})
+
+    def test_deterministic_tie_breaking(self):
+        misses = {10: 50, 20: 50, 30: 50}
+        a = delinquent_set(misses, coverage=0.6)
+        b = delinquent_set(dict(reversed(list(misses.items()))),
+                           coverage=0.6)
+        assert a == b
+
+    def test_invalid_coverage(self):
+        with pytest.raises(ValueError):
+            delinquent_set({1: 5}, coverage=0.0)
+        with pytest.raises(ValueError):
+            delinquent_set({1: 5}, coverage=1.5)
+
+    def test_miss_coverage(self):
+        misses = {1: 60, 2: 30, 3: 10}
+        assert miss_coverage({1}, misses) == pytest.approx(0.6)
+        assert miss_coverage({1, 2}, misses) == pytest.approx(0.9)
+        assert miss_coverage(set(), misses) == 0.0
+        assert miss_coverage({99}, misses) == 0.0
+
+    def test_miss_coverage_empty_baseline(self):
+        assert miss_coverage({1}, {}) == 0.0

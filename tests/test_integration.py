@@ -1,0 +1,157 @@
+"""Cross-module integration tests: invariants across the whole system."""
+
+import pytest
+
+from repro.core import (
+    AddressProfile, ReuseDistanceAnalyzer, UMIConfig,
+)
+from repro.memory import Cache, CacheConfig, MachineConfig
+from repro.runners import run_dynamo, run_native, run_umi
+from repro.workloads import all_workloads, get_workload
+
+from helpers import build_chase_program, build_stream_program
+
+MACHINE = MachineConfig(
+    name="integration",
+    l1=CacheConfig(size=512, assoc=2, line_size=64, hit_latency=1),
+    l2=CacheConfig(size=4096, assoc=4, line_size=64, hit_latency=8),
+    memory_latency=60,
+)
+
+
+class TestDemandStreamInvariance:
+    """The rewriter and UMI are *transparent*: they add cycles, never
+    memory references, so the demand miss behaviour is identical in
+    every execution mode (absent prefetching)."""
+
+    @pytest.mark.parametrize("name", ["181.mcf", "179.art", "197.parser"])
+    def test_same_l2_misses_across_modes(self, name):
+        program = get_workload(name).build(0.2)
+        native = run_native(program, MACHINE)
+        dynamo = run_dynamo(program, MACHINE)
+        umi = run_umi(program, MACHINE,
+                      umi_config=UMIConfig(use_sampling=False))
+        assert native.hw_counters["l2_misses"] == \
+            dynamo.hw_counters["l2_misses"] == \
+            umi.hw_counters["l2_misses"]
+        assert native.hw_counters["l1_refs"] == \
+            dynamo.hw_counters["l1_refs"] == \
+            umi.hw_counters["l1_refs"]
+
+    def test_cachegrind_identical_under_native_and_umi(self):
+        program = get_workload("183.equake").build(0.2)
+        native = run_native(program, MACHINE, with_cachegrind=True)
+        umi = run_umi(program, MACHINE,
+                      umi_config=UMIConfig(use_sampling=False),
+                      with_cachegrind=True)
+        assert native.cachegrind.summary() == umi.cachegrind.summary()
+        assert native.cachegrind.pc_load_misses() == \
+            umi.cachegrind.pc_load_misses()
+
+
+class TestPredictionSoundness:
+    @pytest.mark.parametrize(
+        "spec", all_workloads(), ids=lambda s: s.name)
+    def test_predictions_are_unfiltered_loads(self, spec):
+        program = spec.build(0.15)
+        umi = run_umi(program, MACHINE,
+                      umi_config=UMIConfig(use_sampling=False))
+        for pc in umi.umi.predicted_delinquent:
+            ins = program.instruction_at(pc)
+            assert ins.is_load()
+            assert not ins.is_filtered_by_umi()
+
+    def test_profiled_ops_respect_filter(self):
+        program = get_workload("300.twolf").build(0.15)
+        umi = run_umi(program, MACHINE,
+                      umi_config=UMIConfig(use_sampling=False))
+        for pc in umi.umi.instrumentation.profiled_pcs:
+            assert not program.instruction_at(pc).is_filtered_by_umi()
+
+    def test_mini_sim_refs_bounded_by_profile_capacity(self):
+        config = UMIConfig(use_sampling=False, address_profile_entries=32)
+        program, _ = build_stream_program(n=256, reps=8)
+        out = run_umi(program, MACHINE, umi_config=config)
+        result = out.umi
+        assert result.umi_stats.profiles_collected >= 1
+        assert all(
+            0.0 <= ratio <= 1.0 for ratio in result.pc_miss_ratios.values()
+        )
+
+
+class TestReuseModelAgainstSimulation:
+    """The reuse-distance miss-ratio curve must agree exactly with a
+    fully-associative LRU cache simulated over the same stream."""
+
+    @pytest.mark.parametrize("capacity_lines", [1, 2, 8, 32])
+    def test_stack_distance_equals_fa_lru(self, capacity_lines):
+        import random
+        rng = random.Random(11)
+        addrs = [rng.randrange(48) * 64 for _ in range(600)]
+
+        profile = AddressProfile("t", [0x400000], max_rows=len(addrs))
+        for addr in addrs:
+            profile.new_row()[0] = addr
+        analyzer = ReuseDistanceAnalyzer(line_size=64)
+        predicted = analyzer.analyze(profile).miss_ratio_for_capacity(
+            capacity_lines)
+
+        cache = Cache(CacheConfig(size=capacity_lines * 64,
+                                  assoc=capacity_lines, line_size=64))
+        misses = 0
+        for t, addr in enumerate(addrs):
+            hit, _ = cache.probe(addr >> 6, False, t)
+            if not hit:
+                cache.fill(addr >> 6, now=t)
+                misses += 1
+        assert predicted == pytest.approx(misses / len(addrs))
+
+
+class TestPrefetchEndToEnd:
+    def test_prefetch_never_changes_program_results(self):
+        from repro.isa import EDX
+        from repro.vm import Interpreter
+        from repro.memory import MemoryHierarchy
+
+        program, _ = build_stream_program(n=1024, reps=8)
+        plain = Interpreter(program, MemoryHierarchy(MACHINE))
+        plain.run_native()
+        out = run_umi(
+            program, MACHINE,
+            umi_config=UMIConfig(use_sampling=False, warmup_executions=0,
+                                 flush_interval=None,
+                                 adaptive_threshold=False,
+                                 initial_delinquency_threshold=0.10,
+                                 enable_sw_prefetch=True),
+        )
+        # Prefetching is a pure hint: architectural state is untouched.
+        assert out.steps == plain.state.steps
+
+    def test_combined_prefetchers_reduce_misses_most(self):
+        program = get_workload("ft").build(0.15)
+        machine = MachineConfig(
+            name="pf", l1=MACHINE.l1, l2=MACHINE.l2,
+            memory_latency=MACHINE.memory_latency, has_hw_prefetcher=True,
+        )
+        config = UMIConfig(use_sampling=True, enable_sw_prefetch=True)
+        base = run_native(program, machine)
+        sw = run_umi(program, machine, umi_config=config)
+        both = run_umi(program, machine, umi_config=config,
+                       hw_prefetch=True)
+        assert sw.hw_counters["l2_misses"] < base.hw_counters["l2_misses"]
+        assert both.hw_counters["l2_misses"] <= \
+            sw.hw_counters["l2_misses"]
+
+
+class TestSuiteWideSmoke:
+    """Every benchmark executes under the full UMI stack at tiny scale."""
+
+    @pytest.mark.parametrize(
+        "spec", all_workloads(["CFP2006", "CINT2006"]),
+        ids=lambda s: s.name)
+    def test_spec2006_workloads_run_under_umi(self, spec):
+        program = spec.build(0.1)
+        out = run_umi(program, MACHINE,
+                      umi_config=UMIConfig(use_sampling=True))
+        assert out.steps > 0
+        assert 0.0 <= out.umi.simulated_miss_ratio <= 1.0

@@ -1,0 +1,129 @@
+"""Unit tests for registers, operands, and instruction classification."""
+
+import pytest
+
+from repro.isa import (
+    CALL, EAX, EBP, EBX, ECX, ESI, ESP, Instruction, JCC, JMP, LEA, LOAD,
+    MemOperand, NUM_REGS, RET, STORE, SWITCH, absolute, is_stack_reg, mem,
+    parse_reg, reg_name,
+)
+
+
+class TestRegisters:
+    def test_register_names_round_trip(self):
+        for reg in range(NUM_REGS):
+            assert parse_reg(reg_name(reg)) == reg
+
+    def test_parse_is_case_insensitive(self):
+        assert parse_reg("EAX") == EAX
+        assert parse_reg("Esp") == ESP
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            parse_reg("xyzzy")
+
+    def test_invalid_number_raises(self):
+        with pytest.raises(ValueError):
+            reg_name(NUM_REGS)
+
+    def test_stack_registers(self):
+        assert is_stack_reg(ESP)
+        assert is_stack_reg(EBP)
+        assert not is_stack_reg(EAX)
+
+
+class TestMemOperand:
+    def test_effective_address_full_form(self):
+        regs = [0] * NUM_REGS
+        regs[ESI] = 0x1000
+        regs[ECX] = 5
+        op = mem(base=ESI, index=ECX, scale=8, disp=16)
+        assert op.effective_address(regs) == 0x1000 + 40 + 16
+
+    def test_effective_address_absolute(self):
+        op = absolute(0x2000)
+        assert op.effective_address([0] * NUM_REGS) == 0x2000
+        assert op.is_absolute()
+
+    def test_negative_displacement(self):
+        regs = [0] * NUM_REGS
+        regs[EBP] = 0x8000
+        op = mem(base=EBP, disp=-8)
+        assert op.effective_address(regs) == 0x7FF8
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            mem(base=ESI, index=ECX, scale=3)
+
+    def test_scale_without_index_rejected(self):
+        with pytest.raises(ValueError):
+            MemOperand(base=ESI, scale=4)
+
+    def test_stack_filter_base(self):
+        assert mem(base=EBP, disp=-8).is_filtered_by_umi()
+        assert mem(base=ESP).is_filtered_by_umi()
+
+    def test_stack_filter_index(self):
+        assert mem(base=ESI, index=EBP, scale=1).is_filtered_by_umi()
+
+    def test_absolute_is_filtered(self):
+        assert absolute(0x5000).is_filtered_by_umi()
+
+    def test_heap_operand_not_filtered(self):
+        assert not mem(base=ESI, index=ECX, scale=8).is_filtered_by_umi()
+
+    def test_equality_and_hash(self):
+        a = mem(base=ESI, index=ECX, scale=8, disp=4)
+        b = mem(base=ESI, index=ECX, scale=8, disp=4)
+        c = mem(base=ESI, index=ECX, scale=8, disp=8)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_repr_contains_registers(self):
+        text = repr(mem(base=ESI, index=ECX, scale=8, disp=4))
+        assert "esi" in text and "ecx" in text
+
+
+class TestInstructionClassification:
+    def test_load_is_memory_ref(self):
+        ins = Instruction(LOAD, dst=EAX, memop=mem(base=ESI))
+        assert ins.is_memory_ref()
+        assert ins.is_load()
+        assert not ins.is_store()
+        assert ins.is_explicit_memory_ref()
+
+    def test_lea_is_not_memory_ref(self):
+        ins = Instruction(LEA, dst=EAX, memop=mem(base=ESI))
+        assert not ins.is_memory_ref()
+        assert not ins.is_explicit_memory_ref()
+
+    def test_call_ret_are_implicit_refs(self):
+        call = Instruction(CALL, target="f", fallthrough="next")
+        ret = Instruction(RET)
+        assert call.is_memory_ref() and ret.is_memory_ref()
+        assert not call.is_explicit_memory_ref()
+        assert call.is_filtered_by_umi() and ret.is_filtered_by_umi()
+
+    def test_stack_store_filtered(self):
+        ins = Instruction(STORE, src=EAX, memop=mem(base=EBP, disp=-16))
+        assert ins.is_filtered_by_umi()
+
+    def test_heap_load_not_filtered(self):
+        ins = Instruction(LOAD, dst=EAX, memop=mem(base=ESI, index=ECX,
+                                                   scale=8))
+        assert not ins.is_filtered_by_umi()
+
+    def test_branch_targets(self):
+        jcc = Instruction(JCC, target="a", fallthrough="b")
+        assert jcc.branch_targets() == ["a", "b"]
+        jmp = Instruction(JMP, target="a")
+        assert jmp.branch_targets() == ["a"]
+        sw = Instruction(SWITCH, src=EAX, targets=["x", "y", "z"])
+        assert sw.branch_targets() == ["x", "y", "z"]
+        assert Instruction(RET).branch_targets() == []
+
+    def test_terminators(self):
+        assert Instruction(JMP, target="a").is_terminator()
+        assert Instruction(RET).is_terminator()
+        assert not Instruction(LOAD, dst=EAX,
+                               memop=mem(base=ESI)).is_terminator()

@@ -1,0 +1,143 @@
+"""Tests for program construction, validation, and the builder DSL."""
+
+import pytest
+
+from repro.isa import (
+    ADD, CC_LT, CODE_BASE, EAX, ECX, EDX, ESI, ESP, HEAP_BASE,
+    INSTR_SIZE, ProgramBuilder, ProgramError, STACK_BASE, format_program,
+    mem,
+)
+
+
+def make_loop(n=8):
+    b = ProgramBuilder("p")
+    arr = b.data.alloc_array("a", n, elem_size=8, init=lambda i: i * 2)
+    b.start_regs({ESI: arr})
+    loop = b.block("loop")
+    loop.load(EAX, mem(base=ESI, index=ECX, scale=8))
+    loop.alu(ADD, EDX, EAX)
+    loop.alu_imm(ADD, ECX, 1)
+    loop.cmp_imm(ECX, n)
+    loop.jcc(CC_LT, "loop", "done")
+    b.block("done").halt()
+    return b.build(entry="loop")
+
+
+class TestDataSegment:
+    def test_alloc_respects_alignment(self):
+        b = ProgramBuilder("p")
+        a = b.data.alloc("a", 10, align=8)
+        c = b.data.alloc("c", 8, align=64)
+        assert a % 8 == 0
+        assert c % 64 == 0
+        assert c >= a + 10
+
+    def test_alloc_array_initializes(self):
+        b = ProgramBuilder("p")
+        base = b.data.alloc_array("arr", 4, elem_size=8, init=lambda i: i + 1)
+        assert [b.data.read_word(base + i * 8) for i in range(4)] == \
+            [1, 2, 3, 4]
+
+    def test_alloc_array_with_sequence_init(self):
+        b = ProgramBuilder("p")
+        base = b.data.alloc_array("arr", 3, elem_size=8, init=[7, 8, 9])
+        assert b.data.read_word(base + 8) == 8
+
+    def test_duplicate_symbol_rejected(self):
+        b = ProgramBuilder("p")
+        b.data.alloc("x", 8)
+        with pytest.raises(ProgramError):
+            b.data.alloc("x", 8)
+
+    def test_heap_starts_at_base(self):
+        b = ProgramBuilder("p")
+        assert b.data.alloc("first", 8) >= HEAP_BASE
+
+    def test_bad_alignment_rejected(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(ValueError):
+            b.data.alloc("x", 8, align=3)
+
+
+class TestProgramValidation:
+    def test_entry_must_exist(self):
+        b = ProgramBuilder("p")
+        b.block("a").halt()
+        with pytest.raises(ProgramError):
+            b.build(entry="missing")
+
+    def test_block_must_have_terminator(self):
+        b = ProgramBuilder("p")
+        blk = b.block("a")
+        blk.mov_imm(EAX, 1)
+        with pytest.raises(ProgramError):
+            b.build(entry="a")
+
+    def test_branch_to_undefined_label_rejected(self):
+        b = ProgramBuilder("p")
+        b.block("a").jmp("nowhere")
+        with pytest.raises(ProgramError):
+            b.build(entry="a")
+
+    def test_duplicate_block_label_rejected(self):
+        b = ProgramBuilder("p")
+        b.block("a")
+        with pytest.raises(ProgramError):
+            b.block("a")
+
+    def test_instructions_after_terminator_rejected(self):
+        b = ProgramBuilder("p")
+        blk = b.block("a")
+        blk.halt()
+        with pytest.raises(ProgramError):
+            blk.mov_imm(EAX, 1)
+
+
+class TestFinalizedProgram:
+    def test_pcs_assigned_and_unique(self):
+        program = make_loop()
+        pcs = [ins.pc for ins in program.iter_instructions()]
+        assert len(pcs) == len(set(pcs))
+        assert all(pc >= CODE_BASE for pc in pcs)
+
+    def test_locate_pc_round_trip(self):
+        program = make_loop()
+        for label, block in program.blocks.items():
+            for i, ins in enumerate(block.instructions):
+                assert program.locate_pc(ins.pc) == (label, i)
+                assert program.instruction_at(ins.pc) is ins
+
+    def test_static_counts(self):
+        program = make_loop()
+        assert program.static_loads() == 1
+        assert program.static_stores() == 0
+        assert program.static_memory_ops() == 1
+
+    def test_cfg_edges(self):
+        program = make_loop()
+        edges = set(program.cfg_edges())
+        assert ("loop", "loop") in edges
+        assert ("loop", "done") in edges
+
+    def test_initial_register_file(self):
+        program = make_loop()
+        regs = program.initial_register_file()
+        assert regs[ESP] == STACK_BASE
+        assert regs[ESI] >= HEAP_BASE
+
+    def test_instruction_spacing(self):
+        program = make_loop()
+        block = program.blocks["loop"]
+        pcs = [ins.pc for ins in block.instructions]
+        assert all(b - a == INSTR_SIZE for a, b in zip(pcs, pcs[1:]))
+
+    def test_fresh_label_unique(self):
+        b = ProgramBuilder("p")
+        labels = {b.fresh_label("x") for _ in range(10)}
+        assert len(labels) == 10
+
+    def test_disassembly_renders_all_blocks(self):
+        program = make_loop()
+        text = format_program(program)
+        assert "loop:" in text and "done:" in text
+        assert "halt" in text and "load8" in text

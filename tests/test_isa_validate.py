@@ -1,0 +1,114 @@
+"""Tests for the program linter."""
+
+import pytest
+
+from repro.isa import (
+    ADD, CC_LT, EAX, EBP, EBX, ECX, ESI, ProgramBuilder, absolute, mem,
+)
+from repro.isa.validate import LintIssue, lint, validate_program
+from repro.workloads import get_workload
+
+
+def simple_loop(extra=None):
+    b = ProgramBuilder("p")
+    arr = b.data.alloc_array("a", 8, elem_size=8, init=lambda i: i)
+    b.start_regs({ESI: arr, ECX: 0})
+    loop = b.block("loop")
+    loop.load(EAX, mem(base=ESI, index=ECX, scale=8))
+    loop.alu_imm(ADD, ECX, 1)
+    loop.cmp_imm(ECX, 8)
+    loop.jcc(CC_LT, "loop", "done")
+    b.block("done").halt()
+    if extra:
+        extra(b)
+    return b.build(entry="loop")
+
+
+class TestLint:
+    def test_clean_program_has_no_issues(self):
+        assert lint(simple_loop()) == []
+
+    def test_unreachable_block_flagged(self):
+        def extra(b):
+            b.block("orphan").halt()
+        issues = lint(simple_loop(extra))
+        assert any("unreachable" in i.message and i.block == "orphan"
+                   for i in issues)
+
+    def test_call_fallthrough_counts_as_reachable(self):
+        b = ProgramBuilder("p")
+        b.block("main").call("f", return_to="after")
+        b.block("f").ret()
+        b.block("after").halt()
+        assert lint(b.build(entry="main")) == []
+
+    def test_read_before_write_flagged(self):
+        b = ProgramBuilder("p")
+        blk = b.block("main")
+        blk.alu(ADD, EAX, EBX)   # EBX never written, not initialized
+        blk.halt()
+        issues = lint(b.build(entry="main"))
+        assert any("read before any write" in i.message for i in issues)
+
+    def test_initial_regs_count_as_written(self):
+        b = ProgramBuilder("p")
+        b.start_regs({EBX: 5})
+        blk = b.block("main")
+        blk.alu(ADD, EBX, EBX)
+        blk.halt()
+        assert lint(b.build(entry="main")) == []
+
+    def test_wild_absolute_address_flagged(self):
+        def extra_builder():
+            b = ProgramBuilder("p")
+            blk = b.block("main")
+            blk.load(EAX, absolute(0x42))   # below the heap
+            blk.halt()
+            return b.build(entry="main")
+        issues = lint(extra_builder())
+        assert any("outside the data segment" in i.message for i in issues)
+
+    def test_data_segment_absolute_ok(self):
+        b = ProgramBuilder("p")
+        g = b.data.alloc("g", 8)
+        blk = b.block("main")
+        blk.load(EAX, absolute(g))
+        blk.halt()
+        assert lint(b.build(entry="main")) == []
+
+    def test_ebp_clobber_flagged(self):
+        b = ProgramBuilder("p")
+        blk = b.block("main")
+        blk.mov_imm(EBP, 0x1234)
+        blk.halt()
+        issues = lint(b.build(entry="main"))
+        assert any("stack" in i.message.lower() for i in issues)
+
+    def test_infinite_self_loop_is_error(self):
+        b = ProgramBuilder("p")
+        b.block("spin").jmp("spin")
+        program = b.build(entry="spin")
+        issues = lint(program)
+        assert any(i.severity == "error" for i in issues)
+        with pytest.raises(ValueError):
+            validate_program(program)
+
+    def test_validate_passes_warnings(self):
+        def extra(b):
+            b.block("orphan2").halt()
+        validate_program(simple_loop(extra))  # warnings don't raise
+
+    def test_issue_str(self):
+        issue = LintIssue("warning", "blk", "something odd")
+        assert "warning" in str(issue) and "blk" in str(issue)
+
+
+class TestSuiteIsClean:
+    """Every shipped workload passes validation (warnings tolerated for
+    the deliberately quirky state machines)."""
+
+    @pytest.mark.parametrize("name", ["181.mcf", "179.art", "176.gcc",
+                                      "em3d", "ft", "456.hmmer"])
+    def test_workload_has_no_errors(self, name):
+        program = get_workload(name).build(0.1)
+        validate_program(program)

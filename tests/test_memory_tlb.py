@@ -1,0 +1,88 @@
+"""Tests for the opt-in data TLB extension."""
+
+import pytest
+
+from repro.memory import TLB, CacheConfig, MachineConfig, MemoryHierarchy
+
+
+def hierarchy_with_tlb(entries=4, walk=30):
+    machine = MachineConfig(
+        name="tlb-test",
+        l1=CacheConfig(size=256, assoc=2, line_size=64, hit_latency=1),
+        l2=CacheConfig(size=2048, assoc=4, line_size=64, hit_latency=8),
+        memory_latency=50,
+    )
+    hier = MemoryHierarchy(machine)
+    hier.tlb = TLB(entries=entries, walk_latency=walk)
+    return hier
+
+
+class TestTLB:
+    def test_first_touch_misses_then_hits(self):
+        tlb = TLB(entries=8, walk_latency=25)
+        assert tlb.translate(0x1000) == 25
+        assert tlb.translate(0x1FFF) == 0      # same 4KB page
+        assert tlb.translate(0x2000) == 25     # next page
+        assert tlb.stats.lookups == 3
+        assert tlb.stats.misses == 2
+
+    def test_lru_eviction(self):
+        tlb = TLB(entries=2, walk_latency=10)
+        tlb.translate(0x0000)
+        tlb.translate(0x1000)
+        tlb.translate(0x0000)        # page 0 is now MRU
+        tlb.translate(0x2000)        # evicts page 1
+        assert tlb.translate(0x0000) == 0
+        assert tlb.translate(0x1000) == 10
+
+    def test_capacity_respected(self):
+        tlb = TLB(entries=3)
+        for page in range(10):
+            tlb.translate(page << 12)
+        assert tlb.resident_pages() == 3
+
+    def test_flush(self):
+        tlb = TLB(entries=4, walk_latency=10)
+        tlb.translate(0x1000)
+        tlb.flush()
+        assert tlb.translate(0x1000) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TLB(entries=0)
+        with pytest.raises(ValueError):
+            TLB(walk_latency=-1)
+
+    def test_miss_ratio(self):
+        tlb = TLB(entries=8)
+        tlb.translate(0x1000)
+        tlb.translate(0x1000)
+        assert tlb.stats.miss_ratio == 0.5
+
+
+class TestHierarchyIntegration:
+    def test_walk_latency_added_to_access(self):
+        hier = hierarchy_with_tlb(walk=30)
+        cold = hier.access(1, 0x1000, False)
+        assert cold == 1 + 8 + 50 + 30       # full miss + walk
+        warm = hier.access(1, 0x1008, False)
+        assert warm == 1                     # L1 hit, TLB hit
+
+    def test_page_spanning_workload_pays_walks(self):
+        hier = hierarchy_with_tlb(entries=2, walk=30)
+        # Touch 8 distinct pages cyclically: every access walks.
+        total_walks = 0
+        for i in range(32):
+            hier.access(1, (i % 8) << 12, False)
+        assert hier.tlb.stats.misses == 32
+
+    def test_no_tlb_means_no_walks(self):
+        machine = MachineConfig(
+            name="t",
+            l1=CacheConfig(size=256, assoc=2, line_size=64, hit_latency=1),
+            l2=CacheConfig(size=2048, assoc=4, line_size=64, hit_latency=8),
+            memory_latency=50,
+        )
+        hier = MemoryHierarchy(machine)
+        assert hier.tlb is None
+        assert hier.access(1, 0x1000, False) == 1 + 8 + 50

@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AddressProfile, MiniCacheSimulator, UMIConfig
+from repro.fullsim import delinquent_set, miss_coverage
+from repro.isa import MemOperand, NUM_REGS
+from repro.memory import Cache, CacheConfig, LRUPolicy
+from repro.stats import pearson, spearman
+
+# --- strategies -------------------------------------------------------------
+
+addresses = st.integers(min_value=0, max_value=1 << 40)
+line_addrs = st.integers(min_value=0, max_value=1 << 24)
+small_counts = st.integers(min_value=0, max_value=10_000)
+
+
+class ReferenceLRUCache:
+    """A brutally simple model: per-set ordered list, LRU at the front."""
+
+    def __init__(self, num_sets, assoc):
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.sets = [[] for _ in range(num_sets)]
+
+    def access(self, line_addr):
+        s = self.sets[line_addr % self.num_sets]
+        hit = line_addr in s
+        if hit:
+            s.remove(line_addr)
+        elif len(s) >= self.assoc:
+            s.pop(0)
+        s.append(line_addr)
+        return hit
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                max_size=400),
+       st.sampled_from([(4, 2), (8, 1), (2, 4), (1, 8)]))
+def test_lru_cache_matches_reference_model(trace, geometry):
+    """The set-associative LRU cache agrees with an executable model."""
+    num_sets, assoc = geometry
+    config = CacheConfig(size=num_sets * assoc * 64, assoc=assoc,
+                         line_size=64)
+    cache = Cache(config, LRUPolicy())
+    model = ReferenceLRUCache(num_sets, assoc)
+    for t, line in enumerate(trace):
+        expected_hit = model.access(line)
+        hit, _ = cache.probe(line, False, t)
+        if not hit:
+            cache.fill(line, now=t)
+        assert hit == expected_hit
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(line_addrs, min_size=1, max_size=200))
+def test_cache_occupancy_never_exceeds_capacity(trace):
+    config = CacheConfig(size=1024, assoc=2, line_size=64)
+    cache = Cache(config)
+    for t, line in enumerate(trace):
+        hit, _ = cache.probe(line, False, t)
+        if not hit:
+            cache.fill(line, now=t)
+    assert cache.resident_lines() <= config.assoc * config.num_sets
+    assert cache.stats.refs == len(trace)
+    assert cache.stats.misses <= cache.stats.refs
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(line_addrs, min_size=2, max_size=100))
+def test_immediate_reaccess_always_hits(trace):
+    """Temporal locality invariant: touching a line twice in a row hits."""
+    config = CacheConfig(size=2048, assoc=4, line_size=64)
+    cache = Cache(config)
+    for t, line in enumerate(trace):
+        hit, _ = cache.probe(line, False, 2 * t)
+        if not hit:
+            cache.fill(line, now=2 * t)
+        again, _ = cache.probe(line, False, 2 * t + 1)
+        assert again
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.dictionaries(st.integers(0, 1000), small_counts, max_size=40),
+       st.floats(min_value=0.05, max_value=1.0))
+def test_delinquent_set_covers_and_is_minimal(pc_misses, coverage):
+    chosen = delinquent_set(pc_misses, coverage=coverage)
+    total = sum(pc_misses.values())
+    if total == 0:
+        assert chosen == frozenset()
+        return
+    # Coverage property.
+    assert miss_coverage(chosen, pc_misses) >= coverage - 1e-12
+    # Minimality: removing the smallest chosen element breaks coverage.
+    if chosen:
+        smallest = min(chosen, key=lambda pc: (pc_misses[pc], -pc))
+        reduced = chosen - {smallest}
+        assert miss_coverage(reduced, pc_misses) < coverage
+    # Only instructions that actually miss are ever included.
+    assert all(pc_misses[pc] > 0 for pc in chosen)
+
+
+_unit_fraction = st.integers(0, 1000).map(lambda v: v / 1000)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(_unit_fraction, _unit_fraction),
+                min_size=2, max_size=50))
+def test_pearson_bounds_and_symmetry(pairs):
+    # Millesimal fractions: affine transforms can't absorb values the
+    # way adding 3 to a 1e-38 float does.
+    xs = [a for a, _ in pairs]
+    ys = [b for _, b in pairs]
+    r = pearson(xs, ys)
+    assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+    assert pearson(ys, xs) == r
+    # Affine transformation invariance (positive slope).
+    assert abs(pearson([2 * x + 3 for x in xs], ys) - r) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 1000).map(lambda v: v / 1000),
+                min_size=2, max_size=30))
+def test_perfect_self_correlation(xs):
+    # Values are millesimal fractions: squaring them cannot underflow
+    # the way squaring subnormal floats does.
+    if len(set(xs)) < 2:
+        return
+    assert pearson(xs, xs) == 1.0
+    assert spearman(xs, list(xs)) == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 8), st.integers(1, 20), st.integers(0, 5),
+       st.randoms(use_true_random=False))
+def test_address_profile_round_trip(n_ops, n_rows, gaps, rng):
+    """Recorded cells come back in row-major order with warmup flags."""
+    profile = AddressProfile("t", [4 * i for i in range(n_ops)],
+                             max_rows=n_rows)
+    written = []
+    for r in range(n_rows):
+        row = profile.new_row()
+        for c in range(n_ops):
+            if rng.random() < 0.7:
+                addr = rng.randrange(1 << 30)
+                row[c] = addr
+                written.append((4 * c, addr, r))
+    refs = list(profile.iter_references(skip_rows=2))
+    assert [(pc, a) for pc, a, _ in refs] == \
+        [(pc, a) for pc, a, _ in written]
+    for (pc, a, counted), (_, _, r) in zip(refs, written):
+        assert counted == (r >= 2)
+    assert profile.record_count() == len(written)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(line_addrs, min_size=1, max_size=150))
+def test_minisim_counts_are_consistent(lines):
+    """Counted refs equal the sum of per-op refs; misses never exceed."""
+    config = UMIConfig(warmup_executions=1, flush_interval=None)
+    sim = MiniCacheSimulator(
+        config, CacheConfig(size=1024, assoc=2, line_size=64))
+    profile = AddressProfile("t", [0x400000], max_rows=len(lines))
+    for line in lines:
+        profile.new_row()[0] = line * 64
+    result = sim.analyze(profile)
+    per_op_refs = sum(op.refs for op in result.per_op.values())
+    per_op_misses = sum(op.misses for op in result.per_op.values())
+    assert per_op_refs == result.counted_refs
+    assert per_op_misses == result.counted_misses
+    assert result.counted_misses <= result.counted_refs
+    assert result.counted_refs + result.warmup_refs == len(lines)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, NUM_REGS - 1) | st.none(),
+       st.integers(0, NUM_REGS - 1) | st.none(),
+       st.sampled_from([1, 2, 4, 8]),
+       st.integers(-4096, 4096),
+       st.lists(st.integers(0, 1 << 32), min_size=NUM_REGS,
+                max_size=NUM_REGS))
+def test_mem_operand_effective_address(base, index, scale, disp, regs):
+    if index is None and scale != 1:
+        scale = 1
+    op = MemOperand(base=base, index=index, scale=scale, disp=disp)
+    expected = disp
+    if base is not None:
+        expected += regs[base]
+    if index is not None:
+        expected += regs[index] * scale
+    assert op.effective_address(regs) == expected

@@ -1,0 +1,95 @@
+"""Tests for JSON result serialization."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import UMIConfig
+from repro.memory import CacheConfig, MachineConfig
+from repro.runners import run_native, run_umi
+from repro.serialize import (
+    SCHEMA_VERSION, dump, loads, outcome_to_dict, umi_result_to_dict,
+)
+
+from helpers import build_chase_program
+
+MACHINE = MachineConfig(
+    name="ser-test",
+    l1=CacheConfig(size=256, assoc=2, line_size=64, hit_latency=1),
+    l2=CacheConfig(size=2048, assoc=4, line_size=64, hit_latency=8),
+    memory_latency=50,
+)
+
+
+@pytest.fixture(scope="module")
+def umi_outcome():
+    program, _ = build_chase_program(n=64, reps=8)
+    return run_umi(program, MACHINE,
+                   umi_config=UMIConfig(use_sampling=False,
+                                        warmup_executions=0,
+                                        flush_interval=None))
+
+
+class TestUMIResultSerialization:
+    def test_round_trips_through_json(self, umi_outcome):
+        payload = umi_result_to_dict(umi_outcome.umi)
+        text = json.dumps(payload)
+        back = loads(text)
+        assert back == payload
+
+    def test_contains_key_quantities(self, umi_outcome):
+        payload = umi_result_to_dict(umi_outcome.umi)
+        assert payload["kind"] == "umi_result"
+        assert payload["cycles"] == umi_outcome.cycles
+        assert payload["miss_ratios"]["simulated"] == \
+            umi_outcome.umi.simulated_miss_ratio
+        assert payload["umi"]["profiles_collected"] >= 1
+
+    def test_pcs_are_hex_strings(self, umi_outcome):
+        payload = umi_result_to_dict(umi_outcome.umi)
+        assert all(k.startswith("0x") for k in payload["pc_miss_ratios"])
+        assert all(p.startswith("0x")
+                   for p in payload["predicted_delinquent"])
+
+    def test_delinquent_sorted_and_complete(self, umi_outcome):
+        payload = umi_result_to_dict(umi_outcome.umi)
+        expected = sorted(hex(p) for p in
+                          umi_outcome.umi.predicted_delinquent)
+        assert payload["predicted_delinquent"] == expected
+
+
+class TestOutcomeSerialization:
+    def test_native_outcome(self):
+        program, _ = build_chase_program(n=32, reps=2)
+        outcome = run_native(program, MACHINE, with_cachegrind=True)
+        payload = outcome_to_dict(outcome)
+        assert payload["mode"] == "native"
+        assert "cachegrind" in payload
+        assert "umi" not in payload
+
+    def test_umi_outcome_nests_result(self, umi_outcome):
+        payload = outcome_to_dict(umi_outcome)
+        assert payload["umi"]["kind"] == "umi_result"
+
+
+class TestDumpAndLoad:
+    def test_dump_to_path(self, umi_outcome, tmp_path):
+        path = tmp_path / "result.json"
+        dump(umi_outcome.umi, str(path))
+        payload = loads(path.read_text())
+        assert payload["program"] == "chase"
+
+    def test_dump_to_stream(self, umi_outcome):
+        buf = io.StringIO()
+        dump(umi_outcome, buf)
+        assert loads(buf.getvalue())["kind"] == "run_outcome"
+
+    def test_dump_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            dump({"not": "a result"}, io.StringIO())
+
+    def test_loads_checks_schema(self):
+        bad = json.dumps({"schema_version": SCHEMA_VERSION + 1})
+        with pytest.raises(ValueError):
+            loads(bad)

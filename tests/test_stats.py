@@ -1,0 +1,146 @@
+"""Tests for correlation statistics and table rendering."""
+
+import math
+
+import pytest
+
+from repro.stats import Table, paper_formula, pearson, spearman
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_scale_invariance(self):
+        xs = [0.1, 0.5, 0.9, 0.2]
+        ys = [3.0, 7.0, 2.0, 9.0]
+        a = pearson(xs, ys)
+        b = pearson([x * 100 for x in xs], [y * 0.01 + 5 for y in ys])
+        assert a == pytest.approx(b)
+
+    def test_constant_series_returns_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+        assert pearson([1, 2, 3], [5, 5, 5]) == 0.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            pearson([1], [2])
+
+    def test_bounded(self):
+        xs = [0.3, 0.9, 0.1, 0.7, 0.5]
+        ys = [0.2, 0.8, 0.4, 0.6, 0.1]
+        assert -1.0 <= pearson(xs, ys) <= 1.0
+
+    def test_symmetry(self):
+        xs = [1.0, 4.0, 2.0, 8.0]
+        ys = [3.0, 1.0, 7.0, 2.0]
+        assert pearson(xs, ys) == pytest.approx(pearson(ys, xs))
+
+
+class TestPaperFormula:
+    def test_agrees_in_sign_with_pearson(self):
+        xs = [0.1, 0.5, 0.9, 0.2, 0.7]
+        ys = [0.2, 0.4, 0.8, 0.1, 0.9]
+        assert math.copysign(1, paper_formula(xs, ys)) == \
+            math.copysign(1, pearson(xs, ys))
+
+    def test_not_normalized_like_pearson(self):
+        # The literal printed formula is not scale-invariant: two
+        # perfectly-correlated points give sqrt(2), not 1.0 -- evidence
+        # that the paper meant Pearson.
+        assert paper_formula([0, 1], [0, 2]) == pytest.approx(math.sqrt(2))
+
+    def test_degenerate_returns_zero(self):
+        assert paper_formula([1, 1], [2, 2]) == 0.0
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_perfect(self):
+        xs = [1, 2, 3, 4, 5]
+        ys = [1, 8, 27, 64, 125]
+        assert spearman(xs, ys) == pytest.approx(1.0)
+        assert pearson(xs, ys) < 1.0
+
+    def test_ties_handled(self):
+        assert -1.0 <= spearman([1, 2, 2, 3], [4, 4, 5, 6]) <= 1.0
+
+    def test_antitone(self):
+        assert spearman([1, 2, 3], [9, 4, 1]) == pytest.approx(-1.0)
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        table = Table("My Table", ["name", "value"], ["{}", "{:.2f}"])
+        table.add_row("a", 1.234)
+        table.add_row("b", 5.6789)
+        text = table.render()
+        assert "My Table" in text
+        assert "1.23" in text and "5.68" in text
+
+    def test_none_renders_as_dash(self):
+        table = Table("T", ["x"], ["{:.3f}"])
+        table.add_row(None)
+        assert "-" in table.render()
+
+    def test_row_length_checked(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_formats_length_checked(self):
+        with pytest.raises(ValueError):
+            Table("T", ["a", "b"], ["{}"])
+
+    def test_column_values_and_dicts(self):
+        table = Table("T", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_dict_row({"a": 3, "b": 4})
+        assert table.column_values("a") == [1, 3]
+        assert table.as_dicts()[1] == {"a": 3, "b": 4}
+
+    def test_empty_table_renders(self):
+        assert "T" in Table("T", ["a"]).render()
+
+
+class TestRenderBars:
+    def _table(self):
+        table = Table("Fig", ["benchmark", "a", "b"],
+                      ["{}", "{:.3f}", "{:.3f}"])
+        table.add_row("x", 1.0, 0.5)
+        table.add_row("y", 2.0, 1.5)
+        return table
+
+    def test_bars_scale_to_peak(self):
+        text = self._table().render_bars(width=10)
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert len(lines) == 4
+        # The peak value (2.0) gets the full width.
+        peak_line = next(l for l in lines if "2.000" in l)
+        assert peak_line.count("#") == 10
+        half_line = next(l for l in lines if "1.000" in l)
+        assert half_line.count("#") == 5
+
+    def test_label_column_default(self):
+        text = self._table().render_bars()
+        assert "x" in text and "y" in text
+
+    def test_explicit_columns(self):
+        text = self._table().render_bars(value_columns=["a"])
+        assert "0.500" not in text
+
+    def test_no_numeric_columns_raises(self):
+        table = Table("T", ["name", "tag"])
+        table.add_row("a", "b")
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            table.render_bars()
+
+    def test_empty_table(self):
+        assert Table("T", ["x"]).render_bars() == "T"

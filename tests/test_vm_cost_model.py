@@ -1,0 +1,90 @@
+"""Tests for the cycle cost model and disassembler coverage."""
+
+import pytest
+
+from repro.isa import (
+    ADD, CALL, CC_EQ, DIV, EAX, EBX, ESI, HALT, Instruction, JCC, JMP,
+    LEA, LOAD, MOD, MOV_RI, MOV_RR, MUL, NOP, RET, STORE, SWITCH, WORK,
+    format_instruction, mem,
+)
+from repro.isa.instructions import (
+    ALU_RI, ALU_RR, CMP_RI, CMP_RR, NUM_OPCODES,
+)
+from repro.vm import CostModel, DEFAULT_COST_MODEL
+
+
+class TestCostModel:
+    def test_alu_ops_cheap(self):
+        model = DEFAULT_COST_MODEL
+        assert model.instruction_cost(ALU_RR, ADD) == model.alu_cost
+
+    def test_mul_more_expensive_than_add(self):
+        model = DEFAULT_COST_MODEL
+        assert model.instruction_cost(ALU_RI, MUL) > \
+            model.instruction_cost(ALU_RI, ADD)
+
+    def test_div_most_expensive_alu(self):
+        model = DEFAULT_COST_MODEL
+        assert model.instruction_cost(ALU_RR, DIV) >= \
+            model.instruction_cost(ALU_RR, MUL)
+        assert model.instruction_cost(ALU_RR, MOD) == \
+            model.instruction_cost(ALU_RR, DIV)
+
+    def test_work_and_halt_free(self):
+        model = DEFAULT_COST_MODEL
+        assert model.instruction_cost(WORK) == 0
+        assert model.instruction_cost(HALT) == 0
+
+    def test_every_opcode_has_a_cost(self):
+        model = DEFAULT_COST_MODEL
+        for op in range(NUM_OPCODES):
+            assert model.instruction_cost(op) >= 0
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.instruction_cost(NUM_OPCODES)
+
+    def test_custom_model(self):
+        model = CostModel(alu_cost=7)
+        assert model.instruction_cost(ALU_RI, ADD) == 7
+        # Default untouched.
+        assert DEFAULT_COST_MODEL.alu_cost == 1
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COST_MODEL.alu_cost = 9
+
+
+class TestDisassemblerCoverage:
+    """Every opcode renders to something meaningful."""
+
+    CASES = [
+        (Instruction(MOV_RI, dst=EAX, imm=5), "mov eax"),
+        (Instruction(MOV_RR, dst=EAX, src=EBX), "mov eax, ebx"),
+        (Instruction(LOAD, dst=EAX, memop=mem(base=ESI)), "load8"),
+        (Instruction(STORE, src=EAX, memop=mem(base=ESI)), "store8"),
+        (Instruction(STORE, memop=mem(base=ESI), imm=3), "store8"),
+        (Instruction(ALU_RR, dst=EAX, src=EBX, aluop=ADD), "add eax"),
+        (Instruction(ALU_RI, dst=EAX, imm=2, aluop=MUL), "mul eax"),
+        (Instruction(LEA, dst=EAX, memop=mem(base=ESI)), "lea"),
+        (Instruction(CMP_RR, dst=EAX, src=EBX), "cmp"),
+        (Instruction(CMP_RI, dst=EAX, imm=4), "cmp"),
+        (Instruction(JCC, cc=CC_EQ, target="a", fallthrough="b"), "jeq a"),
+        (Instruction(JMP, target="x"), "jmp x"),
+        (Instruction(CALL, target="f", fallthrough="r"), "call f"),
+        (Instruction(RET), "ret"),
+        (Instruction(HALT), "halt"),
+        (Instruction(WORK, imm=9), "work 9"),
+        (Instruction(SWITCH, src=EAX, targets=["a", "b"]), "switch eax"),
+        (Instruction(NOP), "nop"),
+    ]
+
+    @pytest.mark.parametrize("instruction,needle", CASES,
+                             ids=[n for _, n in CASES])
+    def test_renders(self, instruction, needle):
+        assert needle in format_instruction(instruction)
+
+    def test_unknown_opcode(self):
+        ins = Instruction(NOP)
+        ins.op = 99
+        assert "unknown" in format_instruction(ins)

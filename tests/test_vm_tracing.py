@@ -1,0 +1,115 @@
+"""Tests for execution tracing and the din trace format."""
+
+import io
+
+import pytest
+
+from repro.vm.tracing import (
+    BlockTraceRecorder, DIN_READ, DIN_WRITE, MemoryTraceRecorder,
+    replay_din, trace_program,
+)
+
+from helpers import build_chase_program, build_stream_program
+
+
+class TestMemoryTraceRecorder:
+    def test_records_references(self):
+        rec = MemoryTraceRecorder()
+        rec(pc=1, addr=0x100, is_write=False, size=8)
+        rec(pc=2, addr=0x200, is_write=True, size=8)
+        assert len(rec) == 2
+        assert rec.addresses() == [0x100, 0x200]
+        assert rec.write_fraction() == 0.5
+
+    def test_limit_drops_excess(self):
+        rec = MemoryTraceRecorder(limit=2)
+        for i in range(5):
+            rec(1, i, False, 8)
+        assert len(rec) == 2
+        assert rec.dropped == 3
+
+    def test_unlimited(self):
+        rec = MemoryTraceRecorder(limit=None)
+        for i in range(100):
+            rec(1, i, False, 8)
+        assert len(rec) == 100
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            MemoryTraceRecorder(limit=0)
+
+    def test_per_pc_counts(self):
+        rec = MemoryTraceRecorder()
+        for _ in range(3):
+            rec(7, 0, False, 8)
+        rec(9, 0, True, 8)
+        counts = rec.per_pc_counts()
+        assert counts[7] == 3 and counts[9] == 1
+
+
+class TestDinFormat:
+    def test_round_trip(self):
+        rec = MemoryTraceRecorder()
+        rec(1, 0x1000, False, 8)
+        rec(2, 0x2FF8, True, 8)
+        buf = io.StringIO()
+        count = rec.to_din(buf)
+        assert count == 2
+        parsed = list(replay_din(buf.getvalue().splitlines()))
+        assert parsed == [(False, 0x1000), (True, 0x2FF8)]
+
+    def test_to_din_path(self, tmp_path):
+        rec = MemoryTraceRecorder()
+        rec(1, 0xABC, False, 8)
+        path = tmp_path / "trace.din"
+        rec.to_din(str(path))
+        assert path.read_text() == f"{DIN_READ} abc\n"
+
+    def test_replay_skips_comments_and_blanks(self):
+        text = "# header\n\n0 10\n1 20\n"
+        assert list(replay_din(text.splitlines())) == \
+            [(False, 0x10), (True, 0x20)]
+
+    def test_replay_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            list(replay_din(["0 10 extra"]))
+        with pytest.raises(ValueError):
+            list(replay_din(["9 10"]))
+
+
+class TestBlockTrace:
+    def test_execution_counts(self):
+        rec = BlockTraceRecorder()
+        for label in ("a", "b", "a", "a"):
+            rec.note(label)
+        assert rec.execution_counts()["a"] == 3
+        assert rec.hottest(1) == [("a", 3)]
+
+    def test_limit(self):
+        rec = BlockTraceRecorder(limit=1)
+        rec.note("a")
+        rec.note("b")
+        assert len(rec) == 1 and rec.dropped == 1
+
+
+class TestTraceProgram:
+    def test_captures_whole_run(self):
+        program, _ = build_stream_program(n=64, reps=2)
+        mem_trace, block_trace = trace_program(program)
+        # The loop executes 128 iterations: one load each.
+        reads = [a for _, a, w, _ in mem_trace.records if not w]
+        assert len(reads) == 128
+        assert block_trace.execution_counts()["loop"] == 128
+
+    def test_chase_trace_follows_pointers(self):
+        program, _ = build_chase_program(n=16, reps=1)
+        mem_trace, _ = trace_program(program)
+        # 16 chase loads, each to a distinct node.
+        heap_reads = [a for _, a, w, _ in mem_trace.records
+                      if not w and a >= 0x1000_0000 and a < 0x7000_0000]
+        assert len(set(heap_reads)) == 16
+
+    def test_step_guard(self):
+        program, _ = build_stream_program(n=256, reps=4)
+        with pytest.raises(RuntimeError):
+            trace_program(program, max_steps=100)

@@ -1,0 +1,230 @@
+"""Tests for the synthetic benchmark suite."""
+
+import pytest
+
+from repro.isa import Program
+from repro.memory import get_machine
+from repro.runners import run_native
+from repro.workloads import (
+    GROUPS, all_workloads, get_workload, prefetchable_workloads,
+    workloads_in_group,
+)
+from repro.workloads.datagen import (
+    LIST_NEXT_OFFSET, TREE_LEFT_OFFSET, TREE_RIGHT_OFFSET,
+    TREE_VALUE_OFFSET, make_binary_tree, make_index_array,
+    make_linked_list,
+)
+from repro.isa import ProgramBuilder
+
+
+class TestRegistry:
+    def test_paper_suite_has_32_benchmarks(self):
+        assert len(all_workloads()) == 32
+
+    def test_group_sizes_match_paper(self):
+        assert len(workloads_in_group("CFP2000")) == 14
+        assert len(workloads_in_group("CINT2000")) == 12
+        assert len(workloads_in_group("OLDEN")) == 6
+        assert len(workloads_in_group("CFP2006")) == 7
+        assert len(workloads_in_group("CINT2006")) == 8
+
+    def test_lookup_by_name(self):
+        assert get_workload("181.mcf").group == "CINT2000"
+        assert get_workload("ft").group == "OLDEN"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            get_workload("999.nothere")
+
+    def test_prefetchable_subset(self):
+        names = {s.name for s in prefetchable_workloads()}
+        assert "ft" in names and "181.mcf" in names and "179.art" in names
+        assert "252.eon" not in names
+        assert 8 <= len(names) <= 14
+
+    def test_registration_order_is_table_order(self):
+        names = [s.name for s in all_workloads()]
+        assert names[0] == "168.wupwise"
+        assert names[13] == "301.apsi"
+        assert names[14] == "164.gzip"
+        assert names[-1] == "ft"
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("spec", all_workloads(list(GROUPS)),
+                             ids=lambda s: s.name)
+    def test_every_workload_builds_and_validates(self, spec):
+        program = spec.build(scale=0.1)
+        assert isinstance(program, Program)
+        assert program.finalized
+        assert program.static_loads() > 0
+
+    def test_builds_are_deterministic(self):
+        a = get_workload("181.mcf").build(0.2)
+        b = get_workload("181.mcf").build(0.2)
+        assert [i.pc for i in a.iter_instructions()] == \
+            [i.pc for i in b.iter_instructions()]
+        assert a.data.image == b.data.image
+
+    def test_scale_changes_run_length_not_footprint(self):
+        small = get_workload("179.art").build(0.1)
+        large = get_workload("179.art").build(0.3)
+        assert small.data.size == large.data.size
+        machine = get_machine("pentium4", scale=16)
+        out_s = run_native(small, machine)
+        out_l = run_native(large, machine)
+        assert out_l.steps > 1.5 * out_s.steps
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            get_workload("ft").build(scale=0)
+
+
+class TestWorkloadCharacter:
+    """Relative miss behaviour sanity, at a small scale."""
+
+    @pytest.fixture(scope="class")
+    def ratios(self):
+        machine = get_machine("pentium4", scale=16)
+        result = {}
+        for name in ("179.art", "181.mcf", "em3d", "ft",
+                     "252.eon", "186.crafty", "253.perlbmk"):
+            out = run_native(get_workload(name).build(0.25), machine)
+            result[name] = out.hw_l2_miss_ratio
+        return result
+
+    def test_memory_intensive_group_is_high(self, ratios):
+        for name in ("179.art", "181.mcf", "em3d", "ft"):
+            assert ratios[name] > 0.4, name
+
+    def test_compute_group_is_low(self, ratios):
+        # Bound is loose because short (scale 0.25) runs inflate the
+        # compulsory-miss share; at scale 1.0 these land below 0.07.
+        for name in ("252.eon", "186.crafty", "253.perlbmk"):
+            assert ratios[name] < 0.30, name
+
+    def test_groups_are_separated(self, ratios):
+        high = min(ratios[n] for n in ("179.art", "181.mcf", "em3d", "ft"))
+        low = max(ratios[n] for n in ("252.eon", "186.crafty",
+                                      "253.perlbmk"))
+        assert high > 2 * low
+
+    def test_gcc_has_low_trace_residency(self):
+        from repro.runners import run_dynamo
+        machine = get_machine("pentium4", scale=16)
+        gcc = run_dynamo(get_workload("176.gcc").build(0.25), machine)
+        art = run_dynamo(get_workload("179.art").build(0.25), machine)
+        assert gcc.runtime_stats.trace_residency < 0.7
+        assert art.runtime_stats.trace_residency > 0.9
+
+
+class TestDatagen:
+    def test_linked_list_chases_to_null(self):
+        b = ProgramBuilder("p")
+        head = make_linked_list(b, "l", 10, shuffled=True, seed=3)
+        seen = 0
+        addr = head
+        while addr:
+            seen += 1
+            addr = b.data.read_word(addr + LIST_NEXT_OFFSET)
+            assert seen <= 10
+        assert seen == 10
+
+    def test_shuffled_list_is_scattered(self):
+        b = ProgramBuilder("p")
+        head = make_linked_list(b, "l", 64, node_bytes=64, shuffled=True,
+                                seed=3)
+        jumps = []
+        addr = head
+        while True:
+            nxt = b.data.read_word(addr)
+            if not nxt:
+                break
+            jumps.append(abs(nxt - addr))
+            addr = nxt
+        assert sum(1 for j in jumps if j > 64) > len(jumps) // 2
+
+    def test_sequential_list_is_contiguous(self):
+        b = ProgramBuilder("p")
+        head = make_linked_list(b, "l", 16, node_bytes=64, shuffled=False)
+        addr = head
+        while True:
+            nxt = b.data.read_word(addr)
+            if not nxt:
+                break
+            assert nxt == addr + 64
+            addr = nxt
+
+    def test_value_offset_placement(self):
+        b = ProgramBuilder("p")
+        head = make_linked_list(b, "l", 4, node_bytes=128, shuffled=False,
+                                value_offset=64, value_of=lambda i: i + 100)
+        assert b.data.read_word(head + 64) == 100
+
+    def test_bad_value_offset(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(ValueError):
+            make_linked_list(b, "l", 4, node_bytes=32, value_offset=32)
+
+    def test_binary_tree_structure(self):
+        b = ProgramBuilder("p")
+        root = make_binary_tree(b, "t", depth=4)
+        # Count nodes by DFS through the image.
+        count = 0
+        stack = [root]
+        values = 0
+        while stack:
+            addr = stack.pop()
+            if not addr:
+                continue
+            count += 1
+            values += b.data.read_word(addr + TREE_VALUE_OFFSET)
+            stack.append(b.data.read_word(addr + TREE_LEFT_OFFSET))
+            stack.append(b.data.read_word(addr + TREE_RIGHT_OFFSET))
+        assert count == 15
+        assert values == sum(range(1, 16))
+
+    def test_tree_depth_validation(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(ValueError):
+            make_binary_tree(b, "t", depth=0)
+
+    def test_index_array_bounds(self):
+        b = ProgramBuilder("p")
+        base = make_index_array(b, "idx", 100, max_index=50, seed=9)
+        vals = [b.data.read_word(base + i * 8) for i in range(100)]
+        assert all(0 <= v < 50 for v in vals)
+
+    def test_index_array_sequential_fraction(self):
+        b = ProgramBuilder("p")
+        base = make_index_array(b, "idx", 64, max_index=64, seed=9,
+                                sequential_fraction=1.0)
+        vals = [b.data.read_word(base + i * 8) for i in range(64)]
+        assert vals == list(range(64))
+
+
+class TestCatalog:
+    def test_catalog_lists_everything(self):
+        from repro.workloads.catalog import catalog_table
+        table = catalog_table()
+        names = table.column_values("name")
+        assert len(names) == 51  # 32 + 15 spec2006 + 4 apps
+        assert "181.mcf" in names and "app.database" in names
+
+    def test_catalog_group_filter(self):
+        from repro.workloads.catalog import catalog_table
+        table = catalog_table(groups=["OLDEN"])
+        assert len(table.as_dicts()) == 6
+
+    def test_catalog_measured(self):
+        from repro.workloads.catalog import catalog_table
+        table = catalog_table(groups=["APPS"], measure=True, scale=0.1)
+        for row in table.as_dicts():
+            assert row["footprint_kb"] > 0
+            assert 0.0 <= row["l2_miss_ratio"] <= 1.0
+
+    def test_catalog_cli(self, capsys):
+        from repro.workloads.catalog import main
+        assert main(["--group", "OLDEN"]) == 0
+        out = capsys.readouterr().out
+        assert "em3d" in out and "treeadd" in out
