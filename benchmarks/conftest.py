@@ -5,6 +5,11 @@ configurable workload scale (``UMI_BENCH_SCALE`` env var, default 0.5)
 and attaches headline numbers to the pytest-benchmark record via
 ``extra_info`` so `pytest benchmarks/ --benchmark-only` output doubles
 as the reproduction log.
+
+The shared cache rides on the execution engine: set ``UMI_BENCH_JOBS``
+to fan independent runs across worker processes and
+``UMI_BENCH_STORE`` to a directory to persist results across benchmark
+sessions (a warm store skips every previously-executed run).
 """
 
 from __future__ import annotations
@@ -16,12 +21,15 @@ import pytest
 from repro.experiments import ResultCache
 
 BENCH_SCALE = float(os.environ.get("UMI_BENCH_SCALE", "1.0"))
+BENCH_JOBS = int(os.environ.get("UMI_BENCH_JOBS", "1"))
+BENCH_STORE = os.environ.get("UMI_BENCH_STORE") or None
 
 
 @pytest.fixture(scope="session")
 def cache() -> ResultCache:
     """One shared run cache for the whole benchmark session."""
-    return ResultCache(scale=BENCH_SCALE)
+    return ResultCache(scale=BENCH_SCALE, jobs=BENCH_JOBS,
+                       store=BENCH_STORE)
 
 
 @pytest.fixture(scope="session")

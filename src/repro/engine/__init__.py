@@ -1,0 +1,23 @@
+"""Execution engine: declarative runs, executors, persistent store.
+
+The run-spec layer (:class:`RunSpec`) is the single currency between
+experiments, runners, serialization and benchmarks; the engine
+(:class:`ExecutionEngine`) resolves specs through an in-process memo, a
+persistent content-addressed :class:`ResultStore`, and a serial or
+``multiprocessing``-parallel executor.  See the "Execution engine"
+section of ``docs/ARCHITECTURE.md``.
+"""
+
+from .engine import ExecutionEngine
+from .executor import (
+    ParallelExecutor, SerialExecutor, execute_spec, execute_spec_payload,
+    make_executor,
+)
+from .spec import RunSpec, SPEC_MODES
+from .store import ResultStore
+
+__all__ = [
+    "ExecutionEngine", "ParallelExecutor", "ResultStore", "RunSpec",
+    "SPEC_MODES", "SerialExecutor", "execute_spec",
+    "execute_spec_payload", "make_executor",
+]

@@ -1,0 +1,97 @@
+"""The execution engine: memo + store + executor behind one facade.
+
+Resolution order for every spec:
+
+1. in-process memo (same engine object, e.g. shared across one
+   ``umi-experiments all`` invocation);
+2. persistent store, when configured (results shared across processes);
+3. the executor -- serial, or a parallel wavefront across cores.
+
+Whatever the path, the experiment layer receives the *restored view* of
+the serialized payload (:func:`repro.serialize.outcome_from_dict`), so
+table renderings are byte-identical whether a run was computed serially,
+in a worker process, or loaded from disk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.runners import RunOutcome
+from repro.serialize import outcome_from_dict
+
+from .executor import SerialExecutor, make_executor
+from .spec import RunSpec
+from .store import ResultStore
+
+
+class ExecutionEngine:
+    """Schedules, caches and persists RunSpec executions."""
+
+    def __init__(self, executor=None, store: Optional[ResultStore] = None,
+                 jobs: int = 1) -> None:
+        self.executor = executor if executor is not None \
+            else make_executor(jobs)
+        self.store = store
+        self._memo: Dict[RunSpec, RunOutcome] = {}
+        self._payloads: Dict[RunSpec, dict] = {}
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def runs_executed(self) -> int:
+        """Specs actually executed (memo/store hits excluded)."""
+        return self.executor.runs_executed
+
+    @property
+    def store_hits(self) -> int:
+        return self.store.hits if self.store is not None else 0
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return spec in self._memo
+
+    # -- running -------------------------------------------------------------
+
+    def run(self, spec: RunSpec) -> RunOutcome:
+        """Resolve one spec (memo -> store -> execute)."""
+        return self.run_many([spec])[0]
+
+    def run_many(self, specs: Sequence[RunSpec]) -> List[RunOutcome]:
+        """Resolve many specs; unresolved ones run as one wavefront.
+
+        Results come back in argument order, duplicates allowed.
+        """
+        specs = list(specs)
+        missing: List[RunSpec] = []
+        seen = set()
+        for spec in specs:
+            if spec in self._memo or spec in seen:
+                continue
+            if self.store is not None:
+                payload = self.store.load(spec)
+                if payload is not None:
+                    self._admit(spec, payload)
+                    continue
+            seen.add(spec)
+            missing.append(spec)
+        if missing:
+            payloads = self.executor.execute(missing)
+            for spec, payload in zip(missing, payloads):
+                if self.store is not None:
+                    self.store.save(spec, payload)
+                self._admit(spec, payload)
+        return [self._memo[spec] for spec in specs]
+
+    def prefill(self, specs: Sequence[RunSpec]) -> None:
+        """Schedule a wavefront without consuming the results yet."""
+        self.run_many(specs)
+
+    def _admit(self, spec: RunSpec, payload: dict) -> None:
+        self._payloads[spec] = payload
+        self._memo[spec] = outcome_from_dict(payload)
+
+    # -- archiving -------------------------------------------------------------
+
+    def payloads(self) -> Iterator[Tuple[RunSpec, dict]]:
+        """Every resolved ``(spec, outcome payload)`` this session."""
+        return iter(self._payloads.items())

@@ -1,0 +1,98 @@
+"""Executors: turn RunSpecs into serialized outcome payloads.
+
+The unit of work is deliberately the *payload dict* (the JSON-safe
+summary from :func:`repro.serialize.outcome_to_dict`), not the live
+:class:`~repro.runners.RunOutcome`: payloads are cheap to pickle across
+process boundaries, are exactly what the persistent store writes, and
+guarantee the serial path, the parallel path and a store hit all hand
+the experiment layer byte-identical data.
+
+Workloads and machine models are rebuilt inside the worker from the
+spec alone -- a spec is self-contained -- so the parallel executor fans
+independent specs across cores with no shared state; ``Pool.map``
+preserves submission order, keeping results deterministic regardless of
+completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Dict, List, Sequence
+
+from repro.memory import get_machine
+from repro.runners import run_mode
+from repro.serialize import outcome_to_dict
+from repro.workloads import get_workload
+
+from .spec import RunSpec
+
+
+def execute_spec(spec: RunSpec):
+    """Run one spec to a live :class:`RunOutcome` (current process)."""
+    program = get_workload(spec.workload).build(spec.scale)
+    machine = get_machine(spec.machine, scale=spec.machine_scale)
+    kwargs: Dict[str, Any] = {"hw_prefetch": spec.hw_prefetch}
+    if spec.mode == "native":
+        kwargs["with_cachegrind"] = spec.with_cachegrind
+        kwargs["counter_sample_size"] = spec.counter_sample_size
+    elif spec.mode == "umi":
+        kwargs["with_cachegrind"] = spec.with_cachegrind
+        kwargs["umi_config"] = spec.umi_config()
+    return run_mode(spec.mode, program, machine, **kwargs)
+
+
+def execute_spec_payload(spec: RunSpec) -> Dict[str, Any]:
+    """Run one spec and serialize the outcome (the executor unit)."""
+    return outcome_to_dict(execute_spec(spec))
+
+
+class SerialExecutor:
+    """Runs specs one after another in the calling process."""
+
+    jobs = 1
+
+    def __init__(self) -> None:
+        self.runs_executed = 0
+
+    def execute(self, specs: Sequence[RunSpec]) -> List[Dict[str, Any]]:
+        payloads = []
+        for spec in specs:
+            payloads.append(execute_spec_payload(spec))
+            self.runs_executed += 1
+        return payloads
+
+
+class ParallelExecutor:
+    """Fans independent specs across cores via ``multiprocessing``."""
+
+    def __init__(self, jobs: int = 0) -> None:
+        if jobs <= 0:
+            jobs = multiprocessing.cpu_count()
+        self.jobs = jobs
+        self.runs_executed = 0
+
+    def execute(self, specs: Sequence[RunSpec]) -> List[Dict[str, Any]]:
+        specs = list(specs)
+        if not specs:
+            return []
+        self.runs_executed += len(specs)
+        if len(specs) == 1 or self.jobs == 1:
+            return [execute_spec_payload(spec) for spec in specs]
+        # fork shares the already-imported interpreter state read-only
+        # and avoids re-importing the package per worker; fall back to
+        # the default start method where fork is unavailable.
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            ctx = multiprocessing.get_context()
+        workers = min(self.jobs, len(specs))
+        with ctx.Pool(processes=workers) as pool:
+            # map() preserves order: result i belongs to spec i.
+            return pool.map(execute_spec_payload, specs)
+
+
+def make_executor(jobs: int = 1):
+    """``jobs == 1`` -> serial; otherwise a parallel executor."""
+    if jobs == 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs=jobs)

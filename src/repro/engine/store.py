@@ -1,0 +1,101 @@
+"""Persistent content-addressed result store.
+
+One JSON file per executed :class:`~repro.engine.spec.RunSpec`, named
+by the spec's content digest and carrying the serialized
+:class:`~repro.runners.RunOutcome` payload
+(:func:`repro.serialize.outcome_to_dict`) plus the spec itself, so
+files are self-describing and diffable.  Benchmark runs, example
+scripts and repeated CLI invocations all share results through it.
+
+Payloads whose ``schema_version`` does not match the current
+:data:`repro.serialize.SCHEMA_VERSION` (or whose embedded spec does not
+match the requested one) are treated as misses, never served stale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+from repro.serialize import SCHEMA_VERSION
+
+from .spec import RunSpec
+
+
+class ResultStore:
+    """Directory of ``<spec-digest>.json`` result payloads."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, spec: RunSpec) -> Path:
+        return self.root / f"{spec.digest()}.json"
+
+    def load(self, spec: RunSpec) -> Optional[Dict[str, Any]]:
+        """The stored outcome payload for ``spec``, or ``None``.
+
+        Stale schema versions, spec mismatches (digest collisions or
+        hand-edited files) and unreadable JSON all count as misses.
+        """
+        path = self.path_for(spec)
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if record.get("schema_version") != SCHEMA_VERSION:
+            self.misses += 1
+            return None
+        if record.get("spec") != spec.to_dict():
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record["outcome"]
+
+    def save(self, spec: RunSpec, payload: Dict[str, Any]) -> Path:
+        """Persist one outcome payload under the spec's digest.
+
+        The write is atomic (temp file + rename) so concurrent
+        processes sharing a store directory never observe torn files.
+        """
+        record = {
+            "schema_version": SCHEMA_VERSION,
+            "spec": spec.to_dict(),
+            "outcome": payload,
+        }
+        path = self.path_for(spec)
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle, indent=2, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return self.path_for(spec).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def records(self) -> Iterator[Tuple[Dict[str, Any], Dict[str, Any]]]:
+        """Iterate ``(spec_dict, outcome_payload)`` over valid entries."""
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                with open(path) as handle:
+                    record = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            if record.get("schema_version") != SCHEMA_VERSION:
+                continue
+            yield record["spec"], record["outcome"]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.engine import RunSpec
 from repro.stats import Table
 from repro.workloads import workloads_in_group
 
@@ -24,10 +25,25 @@ from .common import DEFAULT_SCALE, ResultCache
 SPEC_ANCHORS = ("179.art", "181.mcf")
 
 
+def _names() -> List[str]:
+    return [s.name for s in workloads_in_group("APPS")] \
+        + list(SPEC_ANCHORS)
+
+
+def required_runs(cache: ResultCache) -> List[RunSpec]:
+    """Every spec the applications anecdote consumes."""
+    specs = []
+    for name in _names():
+        specs.append(cache.spec_native(name))
+        specs.append(cache.spec_umi(name, sampling=True))
+    return specs
+
+
 def run(scale: float = DEFAULT_SCALE,
         cache: Optional[ResultCache] = None) -> Table:
     """Profile the application stand-ins under UMI."""
     cache = cache or ResultCache(scale)
+    cache.prefill(required_runs(cache))
     names = [s.name for s in workloads_in_group("APPS")]
     table = Table(
         "Applications (Section 6.3): UMI on desktop/server stand-ins",

@@ -4,15 +4,26 @@ Usage::
 
     umi-experiments --list
     umi-experiments table4 --scale 0.5
-    umi-experiments all
+    umi-experiments all --jobs 4 --store .umi-cache
+    umi-experiments all --json runs.json
+
+Every experiment declares its required runs upfront
+(``required_runs``), so ``all`` resolves the union of every table's
+and figure's specs as one deduplicated wavefront -- fanned across
+``--jobs`` worker processes -- before any table is rendered.  With
+``--store`` the resolved runs persist on disk and later invocations
+(any experiment, any process) reuse them instead of re-executing.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
-from typing import Callable, Dict, List
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from repro.stats import Table
 
@@ -29,20 +40,28 @@ def _tables(result) -> List[Table]:
     return list(result)
 
 
-EXPERIMENTS: Dict[str, Callable] = {
-    "table1": table1.run,
-    "table2": table2.run,
-    "table3": table3.run,
-    "table4": table4.run,
-    "table5": table5.run,
-    "table6": table6.run,
-    "fig2": fig2.run,
-    "fig3": prefetch_figs.fig3,
-    "fig4": prefetch_figs.fig4,
-    "fig5": prefetch_figs.fig5,
-    "fig6": prefetch_figs.fig6,
-    "sensitivity": sensitivity.run,
-    "apps": apps.run,
+@dataclass(frozen=True)
+class Experiment:
+    """One regenerable artefact: its runner and its spec declaration."""
+
+    run: Callable
+    required_runs: Optional[Callable] = None
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    "table1": Experiment(table1.run, table1.required_runs),
+    "table2": Experiment(table2.run, table2.required_runs),
+    "table3": Experiment(table3.run, table3.required_runs),
+    "table4": Experiment(table4.run, table4.required_runs),
+    "table5": Experiment(table5.run, table5.required_runs),
+    "table6": Experiment(table6.run, table6.required_runs),
+    "fig2": Experiment(fig2.run, fig2.required_runs),
+    "fig3": Experiment(prefetch_figs.fig3, prefetch_figs.fig3_runs),
+    "fig4": Experiment(prefetch_figs.fig4, prefetch_figs.fig4_runs),
+    "fig5": Experiment(prefetch_figs.fig5, prefetch_figs.fig5_runs),
+    "fig6": Experiment(prefetch_figs.fig6, prefetch_figs.fig6_runs),
+    "sensitivity": Experiment(sensitivity.run, sensitivity.required_runs),
+    "apps": Experiment(apps.run, apps.required_runs),
 }
 
 
@@ -57,12 +76,24 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
                         help="workload iteration scale (default %(default)s)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for independent runs "
+                             "(default 1 = serial; 0 = all cores)")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="persistent result store directory; runs "
+                             "found there are not re-executed")
+    parser.add_argument("--no-store", action="store_true",
+                        help="ignore --store and keep results in-process "
+                             "only")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments")
     parser.add_argument("--bars", action="store_true",
                         help="also render figures as ASCII bar charts")
     parser.add_argument("--markdown", metavar="PATH", default=None,
                         help="also write the tables to a markdown file")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="archive every run behind the tables "
+                             "(spec + serialized outcome) to a JSON file")
     args = parser.parse_args(argv)
 
     if args.list or args.experiment is None:
@@ -81,11 +112,32 @@ def main(argv=None) -> int:
             f"unknown experiment {args.experiment!r}; use --list"
         )
 
-    cache = ResultCache(scale=args.scale)
+    store = None if args.no_store else args.store
+    if store is not None and os.path.exists(store) \
+            and not os.path.isdir(store):
+        parser.error(f"--store {store!r} exists and is not a directory")
+    cache = ResultCache(scale=args.scale, jobs=args.jobs, store=store)
+
+    # One deduplicated wavefront covering every requested experiment,
+    # instead of each table looping over its runs serially.
+    wavefront = []
+    for name in names:
+        declared = EXPERIMENTS[name].required_runs
+        if declared is not None:
+            wavefront.extend(declared(cache))
+    if wavefront:
+        start = time.time()
+        cache.prefill(wavefront)
+        elapsed = time.time() - start
+        executed = cache.engine.runs_executed
+        reused = len(set(wavefront)) - executed
+        print(f"[wavefront: {executed} runs executed, {reused} reused "
+              f"in {elapsed:.1f}s]\n")
+
     markdown_parts: List[str] = []
     for name in names:
         start = time.time()
-        result = EXPERIMENTS[name](scale=args.scale, cache=cache)
+        result = EXPERIMENTS[name].run(scale=args.scale, cache=cache)
         elapsed = time.time() - start
         for tbl in _tables(result):
             print(tbl.render())
@@ -107,7 +159,27 @@ def main(argv=None) -> int:
                 + "\n\n".join(markdown_parts) + "\n"
             )
         print(f"[markdown written to {args.markdown}]")
+
+    if args.json:
+        _archive_runs(cache, args.json)
+        print(f"[runs archived to {args.json}]")
     return 0
+
+
+def _archive_runs(cache: ResultCache, path: str) -> None:
+    """Write every resolved run (spec + outcome payload) to ``path``.
+
+    Entries are sorted by spec digest so archives from different
+    invocations of the same experiments diff cleanly.
+    """
+    runs = [
+        {"digest": spec.digest(), "spec": spec.to_dict(),
+         "outcome": payload}
+        for spec, payload in cache.engine.payloads()
+    ]
+    runs.sort(key=lambda entry: entry["digest"])
+    with open(path, "w") as handle:
+        json.dump({"runs": runs}, handle, indent=2, sort_keys=True)
 
 
 def _to_markdown(table: Table) -> str:

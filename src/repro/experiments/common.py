@@ -1,8 +1,13 @@
 """Shared infrastructure for the experiment modules.
 
-Experiments share a :class:`ResultCache` so that a run needed by several
-tables/figures (e.g. the UMI-with-sampling Pentium 4 run feeds Table 4,
-Table 6 and Figure 2) happens once per process.
+Experiments share a :class:`ResultCache`, a thin view over the
+execution engine (:mod:`repro.engine`): every run request becomes a
+declarative :class:`~repro.engine.RunSpec`, resolved through the
+engine's in-process memo, an optional persistent result store, and a
+serial or parallel executor.  A run needed by several tables/figures
+(e.g. the UMI-with-sampling Pentium 4 run feeds Table 4, Table 6 and
+Figure 2) therefore happens once per process -- or once *ever*, with a
+warm store.
 
 All experiments run against *scaled-down* machine models (see
 :mod:`repro.memory.configs`) and workloads whose iteration counts are
@@ -11,13 +16,14 @@ multiplied by ``scale``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core import UMIConfig
+from repro.engine import ExecutionEngine, ResultStore, RunSpec
 from repro.isa import Program
 from repro.memory import DEFAULT_MACHINE_SCALE, MachineConfig, get_machine
-from repro.runners import RunOutcome, run_dynamo, run_native, run_umi
+from repro.runners import RunOutcome
 from repro.workloads import all_workloads, get_workload
 
 #: Default workload scale for benchmark runs.
@@ -46,15 +52,28 @@ def default_umi_config(
 
 
 class ResultCache:
-    """Memoizes program builds and runs for one experiment session."""
+    """Spec-building facade over the execution engine.
+
+    Memoizes program/machine builds in-process and delegates every run
+    to an :class:`~repro.engine.ExecutionEngine` -- pass ``jobs`` for a
+    parallel executor and/or ``store`` (a directory path or
+    :class:`~repro.engine.ResultStore`) for cross-process persistence.
+    """
 
     def __init__(self, scale: float = DEFAULT_SCALE,
-                 machine_scale: int = DEFAULT_MACHINE_SCALE) -> None:
+                 machine_scale: int = DEFAULT_MACHINE_SCALE,
+                 engine: Optional[ExecutionEngine] = None,
+                 jobs: int = 1,
+                 store: Union[ResultStore, str, Path, None] = None) -> None:
         self.scale = scale
         self.machine_scale = machine_scale
+        if engine is None:
+            if isinstance(store, (str, Path)):
+                store = ResultStore(store)
+            engine = ExecutionEngine(jobs=jobs, store=store)
+        self.engine = engine
         self._programs: Dict[str, Program] = {}
         self._machines: Dict[str, MachineConfig] = {}
-        self._runs: Dict[Tuple, RunOutcome] = {}
 
     # -- building ----------------------------------------------------------
 
@@ -70,42 +89,71 @@ class ResultCache:
             ).build(self.scale)
         return self._programs[workload_name]
 
+    # -- specs --------------------------------------------------------------
+
+    def spec_native(self, workload: str, machine: str = "pentium4",
+                    hw_prefetch: bool = False,
+                    with_cachegrind: bool = False,
+                    counter_sample_size: Optional[int] = None) -> RunSpec:
+        return RunSpec.native(
+            workload, self.scale, machine, self.machine_scale,
+            hw_prefetch=hw_prefetch, with_cachegrind=with_cachegrind,
+            counter_sample_size=counter_sample_size,
+        )
+
+    def spec_dynamo(self, workload: str, machine: str = "pentium4",
+                    hw_prefetch: bool = False) -> RunSpec:
+        return RunSpec.dynamo(
+            workload, self.scale, machine, self.machine_scale,
+            hw_prefetch=hw_prefetch,
+        )
+
+    def spec_umi(self, workload: str, machine: str = "pentium4",
+                 sampling: bool = True, sw_prefetch: bool = False,
+                 hw_prefetch: bool = False, with_cachegrind: bool = False,
+                 overrides: Optional[dict] = None) -> RunSpec:
+        return RunSpec.umi(
+            workload, self.scale, machine, self.machine_scale,
+            sampling=sampling, sw_prefetch=sw_prefetch,
+            hw_prefetch=hw_prefetch, with_cachegrind=with_cachegrind,
+            umi_overrides=tuple(sorted((overrides or {}).items())),
+        )
+
     # -- runs ---------------------------------------------------------------
+
+    def run(self, spec: RunSpec) -> RunOutcome:
+        return self.engine.run(spec)
+
+    def run_many(self, specs: Sequence[RunSpec]) -> List[RunOutcome]:
+        return self.engine.run_many(specs)
+
+    def prefill(self, specs: Sequence[RunSpec]) -> None:
+        """Resolve a whole wavefront of specs up front (dedups first)."""
+        self.engine.prefill(specs)
 
     def native(self, workload: str, machine: str = "pentium4",
                hw_prefetch: bool = False,
-               with_cachegrind: bool = False) -> RunOutcome:
-        key = ("native", workload, machine, hw_prefetch, with_cachegrind)
-        if key not in self._runs:
-            self._runs[key] = run_native(
-                self.program(workload), self.machine(machine),
-                hw_prefetch=hw_prefetch, with_cachegrind=with_cachegrind,
-            )
-        return self._runs[key]
+               with_cachegrind: bool = False,
+               counter_sample_size: Optional[int] = None) -> RunOutcome:
+        return self.engine.run(self.spec_native(
+            workload, machine, hw_prefetch=hw_prefetch,
+            with_cachegrind=with_cachegrind,
+            counter_sample_size=counter_sample_size,
+        ))
 
     def dynamo(self, workload: str, machine: str = "pentium4",
                hw_prefetch: bool = False) -> RunOutcome:
-        key = ("dynamo", workload, machine, hw_prefetch)
-        if key not in self._runs:
-            self._runs[key] = run_dynamo(
-                self.program(workload), self.machine(machine),
-                hw_prefetch=hw_prefetch,
-            )
-        return self._runs[key]
+        return self.engine.run(self.spec_dynamo(
+            workload, machine, hw_prefetch=hw_prefetch,
+        ))
 
     def umi(self, workload: str, machine: str = "pentium4",
             sampling: bool = True, sw_prefetch: bool = False,
             hw_prefetch: bool = False,
-            with_cachegrind: bool = False) -> RunOutcome:
-        key = ("umi", workload, machine, sampling, sw_prefetch,
-               hw_prefetch, with_cachegrind)
-        if key not in self._runs:
-            self._runs[key] = run_umi(
-                self.program(workload), self.machine(machine),
-                umi_config=default_umi_config(
-                    sampling=sampling, sw_prefetch=sw_prefetch,
-                ),
-                hw_prefetch=hw_prefetch,
-                with_cachegrind=with_cachegrind,
-            )
-        return self._runs[key]
+            with_cachegrind: bool = False,
+            overrides: Optional[dict] = None) -> RunOutcome:
+        return self.engine.run(self.spec_umi(
+            workload, machine, sampling=sampling, sw_prefetch=sw_prefetch,
+            hw_prefetch=hw_prefetch, with_cachegrind=with_cachegrind,
+            overrides=overrides,
+        ))

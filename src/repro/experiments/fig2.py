@@ -17,10 +17,32 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.engine import RunSpec
 from repro.stats import Table
 from repro.workloads import all_workloads
 
 from .common import DEFAULT_SCALE, GROUP_ORDER, ResultCache
+
+
+def _names(workloads: Optional[List[str]]) -> List[str]:
+    if workloads is not None:
+        return workloads
+    return [s.name for s in all_workloads(list(GROUP_ORDER))]
+
+
+def required_runs(cache: ResultCache,
+                  workloads: Optional[List[str]] = None,
+                  hw_prefetch: bool = True) -> List[RunSpec]:
+    """Every spec Figure 2 consumes."""
+    specs = []
+    for name in _names(workloads):
+        specs.append(cache.spec_native(name, hw_prefetch=hw_prefetch))
+        specs.append(cache.spec_dynamo(name, hw_prefetch=hw_prefetch))
+        specs.append(cache.spec_umi(name, sampling=False,
+                                    hw_prefetch=hw_prefetch))
+        specs.append(cache.spec_umi(name, sampling=True,
+                                    hw_prefetch=hw_prefetch))
+    return specs
 
 
 def run(scale: float = DEFAULT_SCALE,
@@ -29,10 +51,8 @@ def run(scale: float = DEFAULT_SCALE,
         hw_prefetch: bool = True) -> Table:
     """Regenerate Figure 2 (normalized running times)."""
     cache = cache or ResultCache(scale)
-    if workloads is None:
-        names = [s.name for s in all_workloads(list(GROUP_ORDER))]
-    else:
-        names = workloads
+    cache.prefill(required_runs(cache, workloads, hw_prefetch))
+    names = _names(workloads)
 
     table = Table(
         "Figure 2: runtime overhead (normalized to native, "

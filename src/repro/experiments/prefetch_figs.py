@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.engine import RunSpec
 from repro.stats import Table
 from repro.workloads import prefetchable_workloads
 
@@ -29,6 +30,50 @@ def _prefetch_names(workloads: Optional[List[str]]) -> List[str]:
     if workloads is not None:
         return workloads
     return [s.name for s in prefetchable_workloads()]
+
+
+def _runtime_figure_runs(cache: ResultCache, machine: str,
+                         workloads: List[str]) -> List[RunSpec]:
+    specs = []
+    for name in workloads:
+        specs.append(cache.spec_native(name, machine=machine))
+        specs.append(cache.spec_umi(name, machine=machine, sampling=True))
+        specs.append(cache.spec_umi(name, machine=machine, sampling=True,
+                                    sw_prefetch=True))
+    return specs
+
+
+def fig3_runs(cache: ResultCache,
+              workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    """Every spec Figure 3 consumes."""
+    return _runtime_figure_runs(cache, "pentium4",
+                                _prefetch_names(workloads))
+
+
+def fig4_runs(cache: ResultCache,
+              workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    """Every spec Figure 4 consumes."""
+    return _runtime_figure_runs(cache, "athlon-k7",
+                                _prefetch_names(workloads))
+
+
+def _combination_runs(cache: ResultCache,
+                      workloads: Optional[List[str]] = None
+                      ) -> List[RunSpec]:
+    """Specs shared by Figures 5 and 6 (P4 prefetch combinations)."""
+    specs = []
+    for name in _prefetch_names(workloads):
+        specs.append(cache.spec_native(name))
+        specs.append(cache.spec_umi(name, sampling=True, sw_prefetch=True))
+        specs.append(cache.spec_native(name, hw_prefetch=True))
+        specs.append(cache.spec_umi(name, sampling=True, sw_prefetch=True,
+                                    hw_prefetch=True))
+    return specs
+
+
+fig5_runs = _combination_runs
+
+fig6_runs = _combination_runs
 
 
 def fig3(scale: float = DEFAULT_SCALE,
@@ -55,6 +100,7 @@ def fig4(scale: float = DEFAULT_SCALE,
 
 def _runtime_figure(title: str, machine: str, cache: ResultCache,
                     workloads: List[str]) -> Table:
+    cache.prefill(_runtime_figure_runs(cache, machine, workloads))
     table = Table(
         title,
         ["benchmark", "umi_introspection", "umi_sw_prefetch"],
@@ -81,6 +127,7 @@ def fig5(scale: float = DEFAULT_SCALE,
          workloads: Optional[List[str]] = None) -> Table:
     """Figure 5: SW vs HW vs SW+HW prefetching running time (P4)."""
     cache = cache or ResultCache(scale)
+    cache.prefill(fig5_runs(cache, workloads))
     names = _prefetch_names(workloads)
     table = Table(
         "Figure 5: normalized running time (Pentium4, vs native "
@@ -111,6 +158,7 @@ def fig6(scale: float = DEFAULT_SCALE,
          workloads: Optional[List[str]] = None) -> Table:
     """Figure 6: normalized L2 miss counts (P4)."""
     cache = cache or ResultCache(scale)
+    cache.prefill(fig6_runs(cache, workloads))
     names = _prefetch_names(workloads)
     table = Table(
         "Figure 6: L2 misses normalized to native (Pentium4)",

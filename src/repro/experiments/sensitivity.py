@@ -26,11 +26,11 @@ Plus analyzer ablations called out in DESIGN.md:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.core import PredictionQuality, UMIConfig
+from repro.core import PredictionQuality
+from repro.engine import RunSpec
 from repro.fullsim import delinquent_set
-from repro.runners import run_umi
 from repro.stats import Table
 
 from .common import DEFAULT_SCALE, ResultCache, paper_suite_names
@@ -40,19 +40,118 @@ FREQUENCY_THRESHOLDS = (1, 4, 16, 64, 256, 1024)
 PROFILE_LENGTHS = (64, 256, 1024, 4096)
 
 
+def _quality_spec(cache: ResultCache, workload: str,
+                  overrides: Dict) -> RunSpec:
+    """The spec behind one custom-config quality measurement."""
+    return cache.spec_umi(workload, machine="pentium4", sampling=True,
+                          with_cachegrind=True, overrides=overrides)
+
+
 def _quality_run(cache: ResultCache, workload: str,
-                 config: UMIConfig) -> tuple:
-    """Run UMI with a custom config; returns (quality, outcome)."""
-    program = cache.program(workload)
-    machine = cache.machine("pentium4")
-    outcome = run_umi(program, machine, umi_config=config,
-                      with_cachegrind=True)
+                 overrides: Dict) -> tuple:
+    """Run UMI with config overrides; returns (quality, outcome)."""
+    outcome = cache.run(_quality_spec(cache, workload, overrides))
     actual = delinquent_set(outcome.cachegrind.pc_load_misses())
     quality = PredictionQuality(
         predicted=frozenset(outcome.umi.predicted_delinquent),
         actual=actual,
     )
     return quality, outcome
+
+
+#: (label, adaptive, initial threshold) rows of the threshold ablation.
+_THRESHOLD_CONFIGS = (
+    ("adaptive (0.90 -> 0.10)", True, 0.90),
+    ("global 0.90", False, 0.90),
+    ("global 0.10", False, 0.10),
+)
+
+_WARMUP_STEPS = (0, 2, 8)
+
+
+# -- per-study spec declarations -------------------------------------------
+
+def frequency_threshold_sweep_runs(
+    cache: ResultCache,
+    workloads: Sequence[str] = SWEEP_WORKLOADS,
+    thresholds: Sequence[int] = FREQUENCY_THRESHOLDS,
+) -> List[RunSpec]:
+    specs = []
+    for name in workloads:
+        specs.append(cache.spec_native(name))
+        specs.extend(_quality_spec(cache, name,
+                                   {"frequency_threshold": t})
+                     for t in thresholds)
+    return specs
+
+
+def profile_length_sweep_runs(
+    cache: ResultCache,
+    workloads: Sequence[str] = SWEEP_WORKLOADS,
+    lengths: Sequence[int] = PROFILE_LENGTHS,
+) -> List[RunSpec]:
+    specs = []
+    for name in workloads:
+        specs.append(cache.spec_native(name))
+        specs.extend(_quality_spec(cache, name,
+                                   {"address_profile_entries": n})
+                     for n in lengths)
+    return specs
+
+
+def threshold_ablation_runs(
+    cache: ResultCache,
+    workloads: Optional[List[str]] = None,
+) -> List[RunSpec]:
+    names = workloads if workloads is not None else paper_suite_names()
+    return [
+        _quality_spec(cache, name, {
+            "adaptive_threshold": adaptive,
+            "initial_delinquency_threshold": initial,
+        })
+        for _, adaptive, initial in _THRESHOLD_CONFIGS
+        for name in names
+    ]
+
+
+def warmup_ablation_runs(
+    cache: ResultCache,
+    workloads: Sequence[str] = SWEEP_WORKLOADS,
+) -> List[RunSpec]:
+    return [_quality_spec(cache, name, {"warmup_executions": w})
+            for name in workloads for w in _WARMUP_STEPS]
+
+
+def shared_cache_ablation_runs(
+    cache: ResultCache,
+    workloads: Sequence[str] = SWEEP_WORKLOADS,
+) -> List[RunSpec]:
+    return [_quality_spec(cache, name, {"shared_cache": shared})
+            for name in workloads for shared in (True, False)]
+
+
+def sampling_strategy_ablation_runs(
+    cache: ResultCache,
+    workloads: Sequence[str] = SWEEP_WORKLOADS,
+) -> List[RunSpec]:
+    specs = []
+    for name in workloads:
+        specs.append(cache.spec_native(name))
+        specs.extend(_quality_spec(cache, name, {"sampling_mode": mode})
+                     for mode in ("timer", "event"))
+    return specs
+
+
+def required_runs(cache: ResultCache) -> List[RunSpec]:
+    """Every spec the full sensitivity battery consumes."""
+    return (
+        frequency_threshold_sweep_runs(cache)
+        + profile_length_sweep_runs(cache)
+        + threshold_ablation_runs(cache)
+        + warmup_ablation_runs(cache)
+        + shared_cache_ablation_runs(cache)
+        + sampling_strategy_ablation_runs(cache)
+    )
 
 
 def frequency_threshold_sweep(
@@ -63,6 +162,8 @@ def frequency_threshold_sweep(
 ) -> Table:
     """Recall/FP/overhead vs. the sampling frequency threshold."""
     cache = cache or ResultCache(scale)
+    cache.prefill(frequency_threshold_sweep_runs(cache, workloads,
+                                                 thresholds))
     table = Table(
         "Sensitivity: frequency threshold sweep",
         ["benchmark", "threshold", "recall", "false_positive",
@@ -72,9 +173,8 @@ def frequency_threshold_sweep(
     for name in workloads:
         native = cache.native(name)
         for threshold in thresholds:
-            config = UMIConfig(use_sampling=True,
-                               frequency_threshold=threshold)
-            quality, outcome = _quality_run(cache, name, config)
+            quality, outcome = _quality_run(
+                cache, name, {"frequency_threshold": threshold})
             table.add_row(
                 name, threshold, quality.recall,
                 quality.false_positive_ratio,
@@ -91,6 +191,7 @@ def profile_length_sweep(
 ) -> Table:
     """Recall/FP/overhead vs. the address profile length."""
     cache = cache or ResultCache(scale)
+    cache.prefill(profile_length_sweep_runs(cache, workloads, lengths))
     table = Table(
         "Sensitivity: address profile length sweep",
         ["benchmark", "profile_rows", "recall", "false_positive",
@@ -100,9 +201,8 @@ def profile_length_sweep(
     for name in workloads:
         native = cache.native(name)
         for length in lengths:
-            config = UMIConfig(use_sampling=True,
-                               address_profile_entries=length)
-            quality, outcome = _quality_run(cache, name, config)
+            quality, outcome = _quality_run(
+                cache, name, {"address_profile_entries": length})
             table.add_row(
                 name, length, quality.recall,
                 quality.false_positive_ratio,
@@ -118,23 +218,20 @@ def threshold_ablation(
 ) -> Table:
     """Adaptive per-trace delinquency threshold vs. a global one."""
     cache = cache or ResultCache(scale)
+    cache.prefill(threshold_ablation_runs(cache, workloads))
     names = workloads if workloads is not None else paper_suite_names()
     table = Table(
         "Ablation: adaptive vs global delinquency threshold",
         ["mode", "avg_recall", "avg_false_positive"],
         ["{}", "{:.2%}", "{:.2%}"],
     )
-    for label, adaptive, initial in (
-        ("adaptive (0.90 -> 0.10)", True, 0.90),
-        ("global 0.90", False, 0.90),
-        ("global 0.10", False, 0.10),
-    ):
+    for label, adaptive, initial in _THRESHOLD_CONFIGS:
         recalls, fps = [], []
         for name in names:
-            config = UMIConfig(use_sampling=True,
-                               adaptive_threshold=adaptive,
-                               initial_delinquency_threshold=initial)
-            quality, _ = _quality_run(cache, name, config)
+            quality, _ = _quality_run(cache, name, {
+                "adaptive_threshold": adaptive,
+                "initial_delinquency_threshold": initial,
+            })
             recalls.append(quality.recall)
             fps.append(quality.false_positive_ratio)
         table.add_row(label, sum(recalls) / len(recalls),
@@ -149,6 +246,7 @@ def warmup_ablation(
 ) -> Table:
     """With vs. without the analyzer's warm-up executions."""
     cache = cache or ResultCache(scale)
+    cache.prefill(warmup_ablation_runs(cache, workloads))
     table = Table(
         "Ablation: analyzer warm-up executions",
         ["benchmark", "warmup", "simulated_miss_ratio", "recall",
@@ -156,10 +254,9 @@ def warmup_ablation(
         ["{}", "{}", "{:.4f}", "{:.2%}", "{:.2%}"],
     )
     for name in workloads:
-        for warmup in (0, 2, 8):
-            config = UMIConfig(use_sampling=True,
-                               warmup_executions=warmup)
-            quality, outcome = _quality_run(cache, name, config)
+        for warmup in _WARMUP_STEPS:
+            quality, outcome = _quality_run(
+                cache, name, {"warmup_executions": warmup})
             table.add_row(name, warmup,
                           outcome.umi.simulated_miss_ratio,
                           quality.recall, quality.false_positive_ratio)
@@ -173,6 +270,7 @@ def shared_cache_ablation(
 ) -> Table:
     """Shared logical cache vs. a cold cache per analyzed profile."""
     cache = cache or ResultCache(scale)
+    cache.prefill(shared_cache_ablation_runs(cache, workloads))
     table = Table(
         "Ablation: shared logical cache across analyses",
         ["benchmark", "shared_cache", "simulated_miss_ratio", "recall",
@@ -181,8 +279,8 @@ def shared_cache_ablation(
     )
     for name in workloads:
         for shared in (True, False):
-            config = UMIConfig(use_sampling=True, shared_cache=shared)
-            quality, outcome = _quality_run(cache, name, config)
+            quality, outcome = _quality_run(
+                cache, name, {"shared_cache": shared})
             table.add_row(name, shared,
                           outcome.umi.simulated_miss_ratio,
                           quality.recall, quality.false_positive_ratio)
@@ -200,6 +298,7 @@ def sampling_strategy_ablation(
     event-driven variant trades timer interrupts for per-entry counting.
     """
     cache = cache or ResultCache(scale)
+    cache.prefill(sampling_strategy_ablation_runs(cache, workloads))
     table = Table(
         "Ablation: timer vs event-driven sampling",
         ["benchmark", "mode", "traces_instrumented", "recall",
@@ -209,8 +308,8 @@ def sampling_strategy_ablation(
     for name in workloads:
         native = cache.native(name)
         for mode in ("timer", "event"):
-            config = UMIConfig(use_sampling=True, sampling_mode=mode)
-            quality, outcome = _quality_run(cache, name, config)
+            quality, outcome = _quality_run(
+                cache, name, {"sampling_mode": mode})
             table.add_row(
                 name, mode,
                 outcome.umi.instrumentation.traces_instrumented,

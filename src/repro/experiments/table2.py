@@ -10,14 +10,31 @@ Figure 2 measurement on the same workload.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
+from repro.engine import RunSpec
 from repro.fullsim import CACHEGRIND_SLOWDOWN_RANGE
-from repro.runners import run_native
 from repro.stats import Table
 
 from .common import DEFAULT_SCALE, ResultCache
 from .table1 import DEFAULT_WORKLOAD
+
+#: Sweep endpoints anchoring the fine/coarse counter rows.
+FINE_SAMPLE_SIZE = 10
+COARSE_SAMPLE_SIZE = 1_000_000
+
+
+def required_runs(cache: ResultCache,
+                  workload: str = DEFAULT_WORKLOAD) -> List[RunSpec]:
+    """Every spec Table 2 consumes."""
+    return [
+        cache.spec_native(workload, machine="xeon"),
+        cache.spec_umi(workload, machine="xeon", sampling=True),
+        cache.spec_native(workload, machine="xeon",
+                          counter_sample_size=FINE_SAMPLE_SIZE),
+        cache.spec_native(workload, machine="xeon",
+                          counter_sample_size=COARSE_SAMPLE_SIZE),
+    ]
 
 
 def run(scale: float = DEFAULT_SCALE,
@@ -25,13 +42,14 @@ def run(scale: float = DEFAULT_SCALE,
         workload: str = DEFAULT_WORKLOAD) -> Table:
     """Regenerate Table 2, with measured overhead anchors."""
     cache = cache or ResultCache(scale)
+    cache.prefill(required_runs(cache, workload))
     native = cache.native(workload, machine="xeon")
     umi = cache.umi(workload, machine="xeon", sampling=True)
-    program = cache.program(workload)
-    machine = cache.machine("xeon")
 
-    fine = run_native(program, machine, counter_sample_size=10)
-    coarse = run_native(program, machine, counter_sample_size=1_000_000)
+    fine = cache.native(workload, machine="xeon",
+                        counter_sample_size=FINE_SAMPLE_SIZE)
+    coarse = cache.native(workload, machine="xeon",
+                          counter_sample_size=COARSE_SAMPLE_SIZE)
 
     umi_overhead = umi.cycles / native.cycles
     fine_overhead = fine.cycles / native.cycles

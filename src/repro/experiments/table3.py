@@ -16,15 +16,24 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.engine import RunSpec
 from repro.stats import Table
 
 from .common import DEFAULT_SCALE, ResultCache, paper_suite_names
+
+
+def required_runs(cache: ResultCache,
+                  workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    """Every spec Table 3 consumes."""
+    names = workloads if workloads is not None else paper_suite_names()
+    return [cache.spec_umi(name, sampling=False) for name in names]
 
 
 def run(scale: float = DEFAULT_SCALE, cache: Optional[ResultCache] = None,
         workloads: Optional[List[str]] = None) -> Table:
     """Regenerate Table 3."""
     cache = cache or ResultCache(scale)
+    cache.prefill(required_runs(cache, workloads))
     names = workloads if workloads is not None else paper_suite_names()
 
     table = Table(

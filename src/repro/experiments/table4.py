@@ -24,10 +24,25 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.engine import RunSpec
 from repro.stats import Table, pearson
 from repro.workloads import all_workloads
 
 from .common import DEFAULT_SCALE, GROUP_ORDER, ResultCache
+
+
+def required_runs(cache: ResultCache,
+                  groups: Tuple[str, ...] = GROUP_ORDER) -> List[RunSpec]:
+    """Every spec the Table 4 measurements consume."""
+    specs = []
+    for spec in all_workloads(list(groups)):
+        specs.append(cache.spec_umi(spec.name, machine="pentium4",
+                                    sampling=True, with_cachegrind=True))
+        specs.append(cache.spec_native(spec.name, machine="pentium4",
+                                       hw_prefetch=True))
+        specs.append(cache.spec_umi(spec.name, machine="athlon-k7",
+                                    sampling=True))
+    return specs
 
 
 @dataclass
@@ -50,6 +65,7 @@ def measure(scale: float = DEFAULT_SCALE,
             ) -> List[BenchMeasurement]:
     """Collect the per-benchmark miss ratios behind Table 4."""
     cache = cache or ResultCache(scale)
+    cache.prefill(required_runs(cache, groups))
     measurements = []
     for spec in all_workloads(list(groups)):
         p4 = cache.umi(spec.name, machine="pentium4", sampling=True,

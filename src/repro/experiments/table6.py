@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core import PredictionQuality
+from repro.engine import RunSpec
 from repro.fullsim import delinquent_set, miss_coverage
 from repro.stats import Table
 
@@ -30,6 +31,14 @@ from .common import DEFAULT_SCALE, ResultCache, paper_suite_names
 
 #: Miss-ratio split for the averages (the paper's "1%", rescaled).
 DEFAULT_MISS_SPLIT = 0.15
+
+
+def required_runs(cache: ResultCache,
+                  workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    """Every spec the Table 6 measurements consume."""
+    names = workloads if workloads is not None else paper_suite_names()
+    return [cache.spec_umi(name, machine="pentium4", sampling=True,
+                           with_cachegrind=True) for name in names]
 
 
 @dataclass
@@ -54,6 +63,7 @@ def measure(scale: float = DEFAULT_SCALE,
             coverage: float = 0.90) -> List[DelinquencyRow]:
     """Collect per-benchmark prediction quality."""
     cache = cache or ResultCache(scale)
+    cache.prefill(required_runs(cache, workloads))
     names = workloads if workloads is not None else paper_suite_names()
     rows = []
     for name in names:

@@ -1,4 +1,4 @@
-"""High-level run harness: one function per measurement mode.
+"""High-level run harness: a registry of measurement modes.
 
 The paper's experiments compare the same program executed several ways:
 
@@ -10,6 +10,13 @@ The paper's experiments compare the same program executed several ways:
   software prefetcher;
 * **cachegrind** -- offline full-trace simulation (no timing).
 
+Each timed mode is a callable registered in :data:`MODES` under its
+mode name; :func:`run_mode` dispatches by name, which is how the
+execution engine (:mod:`repro.engine`) turns a declarative
+:class:`~repro.engine.RunSpec` into a run without a per-mode special
+case.  The historical entry points (``run_native`` et al.) remain as
+the registered callables themselves.
+
 A Cachegrind observer can piggyback on any timed run (it sees the same
 reference stream and keeps its own untimed cache model), which is how
 the correlation and delinquency experiments avoid a second execution.
@@ -18,7 +25,7 @@ the correlation and delinquency experiments avoid a second execution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.core import UMIConfig, UMIResult, UMIRuntime
 from repro.counters import HardwareCounters
@@ -51,6 +58,36 @@ class RunOutcome:
     counter_interrupt_cycles: int = 0
 
 
+#: Mode-name -> runner registry.  Every runner takes
+#: ``(program, machine, **mode_kwargs)`` and returns a
+#: :class:`RunOutcome`; :data:`MODE_KWARGS` names the keyword arguments
+#: each mode accepts from a declarative spec.
+MODES: Dict[str, Callable[..., RunOutcome]] = {}
+
+MODE_KWARGS: Dict[str, Tuple[str, ...]] = {}
+
+
+def register_mode(name: str, spec_kwargs: Tuple[str, ...] = ()):
+    """Class decorator registering a runner under ``name``."""
+    def deco(fn: Callable[..., RunOutcome]) -> Callable[..., RunOutcome]:
+        MODES[name] = fn
+        MODE_KWARGS[name] = tuple(spec_kwargs)
+        return fn
+    return deco
+
+
+def run_mode(mode: str, program: Program, machine: MachineConfig,
+             **kwargs) -> RunOutcome:
+    """Dispatch one run through the mode registry."""
+    try:
+        runner = MODES[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown run mode {mode!r}; known: {sorted(MODES)}"
+        ) from None
+    return runner(program, machine, **kwargs)
+
+
 def _make_hierarchy(machine: MachineConfig, hw_prefetch: bool
                     ) -> MemoryHierarchy:
     return MemoryHierarchy(
@@ -58,6 +95,8 @@ def _make_hierarchy(machine: MachineConfig, hw_prefetch: bool
     )
 
 
+@register_mode("native", spec_kwargs=(
+    "hw_prefetch", "with_cachegrind", "counter_sample_size"))
 def run_native(
     program: Program,
     machine: MachineConfig,
@@ -100,6 +139,7 @@ def run_native(
     )
 
 
+@register_mode("dynamo", spec_kwargs=("hw_prefetch",))
 def run_dynamo(
     program: Program,
     machine: MachineConfig,
@@ -126,6 +166,8 @@ def run_dynamo(
     )
 
 
+@register_mode("umi", spec_kwargs=(
+    "umi_config", "hw_prefetch", "with_cachegrind"))
 def run_umi(
     program: Program,
     machine: MachineConfig,

@@ -2,37 +2,121 @@
 
 Turns :class:`repro.core.UMIResult` / :class:`repro.runners.RunOutcome`
 into JSON-safe dictionaries so that experiment outputs can be archived,
-diffed across runs, or consumed by external tooling.  Deliberately
-one-way: the dictionaries are reports, not reconstructible object state.
+diffed across runs, or consumed by external tooling -- and, since schema
+version 2, turns those dictionaries back into result objects so the
+persistent result store (:mod:`repro.engine.store`) can serve runs
+across processes.
+
+Restoration is *summary-faithful*, not state-faithful: a restored
+outcome exposes every quantity the experiment, report and table layers
+read (cycles, miss ratios, per-pc statistics, profiling counters,
+prefetch records, Cachegrind summaries), but not live simulator state.
+``outcome_to_dict(outcome_from_dict(p)) == p`` holds for any payload
+this module produced.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
+from dataclasses import dataclass
 from typing import Any, Dict, IO, Optional, Union
 
 from repro.core import UMIResult
+from repro.core.optimizer import InjectedPrefetch
+from repro.core.umi import UMIStats
 from repro.runners import RunOutcome
+from repro.vm import RuntimeStats
 
-SCHEMA_VERSION = 1
+#: Bumped whenever the payload layout changes incompatibly.  Version 2
+#: added full runtime-stats blocks, per-pc Cachegrind load misses and
+#: the restore path.
+SCHEMA_VERSION = 2
+
+
+# ---------------------------------------------------------------------------
+# restored-view types (duck-typed stand-ins for live simulator objects)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RestoredInstrumentation:
+    """Instrumentation counters restored from a payload.
+
+    Mirrors the read API of
+    :class:`repro.core.instrumentor.InstrumentationStats` (whose
+    ``profiled_operations`` is derived from a pc set that summaries do
+    not retain).
+    """
+
+    profiled_operations: int = 0
+    traces_instrumented: int = 0
+
+
+@dataclass
+class RestoredPrefetchStats:
+    """Injected-prefetch records restored from a payload."""
+
+    injected: Dict[int, InjectedPrefetch]
+
+    @property
+    def count(self) -> int:
+        return len(self.injected)
+
+
+class RestoredCachegrind:
+    """Read-only view of a serialized Cachegrind simulation."""
+
+    def __init__(self, summary: Dict[str, float],
+                 pc_load_misses: Dict[int, int]) -> None:
+        self._summary = dict(summary)
+        self._pc_load_misses = dict(pc_load_misses)
+
+    def summary(self) -> Dict[str, float]:
+        return dict(self._summary)
+
+    def l2_miss_ratio(self) -> float:
+        return self._summary["l2_miss_ratio"]
+
+    def d1_miss_ratio(self) -> float:
+        return self._summary["d1_miss_ratio"]
+
+    def pc_load_misses(self) -> Dict[int, int]:
+        return dict(self._pc_load_misses)
+
+    def total_l2_load_misses(self) -> int:
+        return sum(self._pc_load_misses.values())
+
+
+# ---------------------------------------------------------------------------
+# object -> dict
+# ---------------------------------------------------------------------------
+
+def _runtime_stats_to_dict(rt: RuntimeStats) -> Dict[str, Any]:
+    payload = dataclasses.asdict(rt)
+    # Derived, but kept in the payload so archived runs diff on it.
+    payload["trace_residency"] = rt.trace_residency
+    return payload
+
+
+def _cachegrind_to_dict(cachegrind) -> Dict[str, Any]:
+    return {
+        "summary": {k: v for k, v in cachegrind.summary().items()},
+        "pc_load_misses": {
+            hex(pc): misses
+            for pc, misses in sorted(cachegrind.pc_load_misses().items())
+        },
+    }
 
 
 def umi_result_to_dict(result: UMIResult) -> Dict[str, Any]:
     """A JSON-safe summary of one UMI run."""
-    rt = result.runtime_stats
     payload: Dict[str, Any] = {
         "schema_version": SCHEMA_VERSION,
         "kind": "umi_result",
         "program": result.program_name,
         "cycles": result.cycles,
         "steps": result.steps,
-        "runtime": {
-            "blocks_translated": rt.blocks_translated,
-            "traces_built": rt.traces_built,
-            "trace_entries": rt.trace_entries,
-            "trace_residency": rt.trace_residency,
-            "timer_samples": rt.timer_samples,
-        },
+        "runtime": _runtime_stats_to_dict(result.runtime_stats),
         "umi": {
             "profiles_collected": result.umi_stats.profiles_collected,
             "analyzer_invocations": result.umi_stats.analyzer_invocations,
@@ -83,12 +167,109 @@ def outcome_to_dict(outcome: RunOutcome) -> Dict[str, Any]:
     }
     if outcome.umi is not None:
         payload["umi"] = umi_result_to_dict(outcome.umi)
+    elif outcome.runtime_stats is not None:
+        # The dynamo mode carries runtime stats without a UMI result
+        # (Figure 2 reads trace residency off them).
+        payload["runtime"] = _runtime_stats_to_dict(outcome.runtime_stats)
     if outcome.cachegrind is not None:
-        payload["cachegrind"] = {
-            k: v for k, v in outcome.cachegrind.summary().items()
-        }
+        payload["cachegrind"] = _cachegrind_to_dict(outcome.cachegrind)
     return payload
 
+
+# ---------------------------------------------------------------------------
+# dict -> object
+# ---------------------------------------------------------------------------
+
+_RUNTIME_FIELDS = {f.name for f in dataclasses.fields(RuntimeStats)}
+
+
+def _runtime_stats_from_dict(payload: Dict[str, Any]) -> RuntimeStats:
+    return RuntimeStats(**{k: v for k, v in payload.items()
+                           if k in _RUNTIME_FIELDS})
+
+
+def _cachegrind_from_dict(payload: Dict[str, Any]) -> RestoredCachegrind:
+    return RestoredCachegrind(
+        summary=payload["summary"],
+        pc_load_misses={int(pc, 16): misses
+                        for pc, misses in payload["pc_load_misses"].items()},
+    )
+
+
+def _prefetches_from_dict(payload: Dict[str, Any]) -> RestoredPrefetchStats:
+    injected = {}
+    for pc_hex, rec in payload.items():
+        pc = int(pc_hex, 16)
+        injected[pc] = InjectedPrefetch(
+            pc=pc, trace_head=rec["trace"], stride=rec["stride"],
+            lookahead=rec["lookahead"], confidence=rec["confidence"],
+        )
+    return RestoredPrefetchStats(injected=injected)
+
+
+def umi_result_from_dict(payload: Dict[str, Any]) -> UMIResult:
+    """Rebuild a summary-faithful :class:`UMIResult` from a payload."""
+    if payload.get("kind") != "umi_result":
+        raise ValueError(f"not a umi_result payload: {payload.get('kind')!r}")
+    umi = payload["umi"]
+    prefetches = payload.get("prefetches")
+    return UMIResult(
+        program_name=payload["program"],
+        cycles=payload["cycles"],
+        steps=payload["steps"],
+        runtime_stats=_runtime_stats_from_dict(payload["runtime"]),
+        umi_stats=UMIStats(
+            profiles_collected=umi["profiles_collected"],
+            analyzer_invocations=umi["analyzer_invocations"],
+        ),
+        instrumentation=RestoredInstrumentation(
+            profiled_operations=umi["profiled_operations"],
+            traces_instrumented=umi["traces_instrumented"],
+        ),
+        simulated_miss_ratio=payload["miss_ratios"]["simulated"],
+        pc_miss_ratios={int(pc, 16): ratio
+                        for pc, ratio in payload["pc_miss_ratios"].items()},
+        predicted_delinquent=frozenset(
+            int(pc, 16) for pc in payload["predicted_delinquent"]
+        ),
+        hardware_counters=dict(payload["hardware_counters"]),
+        hardware_l2_miss_ratio=payload["miss_ratios"]["hardware"],
+        prefetch_stats=(_prefetches_from_dict(prefetches)
+                        if prefetches is not None else None),
+    )
+
+
+def outcome_from_dict(payload: Dict[str, Any]) -> RunOutcome:
+    """Rebuild a summary-faithful :class:`RunOutcome` from a payload."""
+    if payload.get("kind") != "run_outcome":
+        raise ValueError(
+            f"not a run_outcome payload: {payload.get('kind')!r}")
+    umi = (umi_result_from_dict(payload["umi"])
+           if "umi" in payload else None)
+    if umi is not None:
+        runtime_stats: Optional[RuntimeStats] = umi.runtime_stats
+    elif "runtime" in payload:
+        runtime_stats = _runtime_stats_from_dict(payload["runtime"])
+    else:
+        runtime_stats = None
+    return RunOutcome(
+        program_name=payload["program"],
+        mode=payload["mode"],
+        cycles=payload["cycles"],
+        steps=payload["steps"],
+        hw_l2_miss_ratio=payload["hw_l2_miss_ratio"],
+        hw_counters=dict(payload["hw_counters"]),
+        runtime_stats=runtime_stats,
+        umi=umi,
+        cachegrind=(_cachegrind_from_dict(payload["cachegrind"])
+                    if "cachegrind" in payload else None),
+        counter_interrupt_cycles=payload["counter_interrupt_cycles"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# streams
+# ---------------------------------------------------------------------------
 
 def dump(obj: Union[UMIResult, RunOutcome],
          destination: Union[str, IO[str]]) -> None:

@@ -7,9 +7,10 @@ import pytest
 
 from repro.core import UMIConfig
 from repro.memory import CacheConfig, MachineConfig
-from repro.runners import run_native, run_umi
+from repro.runners import run_dynamo, run_native, run_umi
 from repro.serialize import (
-    SCHEMA_VERSION, dump, loads, outcome_to_dict, umi_result_to_dict,
+    SCHEMA_VERSION, dump, loads, outcome_from_dict, outcome_to_dict,
+    umi_result_from_dict, umi_result_to_dict,
 )
 
 from helpers import build_chase_program
@@ -71,6 +72,67 @@ class TestOutcomeSerialization:
     def test_umi_outcome_nests_result(self, umi_outcome):
         payload = outcome_to_dict(umi_outcome)
         assert payload["umi"]["kind"] == "umi_result"
+
+
+class TestOutcomeRestoration:
+    """Two-way serialization: payload -> restored view -> same payload."""
+
+    def test_umi_outcome_round_trips_exactly(self, umi_outcome):
+        payload = outcome_to_dict(umi_outcome)
+        restored = outcome_from_dict(payload)
+        assert outcome_to_dict(restored) == payload
+
+    def test_restored_summary_matches_live_outcome(self, umi_outcome):
+        restored = outcome_from_dict(outcome_to_dict(umi_outcome))
+        assert restored.cycles == umi_outcome.cycles
+        assert restored.steps == umi_outcome.steps
+        assert restored.hw_l2_miss_ratio == umi_outcome.hw_l2_miss_ratio
+        assert restored.umi.simulated_miss_ratio == \
+            umi_outcome.umi.simulated_miss_ratio
+        assert set(restored.umi.predicted_delinquent) == \
+            set(umi_outcome.umi.predicted_delinquent)
+        assert restored.umi.instrumentation.traces_instrumented == \
+            umi_outcome.umi.instrumentation.traces_instrumented
+
+    def test_restored_cachegrind_view(self):
+        program, _ = build_chase_program(n=32, reps=2)
+        outcome = run_native(program, MACHINE, with_cachegrind=True)
+        restored = outcome_from_dict(outcome_to_dict(outcome))
+        assert restored.cachegrind.l2_miss_ratio() == \
+            outcome.cachegrind.l2_miss_ratio()
+        assert restored.cachegrind.pc_load_misses() == \
+            outcome.cachegrind.pc_load_misses()
+        assert restored.cachegrind.summary() == \
+            outcome.cachegrind.summary()
+
+    def test_restored_dynamo_runtime_stats(self):
+        program, _ = build_chase_program(n=32, reps=4)
+        outcome = run_dynamo(program, MACHINE)
+        payload = outcome_to_dict(outcome)
+        restored = outcome_from_dict(payload)
+        assert outcome_to_dict(restored) == payload
+        assert restored.runtime_stats.traces_built == \
+            outcome.runtime_stats.traces_built
+        assert restored.runtime_stats.trace_residency == \
+            pytest.approx(outcome.runtime_stats.trace_residency)
+
+    def test_umi_result_from_dict(self, umi_outcome):
+        payload = umi_result_to_dict(umi_outcome.umi)
+        restored = umi_result_from_dict(payload)
+        assert umi_result_to_dict(restored) == payload
+
+    def test_restoration_survives_a_json_round_trip(self, umi_outcome):
+        # payload -> disk text -> payload -> view -> identical payload,
+        # i.e. what the result store relies on.
+        payload = outcome_to_dict(umi_outcome)
+        reloaded = json.loads(json.dumps(payload))
+        assert outcome_to_dict(outcome_from_dict(reloaded)) == payload
+
+    def test_from_dict_rejects_wrong_kind(self, umi_outcome):
+        with pytest.raises(ValueError):
+            outcome_from_dict(umi_result_to_dict(umi_outcome.umi))
+        with pytest.raises(ValueError):
+            umi_result_from_dict({"kind": "run_outcome"})
 
 
 class TestDumpAndLoad:
