@@ -41,6 +41,7 @@ from repro.memory import (
 from repro.runners import (
     RunOutcome, run_cachegrind, run_dynamo, run_native, run_umi,
 )
+from repro.telemetry import TELEMETRY, Telemetry, get_telemetry
 from repro.vm import DynamoSim, Interpreter, RuntimeConfig
 from repro.workloads import all_workloads, get_workload
 
@@ -53,6 +54,7 @@ __all__ = [
     "get_machine",
     "DynamoSim", "Interpreter", "RuntimeConfig",
     "RunOutcome", "run_native", "run_dynamo", "run_umi", "run_cachegrind",
+    "TELEMETRY", "Telemetry", "get_telemetry",
     "get_workload", "all_workloads",
     "__version__",
 ]

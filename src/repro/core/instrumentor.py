@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.isa.instructions import Instruction
+from repro.telemetry import get_telemetry
 from repro.vm.cost_model import CostModel
 from repro.vm.state import MachineState
 from repro.vm.trace import Trace
@@ -93,6 +94,7 @@ class Instrumentor:
         trace.instrument(profile_cols)
         self.stats.traces_instrumented += 1
         self.stats.profiled_pcs.update(profile_cols)
+        get_telemetry().count("umi.instrumented_ops", n=len(ops))
         return AddressProfile(
             trace.head, [ins.pc for ins in ops],
             max_rows=config.address_profile_entries,
@@ -102,3 +104,4 @@ class Instrumentor:
         """Replace the instrumented fragment with its clean clone."""
         trace.replace_with_clone()
         self.stats.clone_swaps += 1
+        get_telemetry().count("umi.clone_swaps")

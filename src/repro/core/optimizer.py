@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
 
 from repro.memory.hierarchy import MachineConfig
+from repro.telemetry import get_telemetry
 from repro.vm.trace import Trace
 
 from .config import UMIConfig
@@ -69,6 +70,18 @@ class SoftwarePrefetchOptimizer:
         """
         if not delinquent_pcs:
             return 0
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            with telemetry.span("umi.prefetch_rewrite", trace=trace.head,
+                                candidates=len(delinquent_pcs)):
+                injected = self._rewrite(trace, profile, delinquent_pcs)
+            if injected:
+                telemetry.count("umi.prefetch_injections", n=injected)
+            return injected
+        return self._rewrite(trace, profile, delinquent_pcs)
+
+    def _rewrite(self, trace: Trace, profile: AddressProfile,
+                 delinquent_pcs: Set[int]) -> int:
         config = self.config
         injected = 0
         pass_cycles = (

@@ -24,6 +24,7 @@ from typing import Dict, FrozenSet, Optional
 from repro.isa import Program
 from repro.memory.configs import make_hw_prefetcher
 from repro.memory.hierarchy import MachineConfig, MemoryHierarchy
+from repro.telemetry import get_telemetry
 from repro.vm.cost_model import DEFAULT_COST_MODEL, CostModel
 from repro.vm.runtime import (
     DynamoSim, RuntimeConfig, RuntimeHooks, RuntimeStats,
@@ -163,6 +164,10 @@ class UMIRuntime:
         self.profile_archive: list = []
         self._entered_trace: Optional[Trace] = None
         self._trigger_on_exit = False
+        # Telemetry: one shared label dict so disabled-mode calls cost a
+        # single attribute check, not a dict allocation per event.
+        self._telemetry = get_telemetry()
+        self._telemetry_labels = {"workload": program.name}
 
     # -- public API --------------------------------------------------------------
 
@@ -180,8 +185,23 @@ class UMIRuntime:
         runtime_stats = self.dynamo.run()
         if analyze_at_exit and self.profiles:
             self.stats.exit_drains += 1
+            self._telemetry.count("umi.exit_drains",
+                                  labels=self._telemetry_labels)
             self._run_analyzer()
         state = self.state
+        if self._telemetry.enabled:
+            # Reconciliation record: these fields must equal the
+            # accumulated umi.* counters for this run (tests pin this).
+            self._telemetry.event(
+                "umi.run", workload=self.program.name,
+                cycles=state.cycles, steps=state.steps,
+                analyzer_invocations=self.stats.analyzer_invocations,
+                profiles_collected=self.stats.profiles_collected,
+                trace_buffer_triggers=self.stats.trace_buffer_triggers,
+                address_profile_triggers=(
+                    self.stats.address_profile_triggers),
+                exit_drains=self.stats.exit_drains,
+            )
         return UMIResult(
             program_name=self.program.name,
             cycles=state.cycles,
@@ -230,7 +250,17 @@ class UMIRuntime:
             self._instrument_trace(trace)
 
     def _instrument_trace(self, trace: Trace) -> None:
-        profile = self.instrumentor.instrument(trace)
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            with telemetry.span("umi.instrument",
+                                labels=self._telemetry_labels,
+                                trace=trace.head):
+                profile = self.instrumentor.instrument(trace)
+            if profile is not None:
+                telemetry.count("umi.traces_instrumented",
+                                labels=self._telemetry_labels)
+        else:
+            profile = self.instrumentor.instrument(trace)
         if profile is not None:
             self.profiles[trace.head] = profile
 
@@ -256,6 +286,8 @@ class UMIRuntime:
             # trigger the analyzer; this execution runs uninstrumented
             # (the trace is swapped to its clone by the analyzer).
             self.stats.address_profile_triggers += 1
+            self._telemetry.count("umi.address_profile_triggers",
+                                  labels=self._telemetry_labels)
             self._run_analyzer()
             return
         row = profile.new_row()
@@ -266,6 +298,8 @@ class UMIRuntime:
             # The trace-profile write hit the guard page: the analyzer
             # fires as soon as this trace execution completes.
             self.stats.trace_buffer_triggers += 1
+            self._telemetry.count("umi.trace_buffer_triggers",
+                                  labels=self._telemetry_labels)
             self._trigger_on_exit = True
 
     def _on_trace_exited(self, trace: Trace) -> None:
@@ -297,11 +331,25 @@ class UMIRuntime:
         ``frequency_threshold`` timer ticks -- periodic re-profiling
         across program phases.
         """
+        telemetry = self._telemetry
+        if not telemetry.enabled:
+            self._analyze_profiles()
+            return
+        telemetry.count("umi.analyzer_invocations",
+                        labels=self._telemetry_labels)
+        with telemetry.span("umi.analyzer", labels=self._telemetry_labels,
+                            live_profiles=len(self.profiles)):
+            self._analyze_profiles()
+
+    def _analyze_profiles(self) -> None:
+        telemetry = self._telemetry
         state = self.state
         model = self.cost_model
         state.cycles += model.analyzer_invoke_cost
         self.stats.analyzer_invocations += 1
-        self.mini_sim.maybe_flush(state.cycles)
+        if self.mini_sim.maybe_flush(state.cycles):
+            telemetry.count("umi.mini_sim_flushes",
+                            labels=self._telemetry_labels)
 
         invocation_refs = 0
         invocation_misses = 0
@@ -310,6 +358,8 @@ class UMIRuntime:
             trace = self.dynamo.traces[head]
             if not profile.empty:
                 self.stats.profiles_collected += 1
+                telemetry.count("umi.profiles_collected",
+                                labels=self._telemetry_labels)
                 state.cycles += (
                     model.analyzer_cost_per_record * profile.record_count()
                 )

@@ -10,14 +10,14 @@ section of ``docs/ARCHITECTURE.md``.
 
 from .engine import ExecutionEngine
 from .executor import (
-    ParallelExecutor, SerialExecutor, execute_spec, execute_spec_payload,
-    make_executor,
+    ParallelExecutor, SerialExecutor, SpecExecutionError, execute_spec,
+    execute_spec_payload, make_executor,
 )
 from .spec import RunSpec, SPEC_MODES
 from .store import ResultStore
 
 __all__ = [
     "ExecutionEngine", "ParallelExecutor", "ResultStore", "RunSpec",
-    "SPEC_MODES", "SerialExecutor", "execute_spec",
+    "SPEC_MODES", "SerialExecutor", "SpecExecutionError", "execute_spec",
     "execute_spec_payload", "make_executor",
 ]

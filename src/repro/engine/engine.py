@@ -19,6 +19,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.runners import RunOutcome
 from repro.serialize import outcome_from_dict
+from repro.telemetry import get_telemetry
 
 from .executor import SerialExecutor, make_executor
 from .spec import RunSpec
@@ -61,11 +62,15 @@ class ExecutionEngine:
 
         Results come back in argument order, duplicates allowed.
         """
+        telemetry = get_telemetry()
         specs = list(specs)
         missing: List[RunSpec] = []
         seen = set()
         for spec in specs:
-            if spec in self._memo or spec in seen:
+            if spec in self._memo:
+                telemetry.count("engine.memo_hits")
+                continue
+            if spec in seen:
                 continue
             if self.store is not None:
                 payload = self.store.load(spec)
@@ -75,7 +80,10 @@ class ExecutionEngine:
             seen.add(spec)
             missing.append(spec)
         if missing:
-            payloads = self.executor.execute(missing)
+            with telemetry.span("engine.wavefront", specs=len(missing),
+                                jobs=getattr(self.executor, "jobs", 1)):
+                payloads = self.executor.execute(missing)
+            telemetry.count("engine.specs_executed", n=len(missing))
             for spec, payload in zip(missing, payloads):
                 if self.store is not None:
                     self.store.save(spec, payload)

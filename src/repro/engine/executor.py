@@ -12,19 +12,46 @@ spec alone -- a spec is self-contained -- so the parallel executor fans
 independent specs across cores with no shared state; ``Pool.map``
 preserves submission order, keeping results deterministic regardless of
 completion order.
+
+Telemetry: every executed spec is timed under an ``executor.spec`` span
+(labelled by workload, carrying the spec digest).  Pool workers record
+into their own process-local telemetry and ship a snapshot back with
+the payload; the parent merges snapshots in spec submission order, so
+the combined registry is identical to a serial run's.  Worker failures
+surface as :class:`SpecExecutionError` naming the failing spec's
+digest, and ``runs_executed`` counts only specs that actually
+succeeded.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Any, Dict, List, Sequence
+import traceback
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.memory import get_machine
 from repro.runners import run_mode
 from repro.serialize import outcome_to_dict
+from repro.telemetry import get_telemetry
 from repro.workloads import get_workload
 
 from .spec import RunSpec
+
+
+class SpecExecutionError(RuntimeError):
+    """One spec's execution failed; names the spec and its digest."""
+
+    def __init__(self, spec: RunSpec, message: str,
+                 worker_traceback: Optional[str] = None) -> None:
+        self.spec = spec
+        self.digest = spec.digest()
+        self.worker_traceback = worker_traceback
+        detail = f"\n--- worker traceback ---\n{worker_traceback}" \
+            if worker_traceback else ""
+        super().__init__(
+            f"spec {spec.describe()} (digest {self.digest[:12]}) "
+            f"failed: {message}{detail}"
+        )
 
 
 def execute_spec(spec: RunSpec):
@@ -46,6 +73,40 @@ def execute_spec_payload(spec: RunSpec) -> Dict[str, Any]:
     return outcome_to_dict(execute_spec(spec))
 
 
+def _execute_timed(spec: RunSpec) -> Dict[str, Any]:
+    """One spec under an ``executor.spec`` span (if telemetry is on)."""
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        return execute_spec_payload(spec)
+    with telemetry.span("executor.spec",
+                        labels={"workload": spec.workload},
+                        digest=spec.digest()[:12], spec=spec.describe()):
+        return execute_spec_payload(spec)
+
+
+def _pool_execute(item: Tuple[RunSpec, bool]):
+    """Pool worker unit: one spec -> status + payload (+ telemetry).
+
+    Returns ``("ok", payload, snapshot_or_None)`` or ``("error",
+    message, traceback_text)``.  Exceptions are flattened to strings in
+    the worker so unpicklable exception types can still be reported,
+    and so the parent can name the failing spec.  Telemetry is reset
+    per spec, making each snapshot self-contained regardless of how
+    the pool chunks the work.
+    """
+    spec, telemetry_enabled = item
+    telemetry = get_telemetry()
+    telemetry.reset()
+    telemetry.enabled = telemetry_enabled
+    try:
+        payload = _execute_timed(spec)
+    except Exception as exc:  # noqa: BLE001 -- reported, not swallowed
+        return ("error", f"{type(exc).__name__}: {exc}",
+                traceback.format_exc())
+    snapshot = telemetry.snapshot() if telemetry_enabled else None
+    return ("ok", payload, snapshot)
+
+
 class SerialExecutor:
     """Runs specs one after another in the calling process."""
 
@@ -57,7 +118,7 @@ class SerialExecutor:
     def execute(self, specs: Sequence[RunSpec]) -> List[Dict[str, Any]]:
         payloads = []
         for spec in specs:
-            payloads.append(execute_spec_payload(spec))
+            payloads.append(_execute_timed(spec))
             self.runs_executed += 1
         return payloads
 
@@ -75,9 +136,16 @@ class ParallelExecutor:
         specs = list(specs)
         if not specs:
             return []
-        self.runs_executed += len(specs)
         if len(specs) == 1 or self.jobs == 1:
-            return [execute_spec_payload(spec) for spec in specs]
+            payloads = []
+            for spec in specs:
+                try:
+                    payloads.append(_execute_timed(spec))
+                except Exception as exc:
+                    raise SpecExecutionError(
+                        spec, f"{type(exc).__name__}: {exc}") from exc
+                self.runs_executed += 1
+            return payloads
         # fork shares the already-imported interpreter state read-only
         # and avoids re-importing the package per worker; fall back to
         # the default start method where fork is unavailable.
@@ -85,10 +153,29 @@ class ParallelExecutor:
             ctx = multiprocessing.get_context("fork")
         except ValueError:
             ctx = multiprocessing.get_context()
+        telemetry = get_telemetry()
+        items = [(spec, telemetry.enabled) for spec in specs]
         workers = min(self.jobs, len(specs))
         with ctx.Pool(processes=workers) as pool:
             # map() preserves order: result i belongs to spec i.
-            return pool.map(execute_spec_payload, specs)
+            results = pool.map(_pool_execute, items)
+        payloads = []
+        failure: Optional[SpecExecutionError] = None
+        for index, (spec, result) in enumerate(zip(specs, results)):
+            if result[0] == "error":
+                if failure is None:
+                    failure = SpecExecutionError(
+                        spec, result[1], worker_traceback=result[2])
+                continue
+            payloads.append(result[1])
+            self.runs_executed += 1
+            if result[2] is not None:
+                telemetry.merge(result[2], source=f"worker:{index}")
+        if failure is not None:
+            # Specs that completed are still counted/merged above; the
+            # first failing spec (submission order) names the error.
+            raise failure
+        return payloads
 
 
 def make_executor(jobs: int = 1):

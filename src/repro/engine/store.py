@@ -10,6 +10,13 @@ scripts and repeated CLI invocations all share results through it.
 Payloads whose ``schema_version`` does not match the current
 :data:`repro.serialize.SCHEMA_VERSION` (or whose embedded spec does not
 match the requested one) are treated as misses, never served stale.
+``spec in store`` applies the *same* validity rules as :meth:`load`
+(without touching the hit/miss counters), so membership never claims a
+record that a load would then refuse.
+
+Every probe outcome is counted -- on the store itself (``hits``,
+``misses`` and the per-reason breakdown) and, when enabled, on the
+global telemetry registry (``store.hits`` / ``store.misses{reason=..}``).
 """
 
 from __future__ import annotations
@@ -21,8 +28,12 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
 from repro.serialize import SCHEMA_VERSION
+from repro.telemetry import get_telemetry
 
 from .spec import RunSpec
+
+#: Reasons a probe can miss, in the order reported by ``miss_reasons``.
+MISS_REASONS = ("absent", "corrupt", "stale_schema", "spec_mismatch")
 
 
 class ResultStore:
@@ -33,9 +44,38 @@ class ResultStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.miss_reasons: Dict[str, int] = {r: 0 for r in MISS_REASONS}
+        #: Corrupt files skipped while iterating :meth:`records`.
+        self.records_skipped_corrupt = 0
+        #: Stale-schema files skipped while iterating :meth:`records`.
+        self.records_skipped_stale = 0
 
     def path_for(self, spec: RunSpec) -> Path:
         return self.root / f"{spec.digest()}.json"
+
+    # -- validation --------------------------------------------------------
+
+    def _read_valid(self, spec: RunSpec
+                    ) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
+        """``(payload, None)`` for a valid record, else ``(None, reason)``.
+
+        The single source of truth for validity: :meth:`load` and
+        ``__contains__`` both go through it, so they can never disagree
+        about whether a record is servable.
+        """
+        path = self.path_for(spec)
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            return None, "absent"
+        except (OSError, json.JSONDecodeError):
+            return None, "corrupt"
+        if record.get("schema_version") != SCHEMA_VERSION:
+            return None, "stale_schema"
+        if record.get("spec") != spec.to_dict():
+            return None, "spec_mismatch"
+        return record["outcome"], None
 
     def load(self, spec: RunSpec) -> Optional[Dict[str, Any]]:
         """The stored outcome payload for ``spec``, or ``None``.
@@ -43,21 +83,16 @@ class ResultStore:
         Stale schema versions, spec mismatches (digest collisions or
         hand-edited files) and unreadable JSON all count as misses.
         """
-        path = self.path_for(spec)
-        try:
-            with open(path) as handle:
-                record = json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError):
+        payload, reason = self._read_valid(spec)
+        telemetry = get_telemetry()
+        if payload is None:
             self.misses += 1
-            return None
-        if record.get("schema_version") != SCHEMA_VERSION:
-            self.misses += 1
-            return None
-        if record.get("spec") != spec.to_dict():
-            self.misses += 1
+            self.miss_reasons[reason] += 1
+            telemetry.count("store.misses", labels={"reason": reason})
             return None
         self.hits += 1
-        return record["outcome"]
+        telemetry.count("store.hits")
+        return payload
 
     def save(self, spec: RunSpec, payload: Dict[str, Any]) -> Path:
         """Persist one outcome payload under the spec's digest.
@@ -80,22 +115,37 @@ class ResultStore:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+        get_telemetry().count("store.saves")
         return path
 
     def __contains__(self, spec: RunSpec) -> bool:
-        return self.path_for(spec).exists()
+        """Same validity rules as :meth:`load`, without counter effects."""
+        payload, _ = self._read_valid(spec)
+        return payload is not None
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))
 
     def records(self) -> Iterator[Tuple[Dict[str, Any], Dict[str, Any]]]:
-        """Iterate ``(spec_dict, outcome_payload)`` over valid entries."""
+        """Iterate ``(spec_dict, outcome_payload)`` over valid entries.
+
+        Unreadable and stale-schema files are skipped but *counted*
+        (``records_skipped_corrupt`` / ``records_skipped_stale``), so a
+        sweep over a damaged store is detectable instead of silent.
+        """
+        telemetry = get_telemetry()
         for path in sorted(self.root.glob("*.json")):
             try:
                 with open(path) as handle:
                     record = json.load(handle)
             except (OSError, json.JSONDecodeError):
+                self.records_skipped_corrupt += 1
+                telemetry.count("store.records_skipped",
+                                labels={"reason": "corrupt"})
                 continue
             if record.get("schema_version") != SCHEMA_VERSION:
+                self.records_skipped_stale += 1
+                telemetry.count("store.records_skipped",
+                                labels={"reason": "stale_schema"})
                 continue
             yield record["spec"], record["outcome"]

@@ -6,6 +6,8 @@ Usage::
     umi-experiments table4 --scale 0.5
     umi-experiments all --jobs 4 --store .umi-cache
     umi-experiments all --json runs.json
+    umi-experiments table1 --telemetry /tmp/t
+    umi-experiments telemetry /tmp/t
 
 Every experiment declares its required runs upfront
 (``required_runs``), so ``all`` resolves the union of every table's
@@ -13,6 +15,13 @@ and figure's specs as one deduplicated wavefront -- fanned across
 ``--jobs`` worker processes -- before any table is rendered.  With
 ``--store`` the resolved runs persist on disk and later invocations
 (any experiment, any process) reuse them instead of re-executing.
+
+``--telemetry DIR`` (available on every subcommand) enables the
+self-observability layer (:mod:`repro.telemetry`) for the invocation
+and exports the run's structured events, metrics and summary to
+``DIR``; the ``telemetry`` subcommand renders a stored directory's
+summary tables (slowest specs, store hit ratio, analyzer time share
+per workload).
 """
 
 from __future__ import annotations
@@ -26,6 +35,9 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.stats import Table
+from repro.telemetry import (
+    get_telemetry, render_telemetry_dir, write_telemetry_dir,
+)
 
 from . import (
     apps, fig2, prefetch_figs, sensitivity, table1, table2, table3,
@@ -72,7 +84,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment", nargs="?", default=None,
-        help="experiment name (see --list) or 'all'",
+        help="experiment name (see --list), 'all', or 'telemetry'",
+    )
+    parser.add_argument(
+        "target", nargs="?", default=None,
+        help="for the 'telemetry' subcommand: the directory written by "
+             "a previous --telemetry run",
     )
     parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
                         help="workload iteration scale (default %(default)s)")
@@ -94,6 +111,9 @@ def main(argv=None) -> int:
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="archive every run behind the tables "
                              "(spec + serialized outcome) to a JSON file")
+    parser.add_argument("--telemetry", metavar="DIR", default=None,
+                        help="enable the telemetry subsystem and export "
+                             "events/metrics/summary to DIR")
     args = parser.parse_args(argv)
 
     if args.list or args.experiment is None:
@@ -101,6 +121,17 @@ def main(argv=None) -> int:
         for name in EXPERIMENTS:
             print(f"  {name}")
         print("  all")
+        print("  telemetry DIR  (render a stored --telemetry directory)")
+        return 0
+
+    if args.experiment == "telemetry":
+        if args.target is None:
+            parser.error("telemetry subcommand needs a directory: "
+                         "umi-experiments telemetry DIR")
+        try:
+            print(render_telemetry_dir(args.target))
+        except FileNotFoundError as exc:
+            parser.error(f"not a telemetry directory: {exc}")
         return 0
 
     if args.experiment == "all":
@@ -116,6 +147,26 @@ def main(argv=None) -> int:
     if store is not None and os.path.exists(store) \
             and not os.path.isdir(store):
         parser.error(f"--store {store!r} exists and is not a directory")
+
+    telemetry = get_telemetry()
+    if args.telemetry:
+        telemetry.reset()
+        telemetry.enable()
+        telemetry.event("cli.invocation", experiments=names,
+                        scale=args.scale, jobs=args.jobs,
+                        store=bool(store))
+    try:
+        _run_experiments(args, names, store)
+        if args.telemetry:
+            write_telemetry_dir(telemetry, args.telemetry)
+            print(f"[telemetry written to {args.telemetry}]")
+    finally:
+        if args.telemetry:
+            telemetry.disable()
+    return 0
+
+
+def _run_experiments(args, names: List[str], store) -> None:
     cache = ResultCache(scale=args.scale, jobs=args.jobs, store=store)
 
     # One deduplicated wavefront covering every requested experiment,
@@ -163,7 +214,6 @@ def main(argv=None) -> int:
     if args.json:
         _archive_runs(cache, args.json)
         print(f"[runs archived to {args.json}]")
-    return 0
 
 
 def _archive_runs(cache: ResultCache, path: str) -> None:

@@ -1,0 +1,29 @@
+"""Self-observability for the UMI reproduction.
+
+UMI is a profiler; this package profiles the profiler.  It provides a
+metrics registry (counters, gauges, histograms, timers), a nesting span
+tracer with per-span wall/CPU time, and a JSONL structured event log,
+all behind one module-level :class:`Telemetry` object that is a strict
+no-op while disabled.  The VM runtime, the UMI core, the execution
+engine and the executors are instrumented against it; exporters write a
+telemetry directory (``events.jsonl``, ``metrics.json``,
+``metrics.prom``, ``summary.txt``) that ``umi-experiments telemetry``
+renders back as summary tables.  See the "Telemetry" section of
+``docs/ARCHITECTURE.md``.
+"""
+
+from .core import NOOP_SPAN, TELEMETRY, Telemetry, get_telemetry
+from .export import (
+    load_telemetry_dir, prometheus_text, read_events_jsonl,
+    write_events_jsonl, write_telemetry_dir,
+)
+from .registry import Counter, Gauge, Histogram, MetricsRegistry, Timer
+from .summary import render_summary, render_telemetry_dir, summary_tables
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NOOP_SPAN",
+    "TELEMETRY", "Telemetry", "Timer", "get_telemetry",
+    "load_telemetry_dir", "prometheus_text", "read_events_jsonl",
+    "render_summary", "render_telemetry_dir", "summary_tables",
+    "write_events_jsonl", "write_telemetry_dir",
+]

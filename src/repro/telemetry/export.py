@@ -1,0 +1,134 @@
+"""Exporters: JSONL event stream, Prometheus text, summary directory.
+
+A telemetry directory (``umi-experiments ... --telemetry DIR``) holds:
+
+* ``events.jsonl``  -- one JSON object per structured event/span, in
+  sequence order (the round-trippable source of truth);
+* ``metrics.json``  -- the registry snapshot as one JSON document (what
+  the ``telemetry`` subcommand reloads);
+* ``metrics.prom``  -- the same registry in Prometheus text exposition
+  format, for scraping or ``promtool``-style tooling;
+* ``summary.txt``   -- the human summary tables
+  (:func:`repro.telemetry.summary.render_summary`).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from .core import Telemetry
+
+_PROM_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+EVENTS_FILE = "events.jsonl"
+METRICS_JSON_FILE = "metrics.json"
+METRICS_PROM_FILE = "metrics.prom"
+SUMMARY_FILE = "summary.txt"
+
+
+def write_events_jsonl(events: List[Dict[str, Any]],
+                       path: Union[str, Path]) -> None:
+    with open(path, "w") as handle:
+        for record in events:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+
+
+def read_events_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def _prom_series(name: str, labels: Dict[str, str], value) -> str:
+    name = _PROM_NAME.sub("_", name)
+    if labels:
+        body = ",".join(f'{_PROM_NAME.sub("_", k)}="{v}"'
+                        for k, v in sorted(labels.items()))
+        name = f"{name}{{{body}}}"
+    return f"{name} {value}"
+
+
+def prometheus_text(metrics: List[Dict[str, Any]]) -> str:
+    """Render a registry snapshot in Prometheus text exposition format.
+
+    Counters and gauges map directly; timers expose ``_seconds_count``,
+    ``_seconds_sum`` (wall) and ``_cpu_seconds_sum``; histograms expose
+    ``_count`` and ``_sum`` plus ``_min``/``_max`` gauges.
+    """
+    typed: Dict[str, str] = {}
+    series: List[str] = []
+    for entry in metrics:
+        kind, name, labels = entry["kind"], entry["name"], entry["labels"]
+        if kind == "counter":
+            typed.setdefault(name, "counter")
+            series.append(_prom_series(name, labels, entry["value"]))
+        elif kind == "gauge":
+            typed.setdefault(name, "gauge")
+            series.append(_prom_series(name, labels, entry["value"]))
+        elif kind == "timer":
+            typed.setdefault(f"{name}_seconds", "summary")
+            series.append(_prom_series(f"{name}_seconds_count", labels,
+                                       entry["count"]))
+            series.append(_prom_series(f"{name}_seconds_sum", labels,
+                                       entry["wall_s"]))
+            series.append(_prom_series(f"{name}_cpu_seconds_sum", labels,
+                                       entry["cpu_s"]))
+        elif kind == "histogram":
+            typed.setdefault(name, "summary")
+            series.append(_prom_series(f"{name}_count", labels,
+                                       entry["count"]))
+            series.append(_prom_series(f"{name}_sum", labels,
+                                       entry["total"]))
+            for bound in ("min", "max"):
+                if entry.get(bound) is not None:
+                    series.append(_prom_series(f"{name}_{bound}", labels,
+                                               entry[bound]))
+    lines = []
+    for name in sorted(typed):
+        lines.append(f"# TYPE {_PROM_NAME.sub('_', name)} {typed[name]}")
+    lines.extend(series)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_telemetry_dir(telemetry: Telemetry,
+                        directory: Union[str, Path]) -> Dict[str, Path]:
+    """Export one run's telemetry to ``directory``; returns the paths."""
+    from .summary import render_summary  # local import: avoids a cycle
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    snapshot = telemetry.snapshot()
+    paths = {
+        "events": directory / EVENTS_FILE,
+        "metrics_json": directory / METRICS_JSON_FILE,
+        "metrics_prom": directory / METRICS_PROM_FILE,
+        "summary": directory / SUMMARY_FILE,
+    }
+    write_events_jsonl(snapshot["events"], paths["events"])
+    with open(paths["metrics_json"], "w") as handle:
+        json.dump({"metrics": snapshot["metrics"]}, handle,
+                  indent=2, sort_keys=True)
+    with open(paths["metrics_prom"], "w") as handle:
+        handle.write(prometheus_text(snapshot["metrics"]))
+    with open(paths["summary"], "w") as handle:
+        handle.write(render_summary(snapshot["metrics"],
+                                    snapshot["events"]))
+        handle.write("\n")
+    return paths
+
+
+def load_telemetry_dir(directory: Union[str, Path]):
+    """Reload ``(metrics, events)`` from an exported telemetry dir."""
+    directory = Path(directory)
+    with open(directory / METRICS_JSON_FILE) as handle:
+        metrics = json.load(handle)["metrics"]
+    events = read_events_jsonl(directory / EVENTS_FILE)
+    return metrics, events

@@ -19,6 +19,7 @@ from typing import Dict, Optional, Set, Tuple
 
 from repro.isa import Program
 from repro.isa.instructions import RET, SWITCH
+from repro.telemetry import get_telemetry
 
 from .cost_model import DEFAULT_COST_MODEL, CostModel
 from .interpreter import ExecutionLimitExceeded, Interpreter
@@ -130,6 +131,23 @@ class DynamoSim:
 
     def run(self) -> RuntimeStats:
         """Execute the program to completion under the runtime."""
+        telemetry = get_telemetry()
+        if not telemetry.enabled:
+            return self._run()
+        with telemetry.span("vm.run",
+                            labels={"program": self.program.name}):
+            stats = self._run()
+        telemetry.event(
+            "vm.run_stats", program=self.program.name,
+            traces_built=stats.traces_built,
+            blocks_translated=stats.blocks_translated,
+            trace_entries=stats.trace_entries,
+            timer_samples=stats.timer_samples,
+            trace_residency=stats.trace_residency,
+        )
+        return stats
+
+    def _run(self) -> RuntimeStats:
         state = self.state
         config = self.config
         label: Optional[str] = self.program.entry
@@ -219,6 +237,8 @@ class DynamoSim:
         cost = self.cost_model.trace_build_cost_per_block * len(trace.blocks)
         self.state.cycles += cost
         self.stats.traces_built += 1
+        get_telemetry().count("vm.traces_built",
+                              labels={"program": self.program.name})
         self.hooks.trace_created(trace)
 
     def _execute_trace(self, trace: Trace) -> Optional[str]:
