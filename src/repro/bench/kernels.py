@@ -1,0 +1,313 @@
+"""The named benchmark kernels behind ``umi-experiments bench``.
+
+Four kernels cover the repo's hot paths:
+
+``interpreter``
+    Threaded-dispatch VM executing an Olden workload against flat
+    memory -- pure dispatch/decode cost, no cache model.
+``minisim``
+    The analyzer's batch mini cache simulator
+    (:class:`repro.core.analyzer.MiniCacheSimulator`) versus the
+    retained reference loop
+    (:class:`repro.memory.cache_reference.ReferenceMiniCacheSimulator`)
+    on the same synthetic profile stream.  The stream models the
+    paper's operating point: a pool of hot traces re-analysed on every
+    trigger, with triggers spaced one flush interval apart (the
+    prototype flushes on essentially every trigger, Section 5).  Both
+    simulators must produce bit-identical per-pc statistics; the
+    ``speedup`` meta field is the acceptance number guarded by
+    :data:`repro.bench.report.SPEEDUP_FLOORS`.
+``fullsim``
+    The batched Cachegrind-style simulator versus the retained
+    one-cell-at-a-time reference loop
+    (:class:`repro.fullsim.reference.ReferenceCachegrindSimulator`) on
+    one synthetic reference stream, with per-pc load-miss equality
+    asserted.
+``table4_smoke``
+    One end-to-end UMI + Cachegrind run of a small workload -- the
+    Table 4 pipeline in miniature, catching regressions that only
+    appear when runtime, analyzer and full simulator compose.
+
+Each kernel rebuilds its inputs from fixed seeds, so timings are
+comparable across runs and the equality assertions are deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.analyzer import MiniCacheSimulator
+from repro.core.config import UMIConfig
+from repro.core.profiles import AddressProfile
+from repro.fullsim.cachegrind import CachegrindSimulator
+from repro.fullsim.reference import ReferenceCachegrindSimulator
+from repro.memory import get_machine
+from repro.memory.cache_reference import ReferenceMiniCacheSimulator
+
+from .harness import BenchResult, run_benchmark
+
+#: Machine model every kernel simulates (scaled pentium4: 2048-line L2).
+BENCH_MACHINE = "pentium4"
+BENCH_MACHINE_SCALE = 16
+
+Clock = Callable[[], float]
+
+
+# -- synthetic inputs ---------------------------------------------------------
+
+def synth_profiles(seed: int = 11, n_unique: int = 12, ops: int = 8,
+                   rows: int = 12, span_lines: int = 96,
+                   jitter_lines: int = 64) -> List[AddressProfile]:
+    """A deterministic pool of synthetic address profiles.
+
+    Each profile walks a strided window over its own base region with
+    seeded jitter and ~10% gap cells (early trace exits), mimicking the
+    row structure the UMI runtime records.
+    """
+    rng = random.Random(seed)
+    profiles = []
+    for i in range(n_unique):
+        base = rng.randrange(1 << 20) << 6
+        profile = AddressProfile(
+            f"bench{i}", [0x4000 + 8 * j for j in range(ops)], rows)
+        for r in range(rows):
+            row = profile.new_row()
+            for j in range(ops):
+                if rng.random() < 0.9:
+                    row[j] = (base + 64 * ((r * ops + j) % span_lines)
+                              + 64 * rng.randrange(jitter_lines))
+        profiles.append(profile)
+    return profiles
+
+
+def synth_reference_stream(seed: int = 5, n_refs: int = 60_000,
+                           n_pcs: int = 40, hot_fraction: float = 0.5,
+                           ) -> Tuple[List[int], List[int], List[bool]]:
+    """A deterministic (pc, addr, is_write) load/store stream."""
+    rng = random.Random(seed)
+    pcs = []
+    addrs = []
+    writes = []
+    hot_base = rng.randrange(1 << 10) << 6
+    for i in range(n_refs):
+        pcs.append(0x400 + 8 * (i % n_pcs))
+        if rng.random() < hot_fraction:
+            addrs.append(hot_base + 64 * rng.randrange(512))
+        else:
+            addrs.append(rng.randrange(1 << 14) << 6)
+        writes.append(rng.random() < 0.3)
+    return pcs, addrs, writes
+
+
+# -- equality guards ----------------------------------------------------------
+
+def assert_minisim_equal(opt: MiniCacheSimulator,
+                         ref: ReferenceMiniCacheSimulator) -> None:
+    """Bit-identical accumulated per-pc statistics, or raise."""
+    if opt.pc_stats.keys() != ref.pc_stats.keys():
+        raise AssertionError("minisim kernels disagree on pc set")
+    for pc, a in opt.pc_stats.items():
+        b = ref.pc_stats[pc]
+        if (a.refs, a.misses) != (b.refs, b.misses):
+            raise AssertionError(
+                f"minisim divergence at pc {pc:#x}: "
+                f"opt=({a.refs},{a.misses}) ref=({b.refs},{b.misses})")
+    if opt.flushes != ref.flushes:
+        raise AssertionError("minisim kernels disagree on flush count")
+
+
+def assert_fullsim_equal(opt: CachegrindSimulator,
+                         ref: ReferenceCachegrindSimulator) -> None:
+    """Identical per-pc load accounting across both simulators."""
+    a, b = opt.load_stats, ref.load_stats
+    if a.keys() != b.keys():
+        raise AssertionError("fullsim kernels disagree on load pc set")
+    for pc, sa in a.items():
+        sb = b[pc]
+        if (sa.refs, sa.l1_misses, sa.l2_misses) != \
+                (sb.refs, sb.l1_misses, sb.l2_misses):
+            raise AssertionError(
+                f"fullsim divergence at pc {pc:#x}: "
+                f"opt=({sa.refs},{sa.l1_misses},{sa.l2_misses}) "
+                f"ref=({sb.refs},{sb.l1_misses},{sb.l2_misses})")
+
+
+# -- kernels ------------------------------------------------------------------
+
+def _bench_interpreter(quick: bool, warmup: int, repeat: int,
+                       clock: Clock) -> BenchResult:
+    from repro.memory.flat import FlatMemory
+    from repro.vm.interpreter import Interpreter
+    from repro.workloads import get_workload
+
+    scale = 0.2 if quick else 0.5
+    program = get_workload("em3d").build(scale)
+
+    def run():
+        interp = Interpreter(program, FlatMemory(latency=0))
+        interp.run_native()
+        return interp.state.steps
+
+    result = run_benchmark("interpreter", run, warmup=warmup,
+                           repeat=repeat, clock=clock)
+    result.meta.update(workload="em3d", scale=scale, steps=run())
+    return result
+
+
+def _bench_minisim(quick: bool, warmup: int, repeat: int,
+                   clock: Clock) -> BenchResult:
+    config = UMIConfig()
+    host_l2 = get_machine(BENCH_MACHINE, scale=BENCH_MACHINE_SCALE).l2
+    pool = synth_profiles()
+    # Enough re-analysis cycles for the memo to amortize its recording
+    # cost: the speedup climbs toward the steady-state replay ratio as
+    # cycles grow, and both points sit clear of the 3x floor.
+    cycles = 24 if quick else 48
+    profiles = pool * cycles
+    # Triggers spaced exactly one flush interval apart: the paper's
+    # prototype regime, where the shared cache flushes on (nearly)
+    # every analyzer invocation.
+    gap = config.flush_interval or 0
+
+    def run_opt():
+        sim = MiniCacheSimulator(config, host_l2)
+        for i, profile in enumerate(profiles):
+            sim.maybe_flush(i * gap)
+            sim.analyze(profile)
+        return sim
+
+    def run_ref():
+        sim = ReferenceMiniCacheSimulator(config, host_l2)
+        for i, profile in enumerate(profiles):
+            sim.maybe_flush(i * gap)
+            sim.analyze(profile)
+        return sim
+
+    opt_sim = run_opt()
+    assert_minisim_equal(opt_sim, run_ref())
+
+    result = run_benchmark("minisim", run_opt, warmup=warmup,
+                           repeat=repeat, clock=clock)
+    reference = run_benchmark("minisim.reference", run_ref,
+                              warmup=warmup, repeat=repeat, clock=clock)
+    result.meta.update(
+        profiles=len(profiles),
+        unique_profiles=len(pool),
+        references=opt_sim.references_simulated,
+        memo_hits=opt_sim.memo_hits,
+        flushes=opt_sim.flushes,
+        reference_median_s=reference.median_s,
+        speedup=(reference.median_s / result.median_s
+                 if result.median_s else 0.0),
+    )
+    return result
+
+
+def _bench_fullsim(quick: bool, warmup: int, repeat: int,
+                   clock: Clock) -> BenchResult:
+    machine = get_machine(BENCH_MACHINE, scale=BENCH_MACHINE_SCALE)
+    n_refs = 15_000 if quick else 60_000
+    pcs, addrs, writes = synth_reference_stream(n_refs=n_refs)
+    stream = list(zip(pcs, addrs, writes))
+
+    def run_opt():
+        sim = CachegrindSimulator(machine)
+        observe = sim.observe
+        for pc, addr, is_write in stream:
+            observe(pc, addr, is_write, 8)
+        sim.l2_miss_ratio()  # drain
+        return sim
+
+    def run_ref():
+        sim = ReferenceCachegrindSimulator(machine)
+        observe = sim.observe
+        for pc, addr, is_write in stream:
+            observe(pc, addr, is_write, 8)
+        return sim
+
+    opt_sim = run_opt()
+    assert_fullsim_equal(opt_sim, run_ref())
+
+    result = run_benchmark("fullsim", run_opt, warmup=warmup,
+                           repeat=repeat, clock=clock)
+    reference = run_benchmark("fullsim.reference", run_ref,
+                              warmup=warmup, repeat=repeat, clock=clock)
+    result.meta.update(
+        references=n_refs,
+        l2_miss_ratio=opt_sim.l2_miss_ratio(),
+        reference_median_s=reference.median_s,
+        speedup=(reference.median_s / result.median_s
+                 if result.median_s else 0.0),
+    )
+    return result
+
+
+def _bench_table4_smoke(quick: bool, warmup: int, repeat: int,
+                        clock: Clock) -> BenchResult:
+    from repro.runners import run_mode
+    from repro.workloads import get_workload
+
+    scale = 0.05 if quick else 0.2
+    program = get_workload("em3d").build(scale)
+    machine = get_machine(BENCH_MACHINE, scale=BENCH_MACHINE_SCALE)
+
+    def run():
+        return run_mode("umi", program, machine, with_cachegrind=True)
+
+    outcome = run()
+    result = run_benchmark("table4_smoke", run, warmup=warmup,
+                           repeat=repeat, clock=clock)
+    result.meta.update(
+        workload="em3d", scale=scale, steps=outcome.steps,
+        simulated_miss_ratio=outcome.umi.simulated_miss_ratio,
+        cachegrind_l2_miss_ratio=outcome.cachegrind.l2_miss_ratio(),
+    )
+    return result
+
+
+#: kernel name -> (runner, default (warmup, repeat)).
+KERNELS: Dict[str, Callable[[bool, int, int, Clock], BenchResult]] = {
+    "interpreter": _bench_interpreter,
+    "minisim": _bench_minisim,
+    "fullsim": _bench_fullsim,
+    "table4_smoke": _bench_table4_smoke,
+}
+
+DEFAULT_WARMUP = 1
+DEFAULT_REPEAT = 5
+QUICK_REPEAT = 3
+
+
+def run_kernel(name: str, quick: bool = False,
+               warmup: Optional[int] = None,
+               repeat: Optional[int] = None,
+               clock: Clock = time.perf_counter) -> BenchResult:
+    """Run one named kernel and return its :class:`BenchResult`."""
+    try:
+        kernel = KERNELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown bench kernel {name!r}; known: {sorted(KERNELS)}"
+        ) from None
+    if warmup is None:
+        warmup = DEFAULT_WARMUP
+    if repeat is None:
+        repeat = QUICK_REPEAT if quick else DEFAULT_REPEAT
+    return kernel(quick, warmup, repeat, clock)
+
+
+def run_kernels(names=None, quick: bool = False,
+                warmup: Optional[int] = None,
+                repeat: Optional[int] = None,
+                clock: Clock = time.perf_counter
+                ) -> Dict[str, BenchResult]:
+    """Run several kernels (all of them by default), in registry order."""
+    if names is None:
+        names = list(KERNELS)
+    return {
+        name: run_kernel(name, quick=quick, warmup=warmup,
+                         repeat=repeat, clock=clock)
+        for name in names
+    }

@@ -29,7 +29,7 @@ class AddressProfile:
     before reaching that operation).
     """
 
-    __slots__ = ("trace_head", "op_pcs", "max_rows", "rows")
+    __slots__ = ("trace_head", "op_pcs", "max_rows", "rows", "_ckey")
 
     def __init__(self, trace_head: str, op_pcs: Sequence[int],
                  max_rows: int) -> None:
@@ -39,6 +39,7 @@ class AddressProfile:
         self.op_pcs: Tuple[int, ...] = tuple(op_pcs)
         self.max_rows = max_rows
         self.rows: List[List[Optional[int]]] = []
+        self._ckey: Optional[Tuple] = None
 
     # -- recording -----------------------------------------------------------
 
@@ -46,6 +47,7 @@ class AddressProfile:
         """Allocate and return the next row (caller fills it in place)."""
         if self.full:
             raise OverflowError("address profile is full")
+        self._ckey = None
         row: List[Optional[int]] = [None] * len(self.op_pcs)
         self.rows.append(row)
         return row
@@ -89,6 +91,60 @@ class AddressProfile:
             for j, addr in enumerate(row):
                 if addr is not None:
                     yield op_pcs[j], addr, counted
+
+    def flat_references(self, skip_rows: int = 0, shift: int = 0
+                        ) -> Tuple[List[int], List[int], int]:
+        """The profile flattened for batch simulation.
+
+        Returns ``(pcs, addrs, n_warmup)``: the recorded cells in
+        execution (row-major) order as two parallel lists, plus the
+        number of leading cells that fall in the first ``skip_rows``
+        rows (the analyzer's uncounted warm-up executions).  Equivalent
+        to :meth:`iter_references` but in a shape
+        :meth:`repro.memory.cache.Cache.access_many` consumes directly.
+        With ``shift`` the addresses come back pre-shifted (i.e. as line
+        addresses), saving the analyzer a second pass over the stream.
+        """
+        pcs: List[int] = []
+        addrs: List[int] = []
+        pcs_append = pcs.append
+        pcs_extend = pcs.extend
+        addrs_append = addrs.append
+        addrs_extend = addrs.extend
+        op_pcs = self.op_pcs
+        rows = self.rows
+        n_warmup = 0
+        # Rows with no gaps (executions that ran the whole trace -- the
+        # common case) flatten with C-level extend/listcomp; only rows
+        # with ``None`` cells walk cell by cell.
+        for i, row in enumerate(rows):
+            if i == skip_rows:
+                n_warmup = len(pcs)
+            if None in row:
+                for pc, addr in zip(op_pcs, row):
+                    if addr is not None:
+                        pcs_append(pc)
+                        addrs_append(addr >> shift)
+            else:
+                pcs_extend(op_pcs)
+                addrs_extend([addr >> shift for addr in row])
+        if skip_rows >= len(rows):
+            n_warmup = len(pcs)
+        return pcs, addrs, n_warmup
+
+    def content_key(self) -> Tuple:
+        """Hashable digest of the recorded contents.
+
+        Two profiles with equal keys replay identically through the mini
+        simulator; the analyzer uses this (with the cache-state epoch)
+        to memoize repeated analyses.  The key is cached until the next
+        :meth:`new_row` -- rows are filled in place right after
+        allocation and must not be mutated afterwards.
+        """
+        key = self._ckey
+        if key is None:
+            key = self._ckey = (self.op_pcs, tuple(map(tuple, self.rows)))
+        return key
 
     def record_count(self) -> int:
         """Total non-empty cells (references recorded)."""

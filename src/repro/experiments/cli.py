@@ -8,6 +8,8 @@ Usage::
     umi-experiments all --json runs.json
     umi-experiments table1 --telemetry /tmp/t
     umi-experiments telemetry /tmp/t
+    umi-experiments bench
+    umi-experiments bench --quick --check
 
 Every experiment declares its required runs upfront
 (``required_runs``), so ``all`` resolves the union of every table's
@@ -22,6 +24,11 @@ and exports the run's structured events, metrics and summary to
 ``DIR``; the ``telemetry`` subcommand renders a stored directory's
 summary tables (slowest specs, store hit ratio, analyzer time share
 per workload).
+
+The ``bench`` subcommand runs the micro-benchmark kernels
+(:mod:`repro.bench`) and writes a ``BENCH_kernels.json`` report;
+``--check`` compares it against the committed baseline and the kernel
+speedup floors, exiting non-zero on regression.
 """
 
 from __future__ import annotations
@@ -84,7 +91,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment", nargs="?", default=None,
-        help="experiment name (see --list), 'all', or 'telemetry'",
+        help="experiment name (see --list), 'all', 'telemetry', or "
+             "'bench'",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
@@ -114,6 +122,31 @@ def main(argv=None) -> int:
     parser.add_argument("--telemetry", metavar="DIR", default=None,
                         help="enable the telemetry subsystem and export "
                              "events/metrics/summary to DIR")
+    bench_group = parser.add_argument_group("bench subcommand")
+    bench_group.add_argument("--quick", action="store_true",
+                             help="smaller kernel inputs and fewer "
+                                  "repeats (CI smoke configuration)")
+    bench_group.add_argument("--check", action="store_true",
+                             help="fail (exit 1) on speedup-floor "
+                                  "violations or >20%% median "
+                                  "regression vs the baseline")
+    bench_group.add_argument("--baseline", metavar="PATH", default=None,
+                             help="baseline report for --check "
+                                  "(default: the existing --output "
+                                  "file, if any)")
+    bench_group.add_argument("--output", metavar="PATH",
+                             default="BENCH_kernels.json",
+                             help="where to write the bench report "
+                                  "(default %(default)s)")
+    bench_group.add_argument("--kernels", metavar="NAMES", default=None,
+                             help="comma-separated kernel subset "
+                                  "(default: all)")
+    bench_group.add_argument("--warmup", type=int, default=None,
+                             metavar="N",
+                             help="untimed warmup iterations per kernel")
+    bench_group.add_argument("--repeat", type=int, default=None,
+                             metavar="N",
+                             help="timed iterations per kernel")
     args = parser.parse_args(argv)
 
     if args.list or args.experiment is None:
@@ -122,7 +155,11 @@ def main(argv=None) -> int:
             print(f"  {name}")
         print("  all")
         print("  telemetry DIR  (render a stored --telemetry directory)")
+        print("  bench          (micro-benchmark the simulation kernels)")
         return 0
+
+    if args.experiment == "bench":
+        return _run_bench(args, parser)
 
     if args.experiment == "telemetry":
         if args.target is None:
@@ -163,6 +200,71 @@ def main(argv=None) -> int:
     finally:
         if args.telemetry:
             telemetry.disable()
+    return 0
+
+
+def _run_bench(args, parser) -> int:
+    """The ``bench`` subcommand: run kernels, report, check, write."""
+    from repro.bench import (
+        KERNELS, build_report, compare_reports, load_report,
+        render_report, run_kernels, write_report,
+    )
+
+    names = None
+    if args.kernels:
+        names = [n.strip() for n in args.kernels.split(",") if n.strip()]
+        unknown = sorted(set(names) - set(KERNELS))
+        if unknown:
+            parser.error(f"unknown bench kernels: {', '.join(unknown)}; "
+                         f"known: {', '.join(KERNELS)}")
+
+    telemetry = get_telemetry()
+    if args.telemetry:
+        telemetry.reset()
+        telemetry.enable()
+        telemetry.event("cli.invocation", experiments=["bench"],
+                        quick=args.quick, check=args.check)
+    try:
+        start = time.time()
+        results = run_kernels(names, quick=args.quick,
+                              warmup=args.warmup, repeat=args.repeat)
+        elapsed = time.time() - start
+        if args.telemetry:
+            write_telemetry_dir(telemetry, args.telemetry)
+    finally:
+        if args.telemetry:
+            telemetry.disable()
+
+    report = build_report(results, quick=args.quick)
+    print(render_report(report))
+    print(f"[{len(results)} kernels benchmarked in {elapsed:.1f}s]")
+
+    # Resolve the baseline before --output overwrites it.
+    baseline = None
+    baseline_path = args.baseline
+    if baseline_path is None and args.check \
+            and os.path.exists(args.output):
+        baseline_path = args.output
+    if baseline_path is not None:
+        try:
+            baseline = load_report(baseline_path)
+        except FileNotFoundError:
+            parser.error(f"--baseline {baseline_path!r} does not exist")
+        except ValueError as exc:
+            parser.error(str(exc))
+
+    write_report(report, args.output)
+    print(f"[report written to {args.output}]")
+
+    if args.check:
+        failures = compare_reports(report, baseline)
+        if failures:
+            print("bench check FAILED:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        against = f" vs {baseline_path}" if baseline is not None else ""
+        print(f"[bench check passed{against}]")
     return 0
 
 

@@ -11,12 +11,21 @@ It simulates no prefetching ("the UMI and Cachegrind miss ratios are
 unchanged since they ignore any prefetching side effects") and no timing.
 Attach :meth:`observe` as the interpreter's ``ref_observer`` to piggyback
 on another pass, or call :meth:`run` for a standalone simulation.
+
+References are *batched*: :meth:`observe` only appends the reference's
+line cells to a buffer, and every ``BATCH_SIZE`` cells the buffer drains
+through :meth:`~repro.memory.cache.Cache.access_many` -- the whole D1
+stream in one kernel call, then the D1-miss subsequence through L2 with
+its original timestamps.  D1 and L2 are disjoint structures and cells
+keep their per-cell clock values, so the drained results are identical
+to the old probe/fill-per-cell loop.  Every reader drains first; the
+public ``load_stats`` / ``store_stats`` views do so via properties.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.isa import Program
 from repro.memory.cache import Cache, CacheConfig
@@ -27,6 +36,9 @@ from repro.memory.hierarchy import MachineConfig
 #: ("It adds a runtime overhead between 20x-100x", Section 6.2).  Used by
 #: the Table 2 tradeoff summary; the simulator itself does not model time.
 CACHEGRIND_SLOWDOWN_RANGE = (20.0, 100.0)
+
+#: Buffered line cells between drains.
+BATCH_SIZE = 4096
 
 
 @dataclass
@@ -53,10 +65,15 @@ class CachegrindSimulator:
         self.track_stores = track_stores
         self._line_bits = machine.l1.line_bits
         self._clock = 0
+        self._clock_base = 0
+        self._buf_pcs: List[int] = []
+        self._buf_lines: List[int] = []
+        self._buf_writes: List[bool] = []
+        self._buf_tracked: List[bool] = []
         #: per-pc stats for *loads* (delinquent-load ground truth uses
         #: load misses only, as the paper does).
-        self.load_stats: Dict[int, PCStats] = {}
-        self.store_stats: Dict[int, PCStats] = {}
+        self._load_stats: Dict[int, PCStats] = {}
+        self._store_stats: Dict[int, PCStats] = {}
 
     # -- reference processing -------------------------------------------------
 
@@ -64,31 +81,83 @@ class CachegrindSimulator:
         """Process one data reference (interpreter ``ref_observer``)."""
         first_line = addr >> self._line_bits
         last_line = (addr + size - 1) >> self._line_bits
-        stats_map = self.store_stats if is_write else self.load_stats
-        per_pc: Optional[PCStats]
-        if is_write and not self.track_stores:
-            per_pc = None
-        else:
-            per_pc = stats_map.get(pc)
-            if per_pc is None:
-                per_pc = PCStats()
-                stats_map[pc] = per_pc
+        tracked = self.track_stores or not is_write
+        pcs = self._buf_pcs
+        lines = self._buf_lines
+        writes = self._buf_writes
+        buf_tracked = self._buf_tracked
         for line_addr in range(first_line, last_line + 1):
             self._clock += 1
-            now = self._clock
-            hit, _ = self.d1.probe(line_addr, is_write, now)
-            if per_pc is not None:
+            pcs.append(pc)
+            lines.append(line_addr)
+            writes.append(is_write)
+            buf_tracked.append(tracked)
+        if len(lines) >= BATCH_SIZE:
+            self._drain()
+
+    def _drain(self) -> None:
+        """Replay the buffered cells through D1 then L2."""
+        lines = self._buf_lines
+        if not lines:
+            return
+        pcs = self._buf_pcs
+        writes = self._buf_writes
+        tracked = self._buf_tracked
+        base = self._clock_base
+
+        d1_hits = self.d1.access_many(lines, writes=writes, start_now=base)
+        miss_idx = [i for i, hit in enumerate(d1_hits) if not hit]
+        l2_hits = self.l2.access_many(
+            [lines[i] for i in miss_idx],
+            writes=[writes[i] for i in miss_idx],
+            nows=[base + i + 1 for i in miss_idx],
+        )
+
+        load_stats = self._load_stats
+        store_stats = self._store_stats
+        k = 0
+        for i, hit in enumerate(d1_hits):
+            per_pc: Optional[PCStats] = None
+            if tracked[i]:
+                stats_map = store_stats if writes[i] else load_stats
+                pc = pcs[i]
+                per_pc = stats_map.get(pc)
+                if per_pc is None:
+                    per_pc = PCStats()
+                    stats_map[pc] = per_pc
                 per_pc.refs += 1
             if hit:
                 continue
+            l2_hit = l2_hits[k]
+            k += 1
             if per_pc is not None:
                 per_pc.l1_misses += 1
-            l2_hit, _ = self.l2.probe(line_addr, is_write, now)
-            if not l2_hit:
-                if per_pc is not None:
+                if not l2_hit:
                     per_pc.l2_misses += 1
-                self.l2.fill(line_addr, now=now, is_write=is_write)
-            self.d1.fill(line_addr, now=now, is_write=is_write)
+
+        lines.clear()
+        pcs.clear()
+        writes.clear()
+        tracked.clear()
+        self._clock_base = self._clock
+
+    # -- per-pc views (drain first so buffered cells are visible) -------------
+
+    @property
+    def load_stats(self) -> Dict[int, PCStats]:
+        self._drain()
+        return self._load_stats
+
+    @property
+    def store_stats(self) -> Dict[int, PCStats]:
+        self._drain()
+        return self._store_stats
+
+    def __getstate__(self):
+        # Settle the buffer before pickling (e.g. shipping a RunOutcome
+        # back from a worker process).
+        self._drain()
+        return self.__dict__
 
     # -- standalone driving ------------------------------------------------------
 
@@ -99,25 +168,31 @@ class CachegrindSimulator:
         interp = Interpreter(program, FlatMemory(latency=0),
                              ref_observer=self.observe)
         interp.run_native(max_steps=max_steps)
+        self._drain()
 
     # -- results ---------------------------------------------------------------------
 
     def l2_miss_ratio(self) -> float:
         """Overall L2 miss ratio (misses / refs, loads + stores)."""
+        self._drain()
         return self.l2.stats.miss_ratio
 
     def d1_miss_ratio(self) -> float:
+        self._drain()
         return self.d1.stats.miss_ratio
 
     def total_l2_load_misses(self) -> int:
-        return sum(s.l2_misses for s in self.load_stats.values())
+        self._drain()
+        return sum(s.l2_misses for s in self._load_stats.values())
 
     def pc_load_misses(self) -> Dict[int, int]:
         """L2 load misses per instruction pc (nonzero entries only)."""
-        return {pc: s.l2_misses for pc, s in self.load_stats.items()
+        self._drain()
+        return {pc: s.l2_misses for pc, s in self._load_stats.items()
                 if s.l2_misses}
 
     def summary(self) -> Dict[str, float]:
+        self._drain()
         return {
             "d1_refs": self.d1.stats.refs,
             "d1_misses": self.d1.stats.misses,

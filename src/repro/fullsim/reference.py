@@ -1,0 +1,90 @@
+"""Reference (pre-batching) Cachegrind loop.
+
+The original full-trace simulator processed every line cell with one
+``probe``/``fill`` call pair against each level.  It is retained here --
+on :class:`~repro.memory.cache_reference.ReferenceCache`, the original
+per-set ``dict`` cache -- as the behavioural contract for the batched
+:class:`~repro.fullsim.cachegrind.CachegrindSimulator`:
+
+* ``tests/test_differential_sim.py`` replays identical workloads through
+  both and asserts identical per-pc load-miss accounting;
+* the ``fullsim`` kernel in :mod:`repro.bench` times the batched
+  simulator against this loop.
+
+Like :mod:`repro.memory.cache_reference`, this module must stay slow and
+obvious -- do not optimize it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.memory.cache_reference import ReferenceCache
+from repro.memory.hierarchy import MachineConfig
+
+from .cachegrind import PCStats
+
+
+class ReferenceCachegrindSimulator:
+    """One-cell-at-a-time D1/L2 simulation with per-pc accounting."""
+
+    def __init__(self, machine: MachineConfig,
+                 track_stores: bool = True) -> None:
+        self.machine = machine
+        self.d1 = ReferenceCache(machine.l1)
+        self.l2 = ReferenceCache(machine.l2)
+        self.track_stores = track_stores
+        self._line_bits = machine.l1.line_bits
+        self._clock = 0
+        self._load_stats: Dict[int, PCStats] = {}
+        self._store_stats: Dict[int, PCStats] = {}
+
+    def observe(self, pc: int, addr: int, is_write: bool, size: int) -> None:
+        """Process one data reference (interpreter ``ref_observer``)."""
+        first_line = addr >> self._line_bits
+        last_line = (addr + size - 1) >> self._line_bits
+        tracked = self.track_stores or not is_write
+        for line_addr in range(first_line, last_line + 1):
+            self._clock += 1
+            now = self._clock
+            per_pc: Optional[PCStats] = None
+            if tracked:
+                stats_map = self._store_stats if is_write \
+                    else self._load_stats
+                per_pc = stats_map.get(pc)
+                if per_pc is None:
+                    per_pc = PCStats()
+                    stats_map[pc] = per_pc
+                per_pc.refs += 1
+            d1_hit, _ = self.d1.probe(line_addr, is_write, now)
+            if d1_hit:
+                continue
+            self.d1.fill(line_addr, now=now, is_write=is_write)
+            l2_hit, _ = self.l2.probe(line_addr, is_write, now)
+            if not l2_hit:
+                self.l2.fill(line_addr, now=now, is_write=is_write)
+            if per_pc is not None:
+                per_pc.l1_misses += 1
+                if not l2_hit:
+                    per_pc.l2_misses += 1
+
+    @property
+    def load_stats(self) -> Dict[int, PCStats]:
+        return self._load_stats
+
+    @property
+    def store_stats(self) -> Dict[int, PCStats]:
+        return self._store_stats
+
+    def l2_miss_ratio(self) -> float:
+        return self.l2.stats.miss_ratio
+
+    def d1_miss_ratio(self) -> float:
+        return self.d1.stats.miss_ratio
+
+    def total_l2_load_misses(self) -> int:
+        return sum(s.l2_misses for s in self._load_stats.values())
+
+    def pc_load_misses(self) -> Dict[int, int]:
+        return {pc: s.l2_misses for pc, s in self._load_stats.items()
+                if s.l2_misses}

@@ -8,15 +8,39 @@ This class is the building block for the "real hardware" hierarchy
 to all tags in the set.  If there is a match, the recorded time of the
 matching line is updated.  Otherwise, an empty line, or the oldest line,
 is selected to store the current tag."
+
+Two engines back the same public API:
+
+* a **fast array engine** for the deterministic stamp-based policies
+  (LRU, FIFO, bit-PLRU): line state lives in flat parallel lists indexed
+  by ``set * assoc + way`` with a single ``line_addr -> slot`` dict for
+  lookup, and :meth:`Cache.access_many` runs a whole demand stream
+  through one loop with stats accumulated in locals;
+* the original **dict engine** (per-set ``dict`` of
+  :class:`~repro.memory.lines.CacheLine`) for :class:`RandomPolicy` --
+  whose RNG consumes the set's key order -- and for any policy subclass
+  this module does not know about.
+
+Both engines are bit-identical to :class:`repro.memory.cache_reference.
+ReferenceCache`; ``tests/test_kernel_equivalence.py`` holds them to
+that.  Victim ties on equal stamps are broken by fill order, which is
+exactly what ``min()`` over an insertion-ordered dict did.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .lines import CacheLine
-from .policies import LRUPolicy, ReplacementPolicy, make_policy
+from .policies import (
+    BitPLRUPolicy, FIFOPolicy, LRUPolicy, ReplacementPolicy, make_policy,
+)
+
+#: Drains a ``map()`` at C speed without building a list (used to apply
+#: columnar state deltas via ``list.__setitem__``).
+_consume = deque(maxlen=0).extend
 
 
 def _is_power_of_two(value: int) -> bool:
@@ -117,6 +141,12 @@ class CacheStats:
             setattr(self, field, 0)
 
 
+# Policies the array engine can execute directly.  Exact-type checks on
+# purpose: a subclass may override hooks in ways the flat loops don't
+# replicate, so it falls back to the dict engine.
+_FAST_POLICIES = (LRUPolicy, FIFOPolicy, BitPLRUPolicy)
+
+
 class Cache:
     """One level of set-associative cache."""
 
@@ -127,9 +157,34 @@ class Cache:
         self.stats = CacheStats()
         self._set_mask = config.num_sets - 1
         self._line_bits = config.line_bits
-        self._sets: List[Dict[int, CacheLine]] = [
-            {} for _ in range(config.num_sets)
-        ]
+        self._assoc = config.assoc
+        ptype = type(self.policy)
+        self._fast = ptype in _FAST_POLICIES
+        if self._fast:
+            # LRU and PLRU refresh the stamp on every hit; FIFO orders
+            # strictly by fill time.
+            self._touch = ptype is not FIFOPolicy
+            self._plru = ptype is BitPLRUPolicy
+            n = config.num_sets * config.assoc
+            self._tags: List[Optional[int]] = [None] * n
+            self._stamps = [0] * n
+            self._order = [0] * n
+            self._ready = [0] * n
+            self._pref = [False] * n
+            self._dirty = [False] * n
+            self._mru = [False] * n
+            self._where: Dict[int, int] = {}
+            self._set_len = [0] * config.num_sets
+            self._fill_seq = 0
+            # True while no line was ever written, prefetched, or filled
+            # with a future ready time: every ready/pref/dirty cell is
+            # still at its initial value, so batch read streams may skip
+            # that bookkeeping wholesale (the analyzer's entire regime).
+            self._plain = True
+        else:
+            self._sets: List[Dict[int, CacheLine]] = [
+                {} for _ in range(config.num_sets)
+            ]
 
     @classmethod
     def from_spec(cls, size: int, assoc: int, line_size: int = 64,
@@ -157,25 +212,50 @@ class Cache:
         Accounting is updated; on a miss the caller is responsible for
         calling :meth:`fill`.
         """
+        stats = self.stats
+        if is_write:
+            stats.writes += 1
+            self._plain = False
+        else:
+            stats.reads += 1
+        if self._fast:
+            slot = self._where.get(line_addr)
+            if slot is None:
+                if is_write:
+                    stats.write_misses += 1
+                else:
+                    stats.read_misses += 1
+                return False, 0
+            stall = 0
+            ready = self._ready[slot]
+            if ready > now:
+                stall = ready - now
+                stats.late_prefetch_stall_cycles += stall
+            if self._pref[slot]:
+                self._pref[slot] = False
+                stats.useful_prefetches += 1
+            if is_write:
+                self._dirty[slot] = True
+            if self._touch:
+                self._stamps[slot] = now
+                if self._plru:
+                    self._mru[slot] = True
+            return True, stall
         cache_set = self._sets[line_addr & self._set_mask]
         line = cache_set.get(line_addr)
-        if is_write:
-            self.stats.writes += 1
-        else:
-            self.stats.reads += 1
         if line is None:
             if is_write:
-                self.stats.write_misses += 1
+                stats.write_misses += 1
             else:
-                self.stats.read_misses += 1
+                stats.read_misses += 1
             return False, 0
         stall = 0
         if line.ready_at > now:
             stall = line.ready_at - now
-            self.stats.late_prefetch_stall_cycles += stall
+            stats.late_prefetch_stall_cycles += stall
         if line.prefetched:
             line.prefetched = False
-            self.stats.useful_prefetches += 1
+            stats.useful_prefetches += 1
         if is_write:
             line.dirty = True
         self.policy.on_access(line, now)
@@ -183,6 +263,8 @@ class Cache:
 
     def contains(self, line_addr: int) -> bool:
         """Non-destructive residency check (no stats side effects)."""
+        if self._fast:
+            return line_addr in self._where
         return line_addr in self._sets[line_addr & self._set_mask]
 
     def fill(self, line_addr: int, now: int = 0, ready_at: int = 0,
@@ -193,6 +275,39 @@ class Cache:
         of an already-resident line is counted as redundant and leaves the
         existing line untouched.
         """
+        if self._fast:
+            if is_write or prefetched or ready_at:
+                self._plain = False
+            where = self._where
+            if line_addr in where:
+                if prefetched:
+                    self.stats.redundant_prefetches += 1
+                return None
+            set_idx = line_addr & self._set_mask
+            tags = self._tags
+            evicted = None
+            if self._set_len[set_idx] >= self._assoc:
+                slot = self._victim_slot(set_idx * self._assoc)
+                evicted = tags[slot]
+                del where[evicted]
+                self.stats.evictions += 1
+            else:
+                slot = set_idx * self._assoc
+                while tags[slot] is not None:
+                    slot += 1
+                self._set_len[set_idx] += 1
+            tags[slot] = line_addr
+            where[line_addr] = slot
+            self._stamps[slot] = now
+            self._fill_seq += 1
+            self._order[slot] = self._fill_seq
+            self._ready[slot] = ready_at
+            self._pref[slot] = prefetched
+            self._dirty[slot] = is_write
+            self._mru[slot] = self._plru
+            if prefetched:
+                self.stats.prefetch_fills += 1
+            return evicted
         cache_set = self._sets[line_addr & self._set_mask]
         existing = cache_set.get(line_addr)
         if existing is not None:
@@ -215,17 +330,331 @@ class Cache:
             self.stats.prefetch_fills += 1
         return evicted
 
+    def _victim_slot(self, base: int) -> int:
+        """Way index to evict from the full set starting at ``base``.
+
+        Ordering matches ``min()`` over an insertion-ordered dict: oldest
+        stamp first, fill order breaking ties.  Only ever called on a
+        *full* set (``_set_len[set] == assoc``), so every slot holds a
+        line and the scan can run as C-level slice operations; the
+        slot-by-slot loop survives only for stamp ties (same-timestamp
+        fills, broken by fill order) and for the PLRU candidate filter.
+        """
+        end = base + self._assoc
+        stamps = self._stamps
+        order = self._order
+        if self._plru:
+            mru = self._mru
+            best = -1
+            best_stamp = best_order = 0
+            for slot in range(base, end):
+                if not mru[slot]:
+                    s = stamps[slot]
+                    if (best < 0 or s < best_stamp
+                            or (s == best_stamp and order[slot] < best_order)):
+                        best, best_stamp, best_order = slot, s, order[slot]
+            if best >= 0:
+                return best
+            # Every line is MRU: clear all bits, then any line qualifies.
+            for slot in range(base, end):
+                mru[slot] = False
+        seg = stamps[base:end]
+        oldest = min(seg)
+        if seg.count(oldest) == 1:
+            return base + seg.index(oldest)
+        best = -1
+        best_order = 0
+        for slot in range(base, end):
+            if stamps[slot] == oldest:
+                o = order[slot]
+                if best < 0 or o < best_order:
+                    best, best_order = slot, o
+        return best
+
+    def access_many(self, line_addrs: Sequence[int], is_write: bool = False,
+                    writes: Optional[Sequence[bool]] = None,
+                    start_now: int = 0,
+                    nows: Optional[Sequence[int]] = None) -> List[bool]:
+        """Run a whole demand stream: probe each line, fill on miss.
+
+        Semantically identical to the loop::
+
+            for i, la in enumerate(line_addrs):
+                now = nows[i] if nows is not None else start_now + i + 1
+                w = writes[i] if writes is not None else is_write
+                hit, _ = self.probe(la, w, now)
+                if not hit:
+                    self.fill(la, now=now, is_write=w)
+
+        but on the array engine the whole stream runs through one loop
+        with hoisted state and batched stats.  Returns the per-access hit
+        flags.  The default timestamps (``start_now + i + 1``) mirror the
+        analyzer's pre-incremented reference counter.
+        """
+        if not self._fast:
+            hits: List[bool] = []
+            now = start_now
+            for i, line_addr in enumerate(line_addrs):
+                now = nows[i] if nows is not None else now + 1
+                w = writes[i] if writes is not None else is_write
+                hit, _ = self.probe(line_addr, w, now)
+                if not hit:
+                    self.fill(line_addr, now=now, is_write=w)
+                hits.append(hit)
+            return hits
+
+        where = self._where
+        get = where.get
+        tags = self._tags
+        stamps = self._stamps
+        order = self._order
+        ready = self._ready
+        pref = self._pref
+        dirty = self._dirty
+        mru = self._mru
+        set_len = self._set_len
+        set_mask = self._set_mask
+        assoc = self._assoc
+        plru = self._plru
+        touch = self._touch
+        fill_seq = self._fill_seq
+        victim_slot = self._victim_slot
+
+        n_reads = n_writes = n_read_misses = n_write_misses = 0
+        n_evictions = n_useful = n_stall = 0
+        hits = []
+        append = hits.append
+
+        if (writes is None and nows is None and not is_write
+                and self._plain and not plru):
+            # Clean read-only consecutive-timestamp lane -- the
+            # analyzer's whole workload.  ``_plain`` guarantees every
+            # ready/pref/dirty cell is still at its initial value and
+            # this stream cannot change that, so the only state touched
+            # is tags/where/stamps/order: hits are a dict probe plus one
+            # stamp store, and misses skip four dead bookkeeping writes.
+            # The victim scan runs as C slice ops (min/count/index) --
+            # the set is full, and stamp ties fall back to the slow path.
+            now = start_now
+            for line_addr in line_addrs:
+                now += 1
+                slot = get(line_addr)
+                if slot is not None:
+                    append(True)
+                    if touch:
+                        stamps[slot] = now
+                    continue
+                append(False)
+                n_read_misses += 1
+                set_idx = line_addr & set_mask
+                if set_len[set_idx] >= assoc:
+                    base = set_idx * assoc
+                    seg = stamps[base:base + assoc]
+                    oldest = min(seg)
+                    if seg.count(oldest) == 1:
+                        slot = base + seg.index(oldest)
+                    else:
+                        slot = victim_slot(base)
+                    del where[tags[slot]]
+                    n_evictions += 1
+                else:
+                    slot = set_idx * assoc
+                    while tags[slot] is not None:
+                        slot += 1
+                    set_len[set_idx] += 1
+                tags[slot] = line_addr
+                where[line_addr] = slot
+                stamps[slot] = now
+                fill_seq += 1
+                order[slot] = fill_seq
+            n_reads = len(line_addrs)
+        else:
+            if is_write or writes is not None:
+                self._plain = False
+            now = start_now
+            for i, line_addr in enumerate(line_addrs):
+                now = nows[i] if nows is not None else now + 1
+                w = writes[i] if writes is not None else is_write
+                if w:
+                    n_writes += 1
+                else:
+                    n_reads += 1
+                slot = get(line_addr)
+                if slot is not None:
+                    append(True)
+                    r = ready[slot]
+                    if r > now:
+                        n_stall += r - now
+                    if pref[slot]:
+                        pref[slot] = False
+                        n_useful += 1
+                    if w:
+                        dirty[slot] = True
+                    if touch:
+                        stamps[slot] = now
+                        if plru:
+                            mru[slot] = True
+                    continue
+                append(False)
+                if w:
+                    n_write_misses += 1
+                else:
+                    n_read_misses += 1
+                set_idx = line_addr & set_mask
+                if set_len[set_idx] >= assoc:
+                    slot = victim_slot(set_idx * assoc)
+                    del where[tags[slot]]
+                    n_evictions += 1
+                else:
+                    slot = set_idx * assoc
+                    while tags[slot] is not None:
+                        slot += 1
+                    set_len[set_idx] += 1
+                tags[slot] = line_addr
+                where[line_addr] = slot
+                stamps[slot] = now
+                fill_seq += 1
+                order[slot] = fill_seq
+                ready[slot] = 0
+                pref[slot] = False
+                dirty[slot] = w
+                mru[slot] = plru
+
+        self._fill_seq = fill_seq
+        stats = self.stats
+        stats.reads += n_reads
+        stats.writes += n_writes
+        stats.read_misses += n_read_misses
+        stats.write_misses += n_write_misses
+        stats.evictions += n_evictions
+        stats.useful_prefetches += n_useful
+        stats.late_prefetch_stall_cycles += n_stall
+        return hits
+
     def invalidate(self, line_addr: int) -> bool:
         """Drop one line; returns whether it was present."""
+        if self._fast:
+            slot = self._where.pop(line_addr, None)
+            if slot is None:
+                return False
+            self._tags[slot] = None
+            self._set_len[line_addr & self._set_mask] -= 1
+            return True
         cache_set = self._sets[line_addr & self._set_mask]
         return cache_set.pop(line_addr, None) is not None
 
     def flush(self) -> None:
         """Drop every line (the analyzer's periodic decontamination)."""
+        if self._fast:
+            where = self._where
+            if len(where) * 4 < len(self._tags):
+                # Sparsely populated: clear per resident line instead of
+                # reallocating whole arrays (flushes run on nearly every
+                # analyzer trigger, usually with few lines live).
+                tags = self._tags
+                set_len = self._set_len
+                assoc = self._assoc
+                for slot in where.values():
+                    tags[slot] = None
+                    set_len[slot // assoc] = 0
+            else:
+                self._tags = [None] * len(self._tags)
+                self._set_len = [0] * len(self._set_len)
+            where.clear()
+            return
         for cache_set in self._sets:
             cache_set.clear()
 
+    # -- replacement-state snapshots (analyzer memoization) ------------------
+
+    def state_snapshot(self):
+        """Copy of the full replacement state, or ``None`` if the dict
+        engine is active.  Stats are *not* included -- callers that
+        restore a snapshot account for stats separately (the analyzer
+        replays a stats delta).
+        """
+        if not self._fast:
+            return None
+        return (
+            list(self._tags), list(self._stamps), list(self._order),
+            list(self._ready), list(self._pref), list(self._dirty),
+            list(self._mru), dict(self._where), list(self._set_len),
+            self._fill_seq,
+        )
+
+    def state_restore(self, snapshot) -> None:
+        """Reinstate a :meth:`state_snapshot` copy (fast engine only)."""
+        (self._tags, self._stamps, self._order, self._ready, self._pref,
+         self._dirty, self._mru, self._where, self._set_len,
+         self._fill_seq) = (
+            list(snapshot[0]), list(snapshot[1]), list(snapshot[2]),
+            list(snapshot[3]), list(snapshot[4]), list(snapshot[5]),
+            list(snapshot[6]), dict(snapshot[7]), list(snapshot[8]),
+            snapshot[9],
+        )
+
+    def state_pre_capture(self):
+        """Residency baseline for a later :meth:`state_delta_for`."""
+        return dict(self._where), list(self._set_len)
+
+    def state_delta_for(self, line_addrs, pre):
+        """Sparse delta of the slots a demand stream just touched.
+
+        After an :meth:`access_many` run over ``line_addrs``, every slot
+        the run modified has, as its final occupant, one of those lines
+        (a hit leaves the line in place; an eviction's slot is refilled
+        by the line that evicted it) -- so the touched-slot set is
+        recoverable from the final residency map alone, in O(stream)
+        rather than O(cache).  ``pre`` is the :meth:`state_pre_capture`
+        taken before the run; applying the result via
+        :meth:`state_apply_delta` to a cache whose *live* state matches
+        the run's starting state reproduces the run's end state exactly.
+        Only valid on a ``_plain`` non-PLRU cache (the analyzer's), where
+        ready/pref/dirty/mru never leave their initial values and so
+        need no delta columns.
+        """
+        pre_where, pre_set_len = pre
+        where = self._where
+        tags = self._tags
+        stamps = self._stamps
+        order = self._order
+        slots = tuple(sorted(
+            {s for s in map(where.get, set(line_addrs))
+             if s is not None}
+        ))
+        return (
+            slots,
+            tuple([tags[s] for s in slots]),
+            tuple([stamps[s] for s in slots]),
+            tuple([order[s] for s in slots]),
+            # Lines displaced during the run (deterministic per epoch).
+            tuple(line for line, s in pre_where.items()
+                  if tags[s] != line),
+            {tags[s]: s for s in slots},
+            tuple((i, n) for i, n in enumerate(self._set_len)
+                  if n != pre_set_len[i]),
+            self._fill_seq,
+        )
+
+    def state_apply_delta(self, delta) -> None:
+        """Replay a :meth:`state_delta_for` record (fast engine only)."""
+        (slots, tags_v, stamps_v, orders_v, dels, news, setlens,
+         fill_seq) = delta
+        where = self._where
+        for line in dels:
+            del where[line]
+        where.update(news)
+        set_len = self._set_len
+        for i, n in setlens:
+            set_len[i] = n
+        _consume(map(self._tags.__setitem__, slots, tags_v))
+        _consume(map(self._stamps.__setitem__, slots, stamps_v))
+        _consume(map(self._order.__setitem__, slots, orders_v))
+        self._fill_seq = fill_seq
+
     def resident_lines(self) -> int:
+        if self._fast:
+            return len(self._where)
         return sum(len(s) for s in self._sets)
 
     def __repr__(self) -> str:

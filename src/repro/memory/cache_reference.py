@@ -1,0 +1,287 @@
+"""Reference implementations of the cache and the mini-simulator loop.
+
+These are the pre-optimization data structures, retained verbatim as the
+**behavioural contract** for the fast kernels in :mod:`repro.memory.cache`
+and :mod:`repro.core.analyzer`:
+
+* :class:`ReferenceCache` is the original per-set ``dict`` of
+  :class:`~repro.memory.lines.CacheLine` objects with pluggable
+  :mod:`~repro.memory.policies`;
+* :class:`ReferenceMiniCacheSimulator` is the original reference-at-a-time
+  analyzer loop (``probe``/``fill`` per recorded address).
+
+The golden-equivalence suite (``tests/test_kernel_equivalence.py``) replays
+identical access streams through both implementations and asserts
+bit-identical per-operation hits, eviction victims, statistics, and
+analysis results.  The benchmark harness (:mod:`repro.bench`) times the
+optimized kernels *against* these references, which is where the
+``minisim`` speedup figure in ``BENCH_kernels.json`` comes from.
+
+Do not optimize this module: its value is being slow, obvious, and
+unchanged.  (The one permitted divergence from history is the flush
+boundary: ``maybe_flush`` mirrors the analyzer's corrected ``>=``
+comparison so both sides implement the same semantics.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .cache import CacheConfig, CacheStats
+from .lines import CacheLine
+from .policies import LRUPolicy, ReplacementPolicy, make_policy
+
+
+class ReferenceCache:
+    """One level of set-associative cache (pre-rewrite implementation)."""
+
+    def __init__(self, config: CacheConfig,
+                 policy: Optional[ReplacementPolicy] = None) -> None:
+        self.config = config
+        self.policy = policy if policy is not None else LRUPolicy()
+        self.stats = CacheStats()
+        self._set_mask = config.num_sets - 1
+        self._line_bits = config.line_bits
+        self._sets: List[Dict[int, CacheLine]] = [
+            {} for _ in range(config.num_sets)
+        ]
+
+    @classmethod
+    def from_spec(cls, size: int, assoc: int, line_size: int = 64,
+                  hit_latency: int = 2, policy: str = "lru"
+                  ) -> "ReferenceCache":
+        return cls(
+            CacheConfig(size, assoc, line_size, hit_latency),
+            make_policy(policy),
+        )
+
+    # -- address helpers ----------------------------------------------------
+
+    def line_addr(self, addr: int) -> int:
+        return addr >> self._line_bits
+
+    def set_index(self, line_addr: int) -> int:
+        return line_addr & self._set_mask
+
+    # -- core operations ----------------------------------------------------
+
+    def probe(self, line_addr: int, is_write: bool, now: int = 0) -> Tuple[bool, int]:
+        """Demand-access one line; returns ``(hit, stall)``."""
+        cache_set = self._sets[line_addr & self._set_mask]
+        line = cache_set.get(line_addr)
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        if line is None:
+            if is_write:
+                self.stats.write_misses += 1
+            else:
+                self.stats.read_misses += 1
+            return False, 0
+        stall = 0
+        if line.ready_at > now:
+            stall = line.ready_at - now
+            self.stats.late_prefetch_stall_cycles += stall
+        if line.prefetched:
+            line.prefetched = False
+            self.stats.useful_prefetches += 1
+        if is_write:
+            line.dirty = True
+        self.policy.on_access(line, now)
+        return True, stall
+
+    def contains(self, line_addr: int) -> bool:
+        """Non-destructive residency check (no stats side effects)."""
+        return line_addr in self._sets[line_addr & self._set_mask]
+
+    def fill(self, line_addr: int, now: int = 0, ready_at: int = 0,
+             prefetched: bool = False, is_write: bool = False) -> Optional[int]:
+        """Insert a line, evicting if needed; returns the evicted tag."""
+        cache_set = self._sets[line_addr & self._set_mask]
+        existing = cache_set.get(line_addr)
+        if existing is not None:
+            if prefetched:
+                self.stats.redundant_prefetches += 1
+            return None
+        evicted = None
+        if len(cache_set) >= self.config.assoc:
+            victim_tag = self.policy.victim(cache_set)
+            del cache_set[victim_tag]
+            self.stats.evictions += 1
+            evicted = victim_tag
+        line = CacheLine(line_addr, now=now, ready_at=ready_at,
+                         prefetched=prefetched)
+        if is_write:
+            line.dirty = True
+        cache_set[line_addr] = line
+        self.policy.on_fill(line, now)
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        return evicted
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop one line; returns whether it was present."""
+        cache_set = self._sets[line_addr & self._set_mask]
+        return cache_set.pop(line_addr, None) is not None
+
+    def flush(self) -> None:
+        """Drop every line."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    def access_many(self, line_addrs, is_write: bool = False,
+                    writes=None, start_now: int = 0,
+                    nows=None) -> List[bool]:
+        """Reference batch path: a plain probe + fill-on-miss loop.
+
+        Same contract as :meth:`repro.memory.cache.Cache.access_many`;
+        exists so equivalence tests can compare the batch kernel against
+        the one-at-a-time semantics it must preserve.
+        """
+        hits: List[bool] = []
+        now = start_now
+        for i, line_addr in enumerate(line_addrs):
+            if nows is not None:
+                now = nows[i]
+            else:
+                now += 1
+            w = writes[i] if writes is not None else is_write
+            hit, _ = self.probe(line_addr, w, now)
+            if not hit:
+                self.fill(line_addr, now=now, is_write=w)
+            hits.append(hit)
+        return hits
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReferenceCache {self.config.describe()} "
+            f"policy={self.policy.name}>"
+        )
+
+
+# -- reference analyzer -----------------------------------------------------
+
+@dataclass
+class ReferenceOpSimResult:
+    """Mini-simulated hit/miss counts for one instrumented operation."""
+
+    pc: int
+    refs: int = 0
+    misses: int = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.refs if self.refs else 0.0
+
+
+@dataclass
+class ReferenceAnalysisResult:
+    """Output of analysing one address profile (reference fields)."""
+
+    trace_head: str
+    per_op: Dict[int, ReferenceOpSimResult] = field(default_factory=dict)
+    counted_refs: int = 0
+    counted_misses: int = 0
+    warmup_refs: int = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        if not self.counted_refs:
+            return 0.0
+        return self.counted_misses / self.counted_refs
+
+
+class ReferenceMiniCacheSimulator:
+    """The original one-reference-at-a-time analyzer loop.
+
+    ``config`` is duck-typed (any object with ``mini_cache``,
+    ``shared_cache``, ``warmup_executions`` and ``flush_interval``
+    attributes) so this module stays import-independent of
+    :mod:`repro.core`.
+    """
+
+    def __init__(self, config, host_l2: CacheConfig) -> None:
+        self.config = config
+        self.cache_config = config.mini_cache or host_l2
+        self.cache = ReferenceCache(self.cache_config)
+        self._line_bits = self.cache_config.line_bits
+        self._time = 0
+        self._last_run_cycles: Optional[int] = None
+        self.flushes = 0
+        self.profiles_analyzed = 0
+        self.references_simulated = 0
+        self.pc_stats: Dict[int, ReferenceOpSimResult] = {}
+
+    def maybe_flush(self, now_cycles: int) -> bool:
+        interval = self.config.flush_interval
+        flushed = False
+        if (
+            interval is not None
+            and self._last_run_cycles is not None
+            and now_cycles - self._last_run_cycles >= interval
+        ):
+            self.cache.flush()
+            self.flushes += 1
+            flushed = True
+        self._last_run_cycles = now_cycles
+        return flushed
+
+    def analyze(self, profile) -> ReferenceAnalysisResult:
+        """Mini-simulate one address profile, row by row."""
+        if not self.config.shared_cache:
+            self.cache.flush()
+        result = ReferenceAnalysisResult(trace_head=profile.trace_head)
+        per_op = result.per_op
+        cache = self.cache
+        line_bits = self._line_bits
+        skip = self.config.warmup_executions
+        time = self._time
+
+        for pc, addr, counted in profile.iter_references(skip_rows=skip):
+            time += 1
+            hit, _ = cache.probe(addr >> line_bits, False, time)
+            if not hit:
+                cache.fill(addr >> line_bits, now=time)
+            if not counted:
+                result.warmup_refs += 1
+                continue
+            op = per_op.get(pc)
+            if op is None:
+                op = per_op[pc] = ReferenceOpSimResult(pc)
+            op.refs += 1
+            result.counted_refs += 1
+            if not hit:
+                op.misses += 1
+                result.counted_misses += 1
+
+        self._time = time
+        self.profiles_analyzed += 1
+        self.references_simulated += result.counted_refs + result.warmup_refs
+        self._accumulate(per_op)
+        return result
+
+    def _accumulate(self, per_op: Dict[int, ReferenceOpSimResult]) -> None:
+        for pc, op in per_op.items():
+            total = self.pc_stats.get(pc)
+            if total is None:
+                total = self.pc_stats[pc] = ReferenceOpSimResult(pc)
+            total.refs += op.refs
+            total.misses += op.misses
+
+    def overall_miss_ratio(self) -> float:
+        refs = sum(s.refs for s in self.pc_stats.values())
+        if not refs:
+            return 0.0
+        return sum(s.misses for s in self.pc_stats.values()) / refs
+
+    def pc_miss_ratios(self, min_refs: int = 1) -> Dict[int, float]:
+        return {
+            pc: s.miss_ratio
+            for pc, s in self.pc_stats.items()
+            if s.refs >= min_refs
+        }

@@ -10,6 +10,15 @@ UMI-instrumented trace is executing: ``profile_cols`` maps instrumented
 pcs to columns of the current address-profile row, and ``prefetch_map``
 maps pcs of delinquent loads to injected software-prefetch deltas.  Both
 are ``None`` during normal execution, keeping the hot path cheap.
+
+Dispatch is threaded through per-block *decoded tuples*: the first
+execution of a block flattens each instruction into a tuple holding its
+opcode, pre-resolved base cost and pre-extracted operand fields (and,
+for blocks under an instruction cache, the block's code lines), so the
+steady-state loop touches no :class:`Instruction` or operand objects at
+all.  :meth:`Interpreter.trace_decoded` additionally caches a trace's
+whole decoded block list keyed by its head, which the runtime's trace
+loop replays without per-block lookups.
 """
 
 from __future__ import annotations
@@ -65,25 +74,98 @@ class Interpreter:
         # Opcode of the terminator of the most recently executed block;
         # the runtime uses it to decide dispatch costs.
         self.last_terminator_op: int = HALT
-        # Per-block (instruction, base_cost) lists, built lazily.
-        self._cost_cache: Dict[str, list] = {}
+        # Per-block decoded tuple lists, built lazily on first execution.
+        self._decoded: Dict[str, tuple] = {}
+        # Per-trace decoded block lists, keyed by trace head.
+        self._trace_decoded: Dict[str, tuple] = {}
         # Instruction fetch modelling: only when the memory system has an
         # instruction cache (FlatMemory and bare caches do not).
         self._models_ifetch = bool(getattr(memsys, "models_ifetch", False))
-        self._code_lines: Dict[str, tuple] = {}
+        self._profiled_op_cost = cost_model.profiled_op_cost
+        self._sw_prefetch_issue_cost = cost_model.sw_prefetch_issue_cost
 
-    # -- helpers --------------------------------------------------------------
+    # -- decoding --------------------------------------------------------------
 
-    def _costed_instructions(self, label: str):
-        cached = self._cost_cache.get(label)
-        if cached is None:
-            model = self.cost_model
-            cached = [
-                (ins, model.instruction_cost(ins.op, ins.aluop))
-                for ins in self.program.blocks[label].instructions
-            ]
-            self._cost_cache[label] = cached
-        return cached
+    def _decode_block(self, label: str) -> tuple:
+        """Flatten one block into dispatch tuples (cached per label)."""
+        model = self.cost_model
+        block = self.program.blocks[label]
+        ops = []
+        for ins in block.instructions:
+            op = ins.op
+            cost = model.instruction_cost(op, ins.aluop)
+            if op == LOAD:
+                m = ins.mem
+                ops.append((op, cost, ins.pc, ins.dst, ins.size,
+                            m.base, m.index, m.scale, m.disp))
+            elif op == STORE:
+                m = ins.mem
+                ops.append((op, cost, ins.pc, ins.src, ins.imm, ins.size,
+                            m.base, m.index, m.scale, m.disp))
+            elif op == ALU_RI:
+                ops.append((op, cost, ins.aluop, ins.dst, ins.imm))
+            elif op == ALU_RR:
+                ops.append((op, cost, ins.aluop, ins.dst, ins.src))
+            elif op == CMP_RI:
+                ops.append((op, cost, ins.dst, ins.imm))
+            elif op == CMP_RR:
+                ops.append((op, cost, ins.dst, ins.src))
+            elif op == JCC:
+                ops.append((op, cost, ins.cc, ins.target, ins.fallthrough))
+            elif op == MOV_RI:
+                ops.append((op, cost, ins.dst, ins.imm & _U64_MASK))
+            elif op == MOV_RR:
+                ops.append((op, cost, ins.dst, ins.src))
+            elif op == LEA:
+                m = ins.mem
+                ops.append((op, cost, ins.dst,
+                            m.base, m.index, m.scale, m.disp))
+            elif op == WORK:
+                # The WORK payload is a fixed extra charge; fold it into
+                # the base cost at decode time.
+                ops.append((op, cost + ins.imm))
+            elif op == JMP:
+                ops.append((op, cost, ins.target))
+            elif op == SWITCH:
+                ops.append((op, cost, ins.src, ins.targets))
+            elif op == CALL:
+                ops.append((op, cost, ins.pc, ins.target, ins.fallthrough))
+            elif op == RET:
+                ops.append((op, cost, ins.pc))
+            elif op == NOP or op == HALT:
+                ops.append((op, cost))
+            else:
+                # Defer the failure to execution time, matching the
+                # undecoded interpreter's behaviour for dead code.
+                ops.append((op, cost, ins.pc))
+        lines = None
+        if self._models_ifetch:
+            first = block.base_pc >> 6
+            last = (block.base_pc + 4 * len(block.instructions) - 1) >> 6
+            lines = tuple(range(first, last + 1))
+        entry = (tuple(ops), lines)
+        self._decoded[label] = entry
+        return entry
+
+    def decoded_block(self, label: str) -> tuple:
+        """The block's ``(dispatch tuples, code lines)`` entry."""
+        entry = self._decoded.get(label)
+        if entry is None:
+            entry = self._decode_block(label)
+        return entry
+
+    def trace_decoded(self, head: str, block_labels) -> tuple:
+        """Decoded entries for a whole trace, cached by trace head.
+
+        ``block_labels`` is compared by identity so a rebuilt trace that
+        reuses a head (with a different label tuple) re-decodes.
+        """
+        cached = self._trace_decoded.get(head)
+        if cached is not None and cached[0] is block_labels:
+            return cached[1]
+        entries = tuple(self.decoded_block(l) for l in block_labels)
+        self._trace_decoded[head] = (block_labels, entries)
+        return entries
 
     # -- execution --------------------------------------------------------------
 
@@ -95,78 +177,87 @@ class Interpreter:
         cost + memory latency + any software-prefetch issue cost) are
         charged to the machine state.
         """
+        entry = self._decoded.get(label)
+        if entry is None:
+            entry = self._decode_block(label)
+        return self.execute_decoded(entry)
+
+    def execute_decoded(self, entry: tuple) -> Optional[str]:
+        """Execute one pre-decoded block entry (see :meth:`decoded_block`)."""
         state = self.state
         regs = state.regs
         memory = state.memory
         memsys = self.memsys
+        access = memsys.access
         observer = self.ref_observer
         profile_cols = self.profile_cols
+        profile_row = self.profile_row
         prefetch_map = self.prefetch_map
+        profiled_op_cost = self._profiled_op_cost
         cycles = state.cycles
         flags = state.flags
         steps = 0
         next_label: Optional[str] = None
 
-        if self._models_ifetch:
-            lines = self._code_lines.get(label)
-            if lines is None:
-                block = self.program.blocks[label]
-                first = block.base_pc >> 6
-                last = (block.base_pc + 4 * len(block.instructions) - 1) >> 6
-                lines = tuple(range(first, last + 1))
-                self._code_lines[label] = lines
+        ops, lines = entry
+        if lines is not None:
             cycles += memsys.fetch(lines, cycles)
 
-        for ins, base_cost in self._costed_instructions(label):
-            op = ins.op
+        for t in ops:
+            op = t[0]
             steps += 1
-            cycles += base_cost
+            cycles += t[1]
 
             if op == LOAD:
-                m = ins.mem
-                addr = m.disp
-                if m.base is not None:
-                    addr += regs[m.base]
-                if m.index is not None:
-                    addr += regs[m.index] * m.scale
-                cycles += memsys.access(ins.pc, addr, False, ins.size, cycles)
-                regs[ins.dst] = memory.get(addr, 0)
+                base = t[5]
+                index = t[6]
+                addr = t[8]
+                if base is not None:
+                    addr += regs[base]
+                if index is not None:
+                    addr += regs[index] * t[7]
+                pc = t[2]
+                cycles += access(pc, addr, False, t[4], cycles)
+                regs[t[3]] = memory.get(addr, 0)
                 if observer is not None:
-                    observer(ins.pc, addr, False, ins.size)
+                    observer(pc, addr, False, t[4])
                 if profile_cols is not None:
-                    col = profile_cols.get(ins.pc)
+                    col = profile_cols.get(pc)
                     if col is not None:
-                        self.profile_row[col] = addr
-                        cycles += self.cost_model.profiled_op_cost
+                        profile_row[col] = addr
+                        cycles += profiled_op_cost
                 if prefetch_map is not None:
-                    delta = prefetch_map.get(ins.pc)
+                    delta = prefetch_map.get(pc)
                     if delta is not None:
                         memsys.software_prefetch(addr + delta, cycles)
-                        cycles += self.cost_model.sw_prefetch_issue_cost
+                        cycles += self._sw_prefetch_issue_cost
                 continue
 
             if op == STORE:
-                m = ins.mem
-                addr = m.disp
-                if m.base is not None:
-                    addr += regs[m.base]
-                if m.index is not None:
-                    addr += regs[m.index] * m.scale
-                cycles += memsys.access(ins.pc, addr, True, ins.size, cycles)
-                memory[addr] = regs[ins.src] if ins.src is not None else ins.imm
+                base = t[6]
+                index = t[7]
+                addr = t[9]
+                if base is not None:
+                    addr += regs[base]
+                if index is not None:
+                    addr += regs[index] * t[8]
+                pc = t[2]
+                cycles += access(pc, addr, True, t[5], cycles)
+                src = t[3]
+                memory[addr] = regs[src] if src is not None else t[4]
                 if observer is not None:
-                    observer(ins.pc, addr, True, ins.size)
+                    observer(pc, addr, True, t[5])
                 if profile_cols is not None:
-                    col = profile_cols.get(ins.pc)
+                    col = profile_cols.get(pc)
                     if col is not None:
-                        self.profile_row[col] = addr
-                        cycles += self.cost_model.profiled_op_cost
+                        profile_row[col] = addr
+                        cycles += profiled_op_cost
                 continue
 
             if op == ALU_RI or op == ALU_RR:
-                operand = ins.imm if op == ALU_RI else regs[ins.src]
-                aluop = ins.aluop
-                dst = ins.dst
+                operand = t[4] if op == ALU_RI else regs[t[4]]
+                aluop = t[2]
+                dst = t[3]
                 value = regs[dst]
                 if aluop == ADD:
                     value += operand
@@ -192,14 +283,14 @@ class Interpreter:
                 continue
 
             if op == CMP_RI:
-                flags = regs[ins.dst] - ins.imm
+                flags = regs[t[2]] - t[3]
                 continue
             if op == CMP_RR:
-                flags = regs[ins.dst] - regs[ins.src]
+                flags = regs[t[2]] - regs[t[3]]
                 continue
 
             if op == JCC:
-                cc = ins.cc
+                cc = t[2]
                 if cc == CC_EQ:
                     taken = flags == 0
                 elif cc == CC_NE:
@@ -212,56 +303,58 @@ class Interpreter:
                     taken = flags > 0
                 else:  # CC_GE
                     taken = flags >= 0
-                next_label = ins.target if taken else ins.fallthrough
+                next_label = t[3] if taken else t[4]
                 break
 
             if op == MOV_RI:
-                regs[ins.dst] = ins.imm & _U64_MASK
+                regs[t[2]] = t[3]
                 continue
             if op == MOV_RR:
-                regs[ins.dst] = regs[ins.src]
+                regs[t[2]] = regs[t[3]]
                 continue
 
             if op == LEA:
-                m = ins.mem
-                addr = m.disp
-                if m.base is not None:
-                    addr += regs[m.base]
-                if m.index is not None:
-                    addr += regs[m.index] * m.scale
-                regs[ins.dst] = addr & _U64_MASK
+                base = t[3]
+                index = t[4]
+                addr = t[6]
+                if base is not None:
+                    addr += regs[base]
+                if index is not None:
+                    addr += regs[index] * t[5]
+                regs[t[2]] = addr & _U64_MASK
                 continue
 
             if op == WORK:
-                cycles += ins.imm
                 continue
 
             if op == JMP:
-                next_label = ins.target
+                next_label = t[2]
                 break
 
             if op == SWITCH:
-                targets = ins.targets
-                next_label = targets[regs[ins.src] % len(targets)]
+                targets = t[3]
+                next_label = targets[regs[t[2]] % len(targets)]
                 break
 
             if op == CALL:
                 regs[ESP] -= 8
                 addr = regs[ESP]
-                cycles += memsys.access(ins.pc, addr, True, 8, cycles)
+                pc = t[2]
+                cycles += access(pc, addr, True, 8, cycles)
                 memory[addr] = 0
                 if observer is not None:
-                    observer(ins.pc, addr, True, 8)
-                state.call_stack.append(ins.fallthrough)
-                next_label = ins.target
+                    observer(pc, addr, True, 8)
+                state.call_stack.append(t[4])
+                next_label = t[3]
                 break
 
             if op == RET:
                 addr = regs[ESP]
-                cycles += memsys.access(ins.pc, addr, False, 8, cycles)
+                pc = t[2]
+                cycles += access(pc, addr, False, 8, cycles)
                 regs[ESP] += 8
                 if observer is not None:
-                    observer(ins.pc, addr, False, 8)
+                    observer(pc, addr, False, 8)
                 if state.call_stack:
                     next_label = state.call_stack.pop()
                 else:
@@ -277,7 +370,7 @@ class Interpreter:
                 state.halted = True
                 break
 
-            raise ValueError(f"unknown opcode {op} at pc {ins.pc:#x}")
+            raise ValueError(f"unknown opcode {op} at pc {t[2]:#x}")
 
         state.cycles = cycles
         state.flags = flags

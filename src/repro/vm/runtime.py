@@ -255,11 +255,12 @@ class DynamoSim:
 
         labels = trace.block_labels
         n = len(labels)
+        decoded = interp.trace_decoded(trace.head, labels)
         discount = self.cost_model.trace_branch_discount
         i = 0
         exit_label: Optional[str] = None
         while True:
-            next_label = interp.execute_block(labels[i])
+            next_label = interp.execute_decoded(decoded[i])
             if next_label is None:
                 exit_label = None
                 break

@@ -79,6 +79,24 @@ class TestMiniSimulation:
         result = sim.analyze(make_profile([[0x1000] * 4]))
         assert result.counted_misses == 1
 
+    def test_flush_boundary_exact_interval_flushes(self):
+        """A gap of exactly one flush interval must flush.
+
+        The prototype flushes when "more than 1M cycles have elapsed";
+        an interval-sized gap counts, so the comparison is ``>=`` --
+        a trigger landing exactly on the boundary must not slip
+        through.
+        """
+        config = UMIConfig(warmup_executions=0, flush_interval=1000)
+        sim = MiniCacheSimulator(config, L2)
+        assert sim.maybe_flush(now_cycles=0) is False  # no prior run
+        assert sim.maybe_flush(now_cycles=1000) is True
+        assert sim.flushes == 1
+        # One cycle short of the next boundary: no flush.
+        assert sim.maybe_flush(now_cycles=1999) is False
+        assert sim.maybe_flush(now_cycles=2999) is True
+        assert sim.flushes == 2
+
     def test_flush_disabled(self):
         sim = MiniCacheSimulator(
             UMIConfig(warmup_executions=0, flush_interval=None), L2)
