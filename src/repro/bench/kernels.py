@@ -1,6 +1,6 @@
 """The named benchmark kernels behind ``umi-experiments bench``.
 
-Four kernels cover the repo's hot paths:
+Five kernels cover the repo's hot paths:
 
 ``interpreter``
     Threaded-dispatch VM executing an Olden workload against flat
@@ -23,6 +23,11 @@ Four kernels cover the repo's hot paths:
     (:class:`repro.fullsim.reference.ReferenceCachegrindSimulator`) on
     one synthetic reference stream, with per-pc load-miss equality
     asserted.
+``pipeline``
+    The reference-stream hub (:class:`repro.stream.RefStream`) fanning
+    a synthetic event stream out to a no-op consumer -- the pure
+    emit/batch/deliver overhead every consumer-carrying run pays on
+    top of the interpreter.
 ``table4_smoke``
     One end-to-end UMI + Cachegrind run of a small workload -- the
     Table 4 pipeline in miniature, catching regressions that only
@@ -244,6 +249,38 @@ def _bench_fullsim(quick: bool, warmup: int, repeat: int,
     return result
 
 
+def _bench_pipeline(quick: bool, warmup: int, repeat: int,
+                    clock: Clock) -> BenchResult:
+    from repro.stream import NullRefConsumer, RefStream
+
+    n_refs = 60_000 if quick else 240_000
+    pcs, addrs, writes = synth_reference_stream(
+        n_refs=min(n_refs, 60_000))
+    events = list(zip(pcs, addrs, writes))
+    rounds = max(1, n_refs // len(events))
+
+    def run():
+        stream = RefStream()
+        stream.attach(NullRefConsumer())
+        emit = stream.emit
+        cycle = 0
+        for _ in range(rounds):
+            for pc, addr, is_write in events:
+                emit(pc, addr, 8, 1 if is_write else 0, cycle)
+                cycle += 1
+        stream.finish()
+        return cycle
+
+    total = run()
+    result = run_benchmark("pipeline", run, warmup=warmup,
+                           repeat=repeat, clock=clock)
+    result.meta.update(
+        events=total,
+        ns_per_event=(1e9 * result.median_s / total if total else 0.0),
+    )
+    return result
+
+
 def _bench_table4_smoke(quick: bool, warmup: int, repeat: int,
                         clock: Clock) -> BenchResult:
     from repro.runners import run_mode
@@ -272,6 +309,7 @@ KERNELS: Dict[str, Callable[[bool, int, int, Clock], BenchResult]] = {
     "interpreter": _bench_interpreter,
     "minisim": _bench_minisim,
     "fullsim": _bench_fullsim,
+    "pipeline": _bench_pipeline,
     "table4_smoke": _bench_table4_smoke,
 }
 

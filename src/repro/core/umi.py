@@ -121,7 +121,7 @@ class UMIRuntime:
         runtime_config: Optional[RuntimeConfig] = None,
         hw_prefetch: bool = False,
         hierarchy: Optional[MemoryHierarchy] = None,
-        ref_observer=None,
+        stream=None,
     ) -> None:
         self.program = program
         self.machine = machine
@@ -139,9 +139,10 @@ class UMIRuntime:
                 and self.config.sampling_mode == "timer"
                 and rc.sample_period is None):
             rc.sample_period = self.config.sample_period
+        self._stream = stream
         self.dynamo = DynamoSim(
             program, hierarchy, config=rc, cost_model=cost_model,
-            hooks=_UMIHooks(self), ref_observer=ref_observer,
+            hooks=_UMIHooks(self), stream=stream,
         )
         state = self.dynamo.state
         self.instrumentor = Instrumentor(self.config, cost_model, state)
@@ -377,3 +378,12 @@ class UMIRuntime:
 
         if self.phase_tracker is not None and invocation_refs:
             self.phase_tracker.observe(invocation_misses / invocation_refs)
+
+        if self._stream is not None:
+            # Mark the analyzer boundary on the reference stream so
+            # consumers (e.g. profile recorders) can close open passes.
+            self._stream.epoch({
+                "kind": "analyzer",
+                "invocation": self.stats.analyzer_invocations,
+                "cycle": state.cycles,
+            })

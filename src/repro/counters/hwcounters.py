@@ -5,17 +5,20 @@ no overhead -- until you ask for fine granularity.  The counters raise an
 interrupt each time they saturate at the configured *sample size*, and
 "the runtime overhead of using a counter increases dramatically as the
 sample size is decreased" (paper Section 1.2, Table 1).  This module
-models exactly that: counters subscribe to the memory hierarchy's event
-stream, and every overflow charges an interrupt cost to the machine
+models exactly that: counters subscribe to the memory hierarchy's
+line-event stream (:class:`repro.stream.LineStream`) as batched
+consumers, and every overflow charges an interrupt cost to the machine
 state's cycle counter.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.stream.consumer import LineConsumer
+from repro.stream.events import LineEvent
 from repro.vm.cost_model import DEFAULT_COST_MODEL, CostModel
 from repro.vm.state import MachineState
 
@@ -89,11 +92,14 @@ class EventCounter:
         self._until_overflow = self.sample_size
 
 
-class HardwareCounters:
-    """A set of counters wired to a memory hierarchy's access stream.
+class HardwareCounters(LineConsumer):
+    """A set of counters wired to a memory hierarchy's line stream.
 
-    Attach with :meth:`attach`; the hierarchy will call :meth:`observe`
-    for every demand line access.
+    Attach with :meth:`attach`; the hierarchy's
+    :class:`~repro.stream.LineStream` delivers demand line accesses to
+    :meth:`on_lines` in batches.  Counting is passive (no simulator
+    state of its own), so any number of counter sets can share one
+    execution -- the basis of the fused Table 1 sweep.
     """
 
     def __init__(self, state: Optional[MachineState] = None,
@@ -113,23 +119,29 @@ class HardwareCounters:
         return counter
 
     def attach(self, hierarchy: MemoryHierarchy) -> None:
-        hierarchy.observers.append(self.observe)
+        hierarchy.line_stream.attach(self)
 
-    # Hierarchy observer signature: (pc, line_addr, is_write, l1_hit, l2_hit)
-    def observe(self, pc: int, line_addr: int, is_write: bool,
-                l1_hit: bool, l2_hit: bool) -> None:
+    def detach(self, hierarchy: MemoryHierarchy) -> None:
+        """Stop counting (flushes buffered events first)."""
+        hierarchy.line_stream.detach(self)
+
+    def on_lines(self, batch: List[LineEvent]) -> None:
         counters = self.counters
-        if not l1_hit:
-            c = counters.get("l1_miss")
-            if c is not None:
-                c.increment()
-            c = counters.get("l2_ref")
-            if c is not None:
-                c.increment()
-            if not l2_hit:
-                c = counters.get("l2_miss")
-                if c is not None:
-                    c.increment()
+        l1_miss = counters.get("l1_miss")
+        l2_ref = counters.get("l2_ref")
+        l2_miss = counters.get("l2_miss")
+        for ev in batch:
+            if not ev[3]:  # L1 miss: the L2 sees a reference
+                if l1_miss is not None:
+                    l1_miss.increment()
+                if l2_ref is not None:
+                    l2_ref.increment()
+                if not ev[4]:
+                    if l2_miss is not None:
+                        l2_miss.increment()
+
+    def summary(self) -> Dict[str, int]:
+        return {event: c.count for event, c in self.counters.items()}
 
     def readings(self) -> Dict[str, CounterReading]:
         return {event: c.reading() for event, c in self.counters.items()}

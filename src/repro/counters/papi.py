@@ -61,7 +61,7 @@ class PapiSession:
     def stop(self) -> Dict[str, int]:
         if not self._running:
             raise PapiError("session not started")
-        self._hierarchy.observers.remove(self._hw.observe)
+        self._hw.detach(self._hierarchy)
         self._running = False
         return self.read()
 

@@ -11,13 +11,15 @@ section of ``docs/ARCHITECTURE.md``.
 from .engine import ExecutionEngine
 from .executor import (
     ParallelExecutor, SerialExecutor, SpecExecutionError, execute_spec,
-    execute_spec_payload, make_executor,
+    execute_group_payloads, execute_spec_payload, make_executor,
 )
+from .fusion import fusion_key, plan_groups
 from .spec import RunSpec, SPEC_MODES
 from .store import ResultStore
 
 __all__ = [
     "ExecutionEngine", "ParallelExecutor", "ResultStore", "RunSpec",
     "SPEC_MODES", "SerialExecutor", "SpecExecutionError", "execute_spec",
-    "execute_spec_payload", "make_executor",
+    "execute_group_payloads", "execute_spec_payload", "fusion_key",
+    "make_executor", "plan_groups",
 ]

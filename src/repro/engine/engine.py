@@ -22,6 +22,7 @@ from repro.serialize import outcome_from_dict
 from repro.telemetry import get_telemetry
 
 from .executor import SerialExecutor, make_executor
+from .fusion import plan_groups
 from .spec import RunSpec
 from .store import ResultStore
 
@@ -80,14 +81,21 @@ class ExecutionEngine:
             seen.add(spec)
             missing.append(spec)
         if missing:
+            groups = plan_groups(missing)
             with telemetry.span("engine.wavefront", specs=len(missing),
+                                groups=len(groups),
                                 jobs=getattr(self.executor, "jobs", 1)):
-                payloads = self.executor.execute(missing)
+                if hasattr(self.executor, "execute_groups"):
+                    payload_lists = self.executor.execute_groups(groups)
+                else:  # custom executor without fusion support
+                    payload_lists = [self.executor.execute(group)
+                                     for group in groups]
             telemetry.count("engine.specs_executed", n=len(missing))
-            for spec, payload in zip(missing, payloads):
-                if self.store is not None:
-                    self.store.save(spec, payload)
-                self._admit(spec, payload)
+            for group, payloads in zip(groups, payload_lists):
+                for spec, payload in zip(group, payloads):
+                    if self.store is not None:
+                        self.store.save(spec, payload)
+                    self._admit(spec, payload)
         return [self._memo[spec] for spec in specs]
 
     def prefill(self, specs: Sequence[RunSpec]) -> None:

@@ -30,7 +30,7 @@ import traceback
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.memory import get_machine
-from repro.runners import run_mode
+from repro.runners import run_mode, run_native_fused
 from repro.serialize import outcome_to_dict
 from repro.telemetry import get_telemetry
 from repro.workloads import get_workload
@@ -58,7 +58,8 @@ def execute_spec(spec: RunSpec):
     """Run one spec to a live :class:`RunOutcome` (current process)."""
     program = get_workload(spec.workload).build(spec.scale)
     machine = get_machine(spec.machine, scale=spec.machine_scale)
-    kwargs: Dict[str, Any] = {"hw_prefetch": spec.hw_prefetch}
+    kwargs: Dict[str, Any] = {"hw_prefetch": spec.hw_prefetch,
+                              "consumers": spec.consumers}
     if spec.mode == "native":
         kwargs["with_cachegrind"] = spec.with_cachegrind
         kwargs["counter_sample_size"] = spec.counter_sample_size
@@ -73,6 +74,31 @@ def execute_spec_payload(spec: RunSpec) -> Dict[str, Any]:
     return outcome_to_dict(execute_spec(spec))
 
 
+def execute_group_payloads(group: Sequence[RunSpec]) -> List[Dict[str, Any]]:
+    """Run one fusion group; one payload per member spec, in order.
+
+    A multi-member group (see :mod:`repro.engine.fusion`) executes the
+    shared workload once via :func:`repro.runners.run_native_fused`;
+    singletons take the ordinary per-spec path.
+    """
+    if len(group) == 1:
+        return [execute_spec_payload(group[0])]
+    first = group[0]
+    program = get_workload(first.workload).build(first.scale)
+    machine = get_machine(first.machine, scale=first.machine_scale)
+    variants = [
+        {
+            "counter_sample_size": spec.counter_sample_size,
+            "with_cachegrind": spec.with_cachegrind,
+            "consumers": spec.consumers,
+        }
+        for spec in group
+    ]
+    outcomes = run_native_fused(program, machine, variants,
+                                hw_prefetch=first.hw_prefetch)
+    return [outcome_to_dict(outcome) for outcome in outcomes]
+
+
 def _execute_timed(spec: RunSpec) -> Dict[str, Any]:
     """One spec under an ``executor.spec`` span (if telemetry is on)."""
     telemetry = get_telemetry()
@@ -84,27 +110,42 @@ def _execute_timed(spec: RunSpec) -> Dict[str, Any]:
         return execute_spec_payload(spec)
 
 
-def _pool_execute(item: Tuple[RunSpec, bool]):
-    """Pool worker unit: one spec -> status + payload (+ telemetry).
+def _execute_group_timed(group: Sequence[RunSpec]) -> List[Dict[str, Any]]:
+    """One fusion group under an ``executor.spec`` span."""
+    if len(group) == 1:
+        return [_execute_timed(group[0])]
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        return execute_group_payloads(group)
+    spec = group[0]
+    with telemetry.span("executor.spec",
+                        labels={"workload": spec.workload},
+                        digest=spec.digest()[:12], spec=spec.describe(),
+                        fused=len(group)):
+        return execute_group_payloads(group)
 
-    Returns ``("ok", payload, snapshot_or_None)`` or ``("error",
+
+def _pool_execute(item: Tuple[Sequence[RunSpec], bool]):
+    """Pool worker unit: one fusion group -> status + payloads.
+
+    Returns ``("ok", payloads, snapshot_or_None)`` or ``("error",
     message, traceback_text)``.  Exceptions are flattened to strings in
     the worker so unpicklable exception types can still be reported,
     and so the parent can name the failing spec.  Telemetry is reset
-    per spec, making each snapshot self-contained regardless of how
+    per group, making each snapshot self-contained regardless of how
     the pool chunks the work.
     """
-    spec, telemetry_enabled = item
+    group, telemetry_enabled = item
     telemetry = get_telemetry()
     telemetry.reset()
     telemetry.enabled = telemetry_enabled
     try:
-        payload = _execute_timed(spec)
+        payloads = _execute_group_timed(group)
     except Exception as exc:  # noqa: BLE001 -- reported, not swallowed
         return ("error", f"{type(exc).__name__}: {exc}",
                 traceback.format_exc())
     snapshot = telemetry.snapshot() if telemetry_enabled else None
-    return ("ok", payload, snapshot)
+    return ("ok", payloads, snapshot)
 
 
 class SerialExecutor:
@@ -122,6 +163,15 @@ class SerialExecutor:
             self.runs_executed += 1
         return payloads
 
+    def execute_groups(self, groups: Sequence[Sequence[RunSpec]]
+                       ) -> List[List[Dict[str, Any]]]:
+        """Run fusion groups; one *execution* counted per group."""
+        results = []
+        for group in groups:
+            results.append(_execute_group_timed(group))
+            self.runs_executed += 1
+        return results
+
 
 class ParallelExecutor:
     """Fans independent specs across cores via ``multiprocessing``."""
@@ -133,19 +183,26 @@ class ParallelExecutor:
         self.runs_executed = 0
 
     def execute(self, specs: Sequence[RunSpec]) -> List[Dict[str, Any]]:
-        specs = list(specs)
-        if not specs:
+        """Run specs as singleton groups (no fusion)."""
+        results = self.execute_groups([[spec] for spec in specs])
+        return [payloads[0] for payloads in results]
+
+    def execute_groups(self, groups: Sequence[Sequence[RunSpec]]
+                       ) -> List[List[Dict[str, Any]]]:
+        """Fan fusion groups across cores; one execution per group."""
+        groups = [list(group) for group in groups]
+        if not groups:
             return []
-        if len(specs) == 1 or self.jobs == 1:
-            payloads = []
-            for spec in specs:
+        if len(groups) == 1 or self.jobs == 1:
+            results = []
+            for group in groups:
                 try:
-                    payloads.append(_execute_timed(spec))
+                    results.append(_execute_group_timed(group))
                 except Exception as exc:
                     raise SpecExecutionError(
-                        spec, f"{type(exc).__name__}: {exc}") from exc
+                        group[0], f"{type(exc).__name__}: {exc}") from exc
                 self.runs_executed += 1
-            return payloads
+            return results
         # fork shares the already-imported interpreter state read-only
         # and avoids re-importing the package per worker; fall back to
         # the default start method where fork is unavailable.
@@ -154,28 +211,28 @@ class ParallelExecutor:
         except ValueError:
             ctx = multiprocessing.get_context()
         telemetry = get_telemetry()
-        items = [(spec, telemetry.enabled) for spec in specs]
-        workers = min(self.jobs, len(specs))
+        items = [(group, telemetry.enabled) for group in groups]
+        workers = min(self.jobs, len(groups))
         with ctx.Pool(processes=workers) as pool:
-            # map() preserves order: result i belongs to spec i.
-            results = pool.map(_pool_execute, items)
-        payloads = []
+            # map() preserves order: result i belongs to group i.
+            results_raw = pool.map(_pool_execute, items)
+        results = []
         failure: Optional[SpecExecutionError] = None
-        for index, (spec, result) in enumerate(zip(specs, results)):
+        for index, (group, result) in enumerate(zip(groups, results_raw)):
             if result[0] == "error":
                 if failure is None:
                     failure = SpecExecutionError(
-                        spec, result[1], worker_traceback=result[2])
+                        group[0], result[1], worker_traceback=result[2])
                 continue
-            payloads.append(result[1])
+            results.append(result[1])
             self.runs_executed += 1
             if result[2] is not None:
                 telemetry.merge(result[2], source=f"worker:{index}")
         if failure is not None:
-            # Specs that completed are still counted/merged above; the
-            # first failing spec (submission order) names the error.
+            # Groups that completed are still counted/merged above; the
+            # first failing group (submission order) names the error.
             raise failure
-        return payloads
+        return results
 
 
 def make_executor(jobs: int = 1):

@@ -1,0 +1,53 @@
+"""Fusion planning: collapse compatible specs into shared executions.
+
+Two native specs that agree on *what runs* -- workload, iteration
+scale, machine model, machine scale and hardware-prefetcher setting --
+differ only in which passive observers are attached (hardware-counter
+sampling configuration, a Cachegrind observer, stream consumers).
+Since observers never perturb the simulated execution, one run can
+serve them all: :func:`repro.runners.run_native_fused` executes once
+and splits per-variant outcomes back out.
+
+:func:`plan_groups` partitions a wavefront of missing specs into such
+groups; every non-native spec (and any native spec with a unique key)
+stays a singleton group.  Grouping preserves first-appearance order,
+and members keep their submission order within a group, so executors
+remain deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .spec import RunSpec
+
+
+def fusion_key(spec: RunSpec) -> Optional[Tuple]:
+    """The execution identity a native spec shares with its fusables.
+
+    ``None`` means the spec cannot fuse (its mode's observers interact
+    with timing: UMI instruments the traces it runs, dynamo's stats are
+    the measurement itself).
+    """
+    if spec.mode != "native":
+        return None
+    return (spec.workload, spec.scale, spec.machine,
+            spec.machine_scale, spec.hw_prefetch)
+
+
+def plan_groups(specs: Sequence[RunSpec]) -> List[List[RunSpec]]:
+    """Partition specs into fusion groups (ordered, deterministic)."""
+    groups: List[List[RunSpec]] = []
+    index = {}
+    for spec in specs:
+        key = fusion_key(spec)
+        if key is None:
+            groups.append([spec])
+            continue
+        at = index.get(key)
+        if at is None:
+            index[key] = len(groups)
+            groups.append([spec])
+        else:
+            groups[at].append(spec)
+    return groups

@@ -63,6 +63,21 @@ def _freeze_overrides(overrides) -> Tuple[Tuple[str, Any], ...]:
     return tuple(frozen)
 
 
+def _freeze_consumers(names) -> Tuple[str, ...]:
+    """Canonicalize (sort + dedup) and validate consumer names."""
+    if not names:
+        return ()
+    frozen = tuple(sorted(set(names)))
+    from repro.stream import spec_safe_consumer_names
+
+    allowed = spec_safe_consumer_names()
+    for name in frozen:
+        if name not in allowed:
+            raise ValueError(
+                f"consumer {name!r} is not spec-safe; allowed: {allowed}")
+    return frozen
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """One immutable, hashable unit of measurement work."""
@@ -77,6 +92,9 @@ class RunSpec:
     hw_prefetch: bool = False
     with_cachegrind: bool = False
     counter_sample_size: Optional[int] = None
+    #: Spec-safe stream consumer names (``repro.stream`` registry);
+    #: their summaries land in the outcome's ``derived`` mapping.
+    consumers: Tuple[str, ...] = field(default=())
     #: Non-default UMIConfig fields, as a sorted ``(name, value)`` tuple.
     umi_overrides: Tuple[Tuple[str, Any], ...] = field(default=())
 
@@ -86,6 +104,8 @@ class RunSpec:
                 f"unknown mode {self.mode!r}; known: {SPEC_MODES}")
         object.__setattr__(
             self, "umi_overrides", _freeze_overrides(self.umi_overrides))
+        object.__setattr__(
+            self, "consumers", _freeze_consumers(self.consumers))
         if self.mode != "native" and self.counter_sample_size is not None:
             raise ValueError(
                 "counter_sample_size only applies to native runs")
@@ -137,12 +157,14 @@ class RunSpec:
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe representation (embedded in stored payloads)."""
         payload = dataclasses.asdict(self)
+        payload["consumers"] = list(self.consumers)
         payload["umi_overrides"] = [list(kv) for kv in self.umi_overrides]
         return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "RunSpec":
         payload = dict(payload)
+        payload["consumers"] = tuple(payload.get("consumers", ()))
         payload["umi_overrides"] = tuple(
             (k, v) for k, v in payload.get("umi_overrides", ()))
         return cls(**payload)
@@ -165,6 +187,7 @@ class RunSpec:
             bits.append("cg")
         if self.counter_sample_size is not None:
             bits.append(f"ctr={self.counter_sample_size}")
+        bits.extend(self.consumers)
         if self.config_digest:
             bits.append(f"cfg={self.config_digest}")
         return ":".join(bits)

@@ -94,11 +94,13 @@ class ResultCache:
     def spec_native(self, workload: str, machine: str = "pentium4",
                     hw_prefetch: bool = False,
                     with_cachegrind: bool = False,
-                    counter_sample_size: Optional[int] = None) -> RunSpec:
+                    counter_sample_size: Optional[int] = None,
+                    consumers: Sequence[str] = ()) -> RunSpec:
         return RunSpec.native(
             workload, self.scale, machine, self.machine_scale,
             hw_prefetch=hw_prefetch, with_cachegrind=with_cachegrind,
             counter_sample_size=counter_sample_size,
+            consumers=tuple(consumers),
         )
 
     def spec_dynamo(self, workload: str, machine: str = "pentium4",
@@ -111,11 +113,13 @@ class ResultCache:
     def spec_umi(self, workload: str, machine: str = "pentium4",
                  sampling: bool = True, sw_prefetch: bool = False,
                  hw_prefetch: bool = False, with_cachegrind: bool = False,
+                 consumers: Sequence[str] = (),
                  overrides: Optional[dict] = None) -> RunSpec:
         return RunSpec.umi(
             workload, self.scale, machine, self.machine_scale,
             sampling=sampling, sw_prefetch=sw_prefetch,
             hw_prefetch=hw_prefetch, with_cachegrind=with_cachegrind,
+            consumers=tuple(consumers),
             umi_overrides=tuple(sorted((overrides or {}).items())),
         )
 
@@ -134,11 +138,13 @@ class ResultCache:
     def native(self, workload: str, machine: str = "pentium4",
                hw_prefetch: bool = False,
                with_cachegrind: bool = False,
-               counter_sample_size: Optional[int] = None) -> RunOutcome:
+               counter_sample_size: Optional[int] = None,
+               consumers: Sequence[str] = ()) -> RunOutcome:
         return self.engine.run(self.spec_native(
             workload, machine, hw_prefetch=hw_prefetch,
             with_cachegrind=with_cachegrind,
             counter_sample_size=counter_sample_size,
+            consumers=consumers,
         ))
 
     def dynamo(self, workload: str, machine: str = "pentium4",
@@ -151,9 +157,10 @@ class ResultCache:
             sampling: bool = True, sw_prefetch: bool = False,
             hw_prefetch: bool = False,
             with_cachegrind: bool = False,
+            consumers: Sequence[str] = (),
             overrides: Optional[dict] = None) -> RunOutcome:
         return self.engine.run(self.spec_umi(
             workload, machine, sampling=sampling, sw_prefetch=sw_prefetch,
             hw_prefetch=hw_prefetch, with_cachegrind=with_cachegrind,
-            overrides=overrides,
+            consumers=consumers, overrides=overrides,
         ))

@@ -37,8 +37,11 @@ def required_runs(cache: ResultCache,
                   workloads: Optional[List[str]] = None) -> List[RunSpec]:
     """Every spec the Table 6 measurements consume."""
     names = workloads if workloads is not None else paper_suite_names()
+    # consumers matches Table 4's Pentium 4 spec exactly, so the two
+    # experiments keep sharing one run per workload (cross-table dedup).
     return [cache.spec_umi(name, machine="pentium4", sampling=True,
-                           with_cachegrind=True) for name in names]
+                           with_cachegrind=True,
+                           consumers=("shadow-hwpf",)) for name in names]
 
 
 @dataclass
@@ -68,7 +71,8 @@ def measure(scale: float = DEFAULT_SCALE,
     rows = []
     for name in names:
         outcome = cache.umi(name, machine="pentium4", sampling=True,
-                            with_cachegrind=True)
+                            with_cachegrind=True,
+                            consumers=("shadow-hwpf",))
         program = cache.program(name)
         cg = outcome.cachegrind
         pc_misses = cg.pc_load_misses()

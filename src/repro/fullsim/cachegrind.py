@@ -9,10 +9,12 @@ by instruction pc.
 
 It simulates no prefetching ("the UMI and Cachegrind miss ratios are
 unchanged since they ignore any prefetching side effects") and no timing.
-Attach :meth:`observe` as the interpreter's ``ref_observer`` to piggyback
-on another pass, or call :meth:`run` for a standalone simulation.
+The simulator is a :class:`repro.stream.RefConsumer`: attach it to a
+:class:`~repro.stream.RefStream` to piggyback on another pass, or call
+:meth:`run` for a standalone simulation.
 
-References are *batched*: :meth:`observe` only appends the reference's
+References are *batched* twice over: the stream already delivers
+``MemoryEvent`` batches, and :meth:`observe` only appends the reference's
 line cells to a buffer, and every ``BATCH_SIZE`` cells the buffer drains
 through :meth:`~repro.memory.cache.Cache.access_many` -- the whole D1
 stream in one kernel call, then the D1-miss subsequence through L2 with
@@ -31,6 +33,8 @@ from repro.isa import Program
 from repro.memory.cache import Cache, CacheConfig
 from repro.memory.flat import FlatMemory
 from repro.memory.hierarchy import MachineConfig
+from repro.stream.consumer import RefConsumer
+from repro.stream.events import KIND_IFETCH, KIND_WRITE
 
 #: Cachegrind's documented runtime cost relative to native execution
 #: ("It adds a runtime overhead between 20x-100x", Section 6.2).  Used by
@@ -54,7 +58,7 @@ class PCStats:
         return self.l2_misses / self.refs if self.refs else 0.0
 
 
-class CachegrindSimulator:
+class CachegrindSimulator(RefConsumer):
     """Full-trace D1/L2 simulation with per-pc accounting."""
 
     def __init__(self, machine: MachineConfig,
@@ -77,8 +81,19 @@ class CachegrindSimulator:
 
     # -- reference processing -------------------------------------------------
 
+    def on_refs(self, batch) -> None:
+        """Stream delivery: data references only (ifetch is invisible to
+        Cachegrind, which simulates D1/L2 data traffic)."""
+        observe = self.observe
+        for ev in batch:
+            if ev[3] != KIND_IFETCH:
+                observe(ev[0], ev[1], ev[3] == KIND_WRITE, ev[2])
+
+    def finish(self) -> None:
+        self._drain()
+
     def observe(self, pc: int, addr: int, is_write: bool, size: int) -> None:
-        """Process one data reference (interpreter ``ref_observer``)."""
+        """Process one data reference."""
         first_line = addr >> self._line_bits
         last_line = (addr + size - 1) >> self._line_bits
         tracked = self.track_stores or not is_write
@@ -161,14 +176,18 @@ class CachegrindSimulator:
 
     # -- standalone driving ------------------------------------------------------
 
-    def run(self, program: Program, max_steps: int = 500_000_000) -> None:
+    def run(self, program: Program,
+            max_steps: Optional[int] = None) -> None:
         """Simulate a whole program standalone (flat memory, no timing)."""
-        from repro.vm.interpreter import Interpreter
+        from repro.stream.hub import RefStream
+        from repro.vm.interpreter import DEFAULT_MAX_STEPS, Interpreter
 
-        interp = Interpreter(program, FlatMemory(latency=0),
-                             ref_observer=self.observe)
-        interp.run_native(max_steps=max_steps)
-        self._drain()
+        stream = RefStream()
+        stream.attach(self)
+        interp = Interpreter(program, FlatMemory(latency=0), stream=stream)
+        interp.run_native(
+            max_steps=DEFAULT_MAX_STEPS if max_steps is None else max_steps)
+        stream.finish()
 
     # -- results ---------------------------------------------------------------------
 

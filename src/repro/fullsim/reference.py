@@ -40,7 +40,7 @@ class ReferenceCachegrindSimulator:
         self._store_stats: Dict[int, PCStats] = {}
 
     def observe(self, pc: int, addr: int, is_write: bool, size: int) -> None:
-        """Process one data reference (interpreter ``ref_observer``)."""
+        """Process one data reference."""
         first_line = addr >> self._line_bits
         last_line = (addr + size - 1) >> self._line_bits
         tracked = self.track_stores or not is_write

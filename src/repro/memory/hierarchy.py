@@ -3,8 +3,10 @@
 A two-level (L1D + unified L2) hierarchy with a flat memory behind it.
 This stands in for the Pentium 4 / AMD K7 memory systems of the paper:
 the VM sends every data reference here, the returned latency feeds the
-cycle cost model, and the hardware performance counters
-(:mod:`repro.counters`) read this hierarchy's event stream.
+cycle cost model, and every demand line access is published on the
+hierarchy's :class:`~repro.stream.LineStream` -- the event plane the
+hardware performance counters (:mod:`repro.counters`) and the phase
+detector subscribe to.
 
 Software prefetch instructions (injected by the UMI online optimizer) and
 hardware prefetchers both fill the L2 with *timeliness* modelled through
@@ -14,15 +16,13 @@ per-line ``ready_at`` cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
+
+from repro.stream.hub import LineStream
 
 from .cache import Cache, CacheConfig, CacheStats
 from .policies import make_policy
 from .prefetch import HardwarePrefetcher
-
-#: Observers receive ``(pc, line_addr, is_write, l1_hit, l2_hit)`` for
-#: every demand line access.  Hardware counters subscribe here.
-AccessObserver = Callable[[int, int, bool, bool, bool], None]
 
 
 @dataclass(frozen=True)
@@ -91,7 +91,9 @@ class MemoryHierarchy:
         #: optional data TLB (see :mod:`repro.memory.tlb`); attach one
         #: to study translation overheads.  None by default.
         self.tlb = None
-        self.observers: List[AccessObserver] = []
+        #: demand line-access events (``LineEvent``) publish here; the
+        #: hardware counters and phase detector attach as consumers.
+        self.line_stream = LineStream()
         self._line_bits = config.l1.line_bits
         self._line_size = config.l1.line_size
         self.sw_prefetches_issued = 0
@@ -146,9 +148,9 @@ class MemoryHierarchy:
                 )
         else:
             latency += stall
-        if self.observers:
-            for observer in self.observers:
-                observer(pc, line_addr, is_write, l1_hit, l2_hit)
+        stream = self.line_stream
+        if stream.consumers:
+            stream.emit(pc, line_addr, is_write, l1_hit, l2_hit)
         return latency
 
     # -- instruction fetch path ------------------------------------------------

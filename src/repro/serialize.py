@@ -30,8 +30,9 @@ from repro.vm import RuntimeStats
 
 #: Bumped whenever the payload layout changes incompatibly.  Version 2
 #: added full runtime-stats blocks, per-pc Cachegrind load misses and
-#: the restore path.
-SCHEMA_VERSION = 2
+#: the restore path; version 3 added the fused-bundle ``derived``
+#: consumer summaries on run outcomes.
+SCHEMA_VERSION = 3
 
 
 # ---------------------------------------------------------------------------
@@ -173,6 +174,11 @@ def outcome_to_dict(outcome: RunOutcome) -> Dict[str, Any]:
         payload["runtime"] = _runtime_stats_to_dict(outcome.runtime_stats)
     if outcome.cachegrind is not None:
         payload["cachegrind"] = _cachegrind_to_dict(outcome.cachegrind)
+    if outcome.derived:
+        payload["derived"] = {
+            name: dict(summary)
+            for name, summary in sorted(outcome.derived.items())
+        }
     return payload
 
 
@@ -264,6 +270,8 @@ def outcome_from_dict(payload: Dict[str, Any]) -> RunOutcome:
         cachegrind=(_cachegrind_from_dict(payload["cachegrind"])
                     if "cachegrind" in payload else None),
         counter_interrupt_cycles=payload["counter_interrupt_cycles"],
+        derived={name: dict(summary)
+                 for name, summary in payload.get("derived", {}).items()},
     )
 
 

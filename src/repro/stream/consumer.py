@@ -1,0 +1,82 @@
+"""The consumer protocol of the reference-stream pipeline.
+
+A consumer receives *batches* of events (lists of
+:class:`~repro.stream.events.MemoryEvent` or
+:class:`~repro.stream.events.LineEvent`), never single callbacks -- the
+producer buffers and amortizes dispatch, so a consumer's per-batch cost
+is one method call plus its own loop.  The lifecycle is::
+
+    on_refs(batch)*  on_epoch(info)*  finish()
+
+``on_epoch`` marks analysis boundaries (UMI's analyzer invocations);
+``finish`` is called exactly once when the producing run completes, with
+all buffered events flushed first.  ``summary()`` returns a flat dict of
+JSON-safe scalars -- what a fused run records per consumer in
+``RunOutcome.derived``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .events import LineEvent, MemoryEvent
+
+
+class RefConsumer:
+    """Base class for raw-reference consumers.  Defaults do nothing."""
+
+    #: Set True to also receive instruction-fetch events (kind 2).
+    #: Producers skip ifetch emission entirely when no attached consumer
+    #: wants it, keeping the default data-only stream cheap.
+    wants_ifetch: bool = False
+
+    def on_refs(self, batch: List[MemoryEvent]) -> None:
+        """One batch of raw references, in program order."""
+
+    def on_epoch(self, info: Dict[str, Any]) -> None:
+        """An analysis epoch boundary (buffered events already flushed)."""
+
+    def finish(self) -> None:
+        """The producing run completed; flush any internal state."""
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat JSON-safe scalars describing what this consumer saw."""
+        return {}
+
+
+class LineConsumer:
+    """Base class for line-event consumers (the hierarchy's plane)."""
+
+    def on_lines(self, batch: List[LineEvent]) -> None:
+        """One batch of resolved demand line accesses, in order."""
+
+    def finish(self) -> None:
+        """The producing run completed."""
+
+    def summary(self) -> Dict[str, Any]:
+        return {}
+
+
+class NullRefConsumer(RefConsumer):
+    """A consumer that does nothing: the pipeline-overhead yardstick."""
+
+
+class CollectingRefConsumer(RefConsumer):
+    """Accumulates every event; test/debug helper, not for long runs."""
+
+    def __init__(self) -> None:
+        self.events: List[MemoryEvent] = []
+        self.epochs: List[Dict[str, Any]] = []
+        self.finished = False
+
+    def on_refs(self, batch: List[MemoryEvent]) -> None:
+        self.events.extend(batch)
+
+    def on_epoch(self, info: Dict[str, Any]) -> None:
+        self.epochs.append(dict(info))
+
+    def finish(self) -> None:
+        self.finished = True
+
+    def summary(self) -> Dict[str, Any]:
+        return {"events": len(self.events), "epochs": len(self.epochs)}

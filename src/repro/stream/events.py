@@ -1,0 +1,63 @@
+"""The canonical memory-event records of the reference-stream pipeline.
+
+Every producer (the interpreter, the runtime, the memory hierarchy)
+speaks one of two event vocabularies:
+
+* :class:`MemoryEvent` -- one raw reference as the program issued it
+  (byte address + size, before any cache geometry is applied).  The
+  ``kind`` encoding deliberately matches the din trace format
+  (:mod:`repro.vm.tracing`): 0 = read, 1 = write, 2 = ifetch, so a
+  stream can be written straight out as a din trace.
+* :class:`LineEvent` -- one demand *line* access as the modelled
+  hierarchy resolved it (post line-splitting, with hit/miss outcomes).
+  Hardware counters and phase detectors live on this plane.
+
+``cycle`` is the machine-state cycle count at the moment the reference
+was issued -- the exact ``now`` the producing hierarchy saw -- which is
+what lets a shadow hierarchy replay the stream bit-exactly (replacement
+stamps depend only on the *ordering* of access times, and the recorded
+cycles reproduce the producing run's stamps verbatim).
+
+``trace_id`` is ``None`` outside traces; inside a trace pass it is
+``"<head>@<entry>"`` -- the trace-cache head label plus the pass number
+-- unique per pass so consumers can group references into profile rows
+without extra markers.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+#: Event kinds, matching the din trace format's record types.
+KIND_READ = 0
+KIND_WRITE = 1
+KIND_IFETCH = 2
+
+
+class MemoryEvent(NamedTuple):
+    """One raw memory reference: ``(pc, addr, size, kind, cycle, trace_id)``."""
+
+    pc: int
+    addr: int
+    size: int
+    kind: int
+    cycle: int
+    trace_id: Optional[str]
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == KIND_WRITE
+
+    @property
+    def is_ifetch(self) -> bool:
+        return self.kind == KIND_IFETCH
+
+
+class LineEvent(NamedTuple):
+    """One demand line access: ``(pc, line_addr, is_write, l1_hit, l2_hit)``."""
+
+    pc: int
+    line_addr: int
+    is_write: bool
+    l1_hit: bool
+    l2_hit: bool

@@ -1,0 +1,127 @@
+"""Stream hubs: the producer-side buffers of the pipeline.
+
+A :class:`RefStream` sits between the interpreter and any number of
+:class:`~repro.stream.consumer.RefConsumer` instances; a
+:class:`LineStream` does the same between the memory hierarchy and
+:class:`~repro.stream.consumer.LineConsumer` instances.  Both buffer
+events and deliver them in batches of :data:`BATCH_SIZE`, so the
+per-event producer cost is one bound-method call plus a list append --
+the property the pipeline-overhead regression test pins.
+
+Producers check ``stream.consumers`` (a plain list) before emitting, so
+a stream with no consumers costs a single truthiness test per event
+site, same as the ad-hoc observer lists it replaced.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .consumer import LineConsumer, RefConsumer
+from .events import LineEvent, MemoryEvent
+
+#: Buffered events between batch deliveries.
+BATCH_SIZE = 4096
+
+
+class RefStream:
+    """Batched fan-out of raw :class:`MemoryEvent` records."""
+
+    def __init__(self, batch_size: int = BATCH_SIZE) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
+        self.consumers: List[RefConsumer] = []
+        #: Current trace pass label (``"<head>@<entry>"``) or ``None``;
+        #: the runtime stamps it around trace execution.
+        self.trace_id: Optional[str] = None
+        #: True when any attached consumer wants ifetch events.
+        self.wants_ifetch = False
+        self._buf: List[MemoryEvent] = []
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, consumer: RefConsumer) -> RefConsumer:
+        self.consumers.append(consumer)
+        if getattr(consumer, "wants_ifetch", False):
+            self.wants_ifetch = True
+        return consumer
+
+    def detach(self, consumer: RefConsumer) -> None:
+        self.drain()
+        self.consumers.remove(consumer)
+        self.wants_ifetch = any(
+            getattr(c, "wants_ifetch", False) for c in self.consumers)
+
+    # -- producing ---------------------------------------------------------
+
+    def emit(self, pc: int, addr: int, size: int, kind: int,
+             cycle: int) -> None:
+        """Append one event; delivers a batch when the buffer fills."""
+        buf = self._buf
+        buf.append(MemoryEvent(pc, addr, size, kind, cycle, self.trace_id))
+        if len(buf) >= self.batch_size:
+            self.drain()
+
+    def drain(self) -> None:
+        """Deliver all buffered events to every consumer, in order."""
+        buf = self._buf
+        if not buf:
+            return
+        batch = buf[:]
+        del buf[:]
+        for consumer in self.consumers:
+            consumer.on_refs(batch)
+
+    def epoch(self, info: Optional[Dict[str, Any]] = None) -> None:
+        """Flush, then signal an analysis epoch to every consumer."""
+        self.drain()
+        info = info if info is not None else {}
+        for consumer in self.consumers:
+            consumer.on_epoch(info)
+
+    def finish(self) -> None:
+        """Flush and close the stream (call once, at run end)."""
+        self.drain()
+        for consumer in self.consumers:
+            consumer.finish()
+
+
+class LineStream:
+    """Batched fan-out of resolved :class:`LineEvent` records."""
+
+    def __init__(self, batch_size: int = BATCH_SIZE) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
+        self.consumers: List[LineConsumer] = []
+        self._buf: List[LineEvent] = []
+
+    def attach(self, consumer: LineConsumer) -> LineConsumer:
+        self.consumers.append(consumer)
+        return consumer
+
+    def detach(self, consumer: LineConsumer) -> None:
+        self.drain()
+        self.consumers.remove(consumer)
+
+    def emit(self, pc: int, line_addr: int, is_write: bool,
+             l1_hit: bool, l2_hit: bool) -> None:
+        buf = self._buf
+        buf.append(LineEvent(pc, line_addr, is_write, l1_hit, l2_hit))
+        if len(buf) >= self.batch_size:
+            self.drain()
+
+    def drain(self) -> None:
+        buf = self._buf
+        if not buf:
+            return
+        batch = buf[:]
+        del buf[:]
+        for consumer in self.consumers:
+            consumer.on_lines(batch)
+
+    def finish(self) -> None:
+        self.drain()
+        for consumer in self.consumers:
+            consumer.finish()

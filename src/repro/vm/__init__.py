@@ -6,14 +6,16 @@ cache UMI piggybacks on.
 """
 
 from .cost_model import DEFAULT_COST_MODEL, CostModel
-from .interpreter import ExecutionLimitExceeded, Interpreter
+from .interpreter import (
+    DEFAULT_MAX_STEPS, ExecutionLimitExceeded, Interpreter,
+)
 from .runtime import DynamoSim, RuntimeConfig, RuntimeHooks, RuntimeStats
 from .state import MachineState
 from .trace import Trace
 from .trace_builder import TraceBuilder
 
 __all__ = [
-    "CostModel", "DEFAULT_COST_MODEL",
+    "CostModel", "DEFAULT_COST_MODEL", "DEFAULT_MAX_STEPS",
     "Interpreter", "ExecutionLimitExceeded",
     "MachineState",
     "DynamoSim", "RuntimeConfig", "RuntimeHooks", "RuntimeStats",

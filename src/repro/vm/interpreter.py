@@ -2,8 +2,10 @@
 
 Executes one basic block at a time against a :class:`MachineState`,
 sending every data reference to the memory hierarchy (which returns its
-latency) and optionally to a raw reference observer (used by the
-Cachegrind-style full simulator).
+latency) and optionally emitting it into a batched
+:class:`repro.stream.RefStream` -- the canonical reference stream every
+other analysis (Cachegrind, trace recording, shadow hierarchies...)
+consumes.
 
 The interpreter also carries the *instrumentation context* used when a
 UMI-instrumented trace is executing: ``profile_cols`` maps instrumented
@@ -23,7 +25,7 @@ loop replays without per-block lookups.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.isa import Program
 from repro.isa.instructions import (
@@ -38,8 +40,10 @@ from .state import MachineState
 
 _U64_MASK = (1 << 64) - 1
 
-#: Raw reference observer signature: ``(pc, addr, is_write, size)``.
-RefObserver = Callable[[int, int, bool, int], None]
+#: The single source of truth for the dynamic-instruction budget; every
+#: execution mode (native, dynamo/umi via ``RuntimeConfig``, Cachegrind,
+#: tracing) defaults to this limit.
+DEFAULT_MAX_STEPS = 500_000_000
 
 #: Indirect terminators end DynamoRIO-style traces and pay the indirect
 #: branch lookup cost in the runtime.
@@ -58,14 +62,16 @@ class Interpreter:
         program: Program,
         memsys,
         cost_model: CostModel = DEFAULT_COST_MODEL,
-        ref_observer: Optional[RefObserver] = None,
+        stream=None,
     ) -> None:
         if not program.finalized:
             raise ValueError("program must be finalized")
         self.program = program
         self.memsys = memsys
         self.cost_model = cost_model
-        self.ref_observer = ref_observer
+        #: optional :class:`repro.stream.RefStream` receiving every raw
+        #: reference (batched); ``None`` keeps the hot path bare.
+        self.stream = stream
         self.state = MachineState(program)
         # Instrumentation context (managed by the UMI runtime).
         self.profile_cols: Optional[Dict[int, int]] = None
@@ -189,7 +195,8 @@ class Interpreter:
         memory = state.memory
         memsys = self.memsys
         access = memsys.access
-        observer = self.ref_observer
+        stream = self.stream
+        emit = stream.emit if stream is not None else None
         profile_cols = self.profile_cols
         profile_row = self.profile_row
         prefetch_map = self.prefetch_map
@@ -201,6 +208,9 @@ class Interpreter:
 
         ops, lines = entry
         if lines is not None:
+            if emit is not None and stream.wants_ifetch:
+                for line_addr in lines:
+                    emit(0, line_addr << 6, 64, 2, cycles)
             cycles += memsys.fetch(lines, cycles)
 
         for t in ops:
@@ -217,10 +227,12 @@ class Interpreter:
                 if index is not None:
                     addr += regs[index] * t[7]
                 pc = t[2]
+                if emit is not None:
+                    # Pre-access cycle count: the exact `now` the
+                    # hierarchy sees, so consumers can replay exactly.
+                    emit(pc, addr, t[4], 0, cycles)
                 cycles += access(pc, addr, False, t[4], cycles)
                 regs[t[3]] = memory.get(addr, 0)
-                if observer is not None:
-                    observer(pc, addr, False, t[4])
                 if profile_cols is not None:
                     col = profile_cols.get(pc)
                     if col is not None:
@@ -242,11 +254,11 @@ class Interpreter:
                 if index is not None:
                     addr += regs[index] * t[8]
                 pc = t[2]
+                if emit is not None:
+                    emit(pc, addr, t[5], 1, cycles)
                 cycles += access(pc, addr, True, t[5], cycles)
                 src = t[3]
                 memory[addr] = regs[src] if src is not None else t[4]
-                if observer is not None:
-                    observer(pc, addr, True, t[5])
                 if profile_cols is not None:
                     col = profile_cols.get(pc)
                     if col is not None:
@@ -340,10 +352,10 @@ class Interpreter:
                 regs[ESP] -= 8
                 addr = regs[ESP]
                 pc = t[2]
+                if emit is not None:
+                    emit(pc, addr, 8, 1, cycles)
                 cycles += access(pc, addr, True, 8, cycles)
                 memory[addr] = 0
-                if observer is not None:
-                    observer(pc, addr, True, 8)
                 state.call_stack.append(t[4])
                 next_label = t[3]
                 break
@@ -351,10 +363,10 @@ class Interpreter:
             if op == RET:
                 addr = regs[ESP]
                 pc = t[2]
+                if emit is not None:
+                    emit(pc, addr, 8, 0, cycles)
                 cycles += access(pc, addr, False, 8, cycles)
                 regs[ESP] += 8
-                if observer is not None:
-                    observer(pc, addr, False, 8)
                 if state.call_stack:
                     next_label = state.call_stack.pop()
                 else:
@@ -378,7 +390,7 @@ class Interpreter:
         self.last_terminator_op = op
         return next_label
 
-    def run_native(self, max_steps: int = 500_000_000) -> MachineState:
+    def run_native(self, max_steps: int = DEFAULT_MAX_STEPS) -> MachineState:
         """Run the whole program natively (no runtime system overhead)."""
         label: Optional[str] = self.program.entry
         state = self.state

@@ -22,7 +22,9 @@ from repro.isa.instructions import RET, SWITCH
 from repro.telemetry import get_telemetry
 
 from .cost_model import DEFAULT_COST_MODEL, CostModel
-from .interpreter import ExecutionLimitExceeded, Interpreter
+from .interpreter import (
+    DEFAULT_MAX_STEPS, ExecutionLimitExceeded, Interpreter,
+)
 from .trace import Trace
 from .trace_builder import TraceBuilder
 
@@ -56,7 +58,7 @@ class RuntimeConfig:
     enable_traces: bool = True
     #: PC-sampling period in cycles; ``None`` disables the timer.
     sample_period: Optional[int] = None
-    max_steps: int = 500_000_000
+    max_steps: int = DEFAULT_MAX_STEPS
 
     def __post_init__(self) -> None:
         if self.hot_threshold < 1:
@@ -102,14 +104,14 @@ class DynamoSim:
         config: Optional[RuntimeConfig] = None,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         hooks: Optional[RuntimeHooks] = None,
-        ref_observer=None,
+        stream=None,
     ) -> None:
         self.program = program
         self.config = config if config is not None else RuntimeConfig()
         self.cost_model = cost_model
         self.hooks = hooks if hooks is not None else RuntimeHooks()
         self.interp = Interpreter(program, memsys, cost_model,
-                                  ref_observer=ref_observer)
+                                  stream=stream)
         self.builder = TraceBuilder(
             program,
             hot_threshold=self.config.hot_threshold,
@@ -249,6 +251,11 @@ class DynamoSim:
         self.stats.trace_entries += 1
         steps_before = state.steps
 
+        stream = interp.stream
+        if stream is not None:
+            # Unique per pass, so stream consumers can group references
+            # into profile rows without extra boundary markers.
+            stream.trace_id = f"{trace.head}@{trace.entries}"
         self.hooks.trace_entered(trace)
         if trace.prefetch_map:
             interp.prefetch_map = trace.prefetch_map
@@ -274,6 +281,8 @@ class DynamoSim:
             break
 
         interp.prefetch_map = None
+        if stream is not None:
+            stream.trace_id = None
         self.hooks.trace_exited(trace)
         self.stats.steps_in_traces += state.steps - steps_before
         return exit_label

@@ -7,8 +7,9 @@ cache simulators (Dinero, and Cachegrind's tooling lineage) consume::
 
     <type> <hex address>      # type: 0 = read, 1 = write, 2 = ifetch
 
-Attach a :class:`MemoryTraceRecorder` as an interpreter ``ref_observer``
-or use :func:`trace_program` for a one-call capture.
+Attach a :class:`MemoryTraceRecorder` to an interpreter's
+:class:`~repro.stream.RefStream` or use :func:`trace_program` for a
+one-call capture.
 """
 
 from __future__ import annotations
@@ -18,13 +19,15 @@ from typing import IO, Iterable, List, Optional, Tuple, Union
 
 from repro.isa import Program
 from repro.memory.flat import FlatMemory
+from repro.stream.consumer import RefConsumer
+from repro.stream.events import KIND_IFETCH, KIND_WRITE
 
 DIN_READ = 0
 DIN_WRITE = 1
 DIN_IFETCH = 2
 
 
-class MemoryTraceRecorder:
+class MemoryTraceRecorder(RefConsumer):
     """Records ``(pc, addr, is_write, size)`` references as they happen.
 
     ``limit`` caps memory use on long runs; when reached, further
@@ -38,12 +41,22 @@ class MemoryTraceRecorder:
         self.records: List[Tuple[int, int, bool, int]] = []
         self.dropped = 0
 
+    def on_refs(self, batch) -> None:
+        """Stream delivery; records data references only."""
+        record = self
+        for ev in batch:
+            if ev[3] != KIND_IFETCH:
+                record(ev[0], ev[1], ev[3] == KIND_WRITE, ev[2])
+
     def __call__(self, pc: int, addr: int, is_write: bool,
                  size: int) -> None:
         if self.limit is not None and len(self.records) >= self.limit:
             self.dropped += 1
             return
         self.records.append((pc, addr, is_write, size))
+
+    def summary(self):
+        return {"records": len(self.records), "dropped": self.dropped}
 
     # -- queries -----------------------------------------------------------
 
@@ -106,12 +119,15 @@ def trace_program(program: Program, max_steps: int = 50_000_000,
                   memory_limit: Optional[int] = 1_000_000,
                   ) -> Tuple[MemoryTraceRecorder, BlockTraceRecorder]:
     """Execute a program natively and capture both trace kinds."""
+    from repro.stream.hub import RefStream
+
     from .interpreter import Interpreter
 
     mem_trace = MemoryTraceRecorder(limit=memory_limit)
     block_trace = BlockTraceRecorder(limit=memory_limit)
-    interp = Interpreter(program, FlatMemory(latency=0),
-                         ref_observer=mem_trace)
+    stream = RefStream()
+    stream.attach(mem_trace)
+    interp = Interpreter(program, FlatMemory(latency=0), stream=stream)
 
     label = program.entry
     while label is not None:
@@ -119,6 +135,7 @@ def trace_program(program: Program, max_steps: int = 50_000_000,
         label = interp.execute_block(label)
         if interp.state.steps > max_steps:
             raise RuntimeError("trace capture exceeded max_steps")
+    stream.finish()
     return mem_trace, block_trace
 
 

@@ -70,6 +70,7 @@ class TestHardwareCounters:
             hier.access(1, 0x1000 + i * 64, False)
         for i in range(16):  # re-touch a window that still fits L2
             hier.access(1, 0x1000 + i * 64, False)
+        hw.detach(hier)  # flush the buffered line events
         snap = hier.counters_snapshot()
         assert hw.counters["l2_ref"].count == snap["l2_refs"]
         assert hw.counters["l2_miss"].count == snap["l2_misses"]
@@ -83,6 +84,7 @@ class TestHardwareCounters:
         hw.attach(hier)
         for i in range(64):
             hier.access(1, 0x1000 + i * 64, False)
+        hier.line_stream.drain()
         assert hw.l2_miss_ratio() == hier.l2_miss_ratio()
 
     def test_ratio_zero_without_events(self):

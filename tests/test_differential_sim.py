@@ -24,6 +24,7 @@ from repro.memory import get_machine
 from repro.memory.flat import FlatMemory
 from repro.runners import run_mode
 from repro.stats.correlation import pearson
+from repro.stream import KIND_IFETCH, KIND_WRITE, RefConsumer, RefStream
 from repro.vm.interpreter import Interpreter
 from repro.workloads import get_workload
 
@@ -36,11 +37,30 @@ def build(name):
     return get_workload(name).build(SCALE)
 
 
+class ObserveTap(RefConsumer):
+    """Adapts the reference simulator's plain ``observe`` method.
+
+    The reference loop is deliberately frozen pre-pipeline code, so it
+    is not a :class:`RefConsumer` itself.
+    """
+
+    def __init__(self, observe):
+        self._observe = observe
+
+    def on_refs(self, batch):
+        for ev in batch:
+            if ev.kind != KIND_IFETCH:
+                self._observe(ev.pc, ev.addr, ev.kind == KIND_WRITE,
+                              ev.size)
+
+
 def run_reference_cachegrind(program):
     sim = ReferenceCachegrindSimulator(MACHINE)
-    interp = Interpreter(program, FlatMemory(latency=0),
-                         ref_observer=sim.observe)
+    stream = RefStream()
+    stream.attach(ObserveTap(sim.observe))
+    interp = Interpreter(program, FlatMemory(latency=0), stream=stream)
     interp.run_native()
+    stream.finish()
     return sim
 
 
@@ -75,9 +95,12 @@ def test_mini_counts_bounded_by_fullsim(workload):
 
     program = build(workload)
     cachegrind = CachegrindSimulator(MACHINE)
+    stream = RefStream()
+    stream.attach(cachegrind)
     runtime = UMIRuntime(program, MACHINE, config=UMIConfig(),
-                         ref_observer=cachegrind.observe)
+                         stream=stream)
     runtime.run()
+    stream.finish()
     full_refs = {pc: s.refs for pc, s in cachegrind.load_stats.items()}
     full_refs_stores = {
         pc: s.refs for pc, s in cachegrind.store_stats.items()}

@@ -48,16 +48,21 @@ class TestCachegrindSimulator:
         chase_pc = max(pc_misses, key=pc_misses.get)
         assert pc_misses[chase_pc] >= 0.9 * sum(pc_misses.values())
 
-    def test_observer_matches_standalone(self):
+    def test_stream_consumer_matches_standalone(self):
         """Piggybacking on a timed run gives identical statistics."""
+        from repro.stream import RefStream
+
         program, _ = build_stream_program(n=256, reps=2)
         standalone = CachegrindSimulator(tiny_machine())
         standalone.run(program)
 
         piggyback = CachegrindSimulator(tiny_machine())
+        stream = RefStream()
+        stream.attach(piggyback)
         interp = Interpreter(program, MemoryHierarchy(tiny_machine()),
-                             ref_observer=piggyback.observe)
+                             stream=stream)
         interp.run_native()
+        stream.finish()
         assert piggyback.summary() == standalone.summary()
         assert piggyback.pc_load_misses() == standalone.pc_load_misses()
 

@@ -58,15 +58,24 @@ class TestHierarchyAccess:
         assert hier.l2_miss_ratio() == 1.0  # all compulsory
         assert hier.l1_miss_ratio() == 1.0
 
-    def test_observer_sees_hits_and_misses(self):
-        events = []
+    def test_line_stream_sees_hits_and_misses(self):
+        from repro.stream import LineConsumer
+
+        class Collector(LineConsumer):
+            def __init__(self):
+                self.events = []
+
+            def on_lines(self, batch):
+                self.events.extend((ev.l1_hit, ev.l2_hit) for ev in batch)
+
+        collector = Collector()
         hier = tiny()
-        hier.observers.append(
-            lambda pc, line, w, l1, l2: events.append((l1, l2)))
+        hier.line_stream.attach(collector)
         hier.access(1, 0x1000, False)
         hier.access(1, 0x1000, False)
-        assert events[0] == (False, False)
-        assert events[1] == (True, True)
+        hier.line_stream.drain()
+        assert collector.events[0] == (False, False)
+        assert collector.events[1] == (True, True)
 
     def test_per_pc_tracking(self):
         hier = tiny()

@@ -155,3 +155,34 @@ class TestDumpAndLoad:
         bad = json.dumps({"schema_version": SCHEMA_VERSION + 1})
         with pytest.raises(ValueError):
             loads(bad)
+
+    def test_loads_rejects_prefusion_schema(self):
+        # Version 3 added the fused-bundle `derived` block; results
+        # stored by older code must not be admitted silently.
+        assert SCHEMA_VERSION >= 3
+        stale = json.dumps({"schema_version": 2, "kind": "run_outcome"})
+        with pytest.raises(ValueError):
+            loads(stale)
+
+
+class TestDerivedSerialization:
+    """The fused-bundle `derived` block (schema version 3)."""
+
+    def outcome(self):
+        program, _ = build_chase_program(n=64, reps=4)
+        return run_native(program, MACHINE,
+                          consumers=("shadow-hwpf", "tlb"))
+
+    def test_derived_round_trips_exactly(self):
+        payload = outcome_to_dict(self.outcome())
+        assert set(payload["derived"]) == {"shadow-hwpf", "tlb"}
+        reloaded = json.loads(json.dumps(payload))
+        restored = outcome_from_dict(reloaded)
+        assert outcome_to_dict(restored) == payload
+        assert restored.derived == payload["derived"]
+
+    def test_empty_derived_is_omitted(self):
+        program, _ = build_chase_program(n=32, reps=2)
+        payload = outcome_to_dict(run_native(program, MACHINE))
+        assert "derived" not in payload
+        assert outcome_from_dict(payload).derived == {}

@@ -1,0 +1,318 @@
+"""Tests for the reference-stream pipeline: hubs, registry, consumers.
+
+Covers the producer-side mechanics (batching, epochs, lifecycle,
+ifetch gating, trace-id stamping), the plugin registry, the built-in
+consumers' equivalence guarantees (a shadow hierarchy replaying the
+stream matches a real run bit-exactly), and the pipeline-overhead
+regression guard (satellite S3).
+"""
+
+import io
+import time
+
+import pytest
+
+from repro.memory import MemoryHierarchy, get_machine
+from repro.memory.flat import FlatMemory
+from repro.runners import run_native
+from repro.stream import (
+    BATCH_SIZE, KIND_IFETCH, KIND_READ, KIND_WRITE, BuildContext,
+    CollectingRefConsumer, ConsumerRegistry, LineConsumer, MemoryEvent,
+    NullRefConsumer, RefConsumer, RefStream, LineStream, consumer_names,
+    create_consumer, spec_safe_consumer_names,
+)
+from repro.stream.consumers import DinTraceWriter
+from repro.vm import Interpreter
+from repro.workloads import get_workload
+
+from helpers import build_stream_program
+
+
+class TestRefStream:
+    def test_buffers_until_batch_size(self):
+        collector = CollectingRefConsumer()
+        stream = RefStream(batch_size=4)
+        stream.attach(collector)
+        for i in range(3):
+            stream.emit(1, i * 8, 8, KIND_READ, i)
+        assert collector.events == []  # still buffered
+        stream.emit(1, 24, 8, KIND_READ, 3)
+        assert len(collector.events) == 4
+
+    def test_drain_flushes_partial_batch(self):
+        collector = CollectingRefConsumer()
+        stream = RefStream()
+        stream.attach(collector)
+        stream.emit(7, 0x100, 8, KIND_WRITE, 42)
+        stream.drain()
+        assert collector.events == [
+            MemoryEvent(7, 0x100, 8, KIND_WRITE, 42, None)]
+
+    def test_events_arrive_in_program_order(self):
+        collector = CollectingRefConsumer()
+        stream = RefStream(batch_size=2)
+        stream.attach(collector)
+        for i in range(7):
+            stream.emit(i, i, 8, KIND_READ, i)
+        stream.finish()
+        assert [ev.pc for ev in collector.events] == list(range(7))
+
+    def test_epoch_flushes_then_signals(self):
+        collector = CollectingRefConsumer()
+        stream = RefStream()
+        stream.attach(collector)
+        stream.emit(1, 0, 8, KIND_READ, 0)
+        stream.epoch({"kind": "analyzer"})
+        assert len(collector.events) == 1
+        assert collector.epochs == [{"kind": "analyzer"}]
+
+    def test_finish_flushes_and_closes(self):
+        collector = CollectingRefConsumer()
+        stream = RefStream()
+        stream.attach(collector)
+        stream.emit(1, 0, 8, KIND_READ, 0)
+        stream.finish()
+        assert len(collector.events) == 1
+        assert collector.finished
+
+    def test_detach_drains_first(self):
+        collector = CollectingRefConsumer()
+        stream = RefStream()
+        stream.attach(collector)
+        stream.emit(1, 0, 8, KIND_READ, 0)
+        stream.detach(collector)
+        assert len(collector.events) == 1
+        stream.emit(1, 8, 8, KIND_READ, 1)
+        stream.drain()
+        assert len(collector.events) == 1  # no longer attached
+
+    def test_wants_ifetch_tracks_attachments(self):
+        class Hungry(RefConsumer):
+            wants_ifetch = True
+
+        stream = RefStream()
+        assert stream.wants_ifetch is False
+        stream.attach(NullRefConsumer())
+        assert stream.wants_ifetch is False
+        hungry = stream.attach(Hungry())
+        assert stream.wants_ifetch is True
+        stream.detach(hungry)
+        assert stream.wants_ifetch is False
+
+    def test_trace_id_stamped_on_events(self):
+        collector = CollectingRefConsumer()
+        stream = RefStream()
+        stream.attach(collector)
+        stream.emit(1, 0, 8, KIND_READ, 0)
+        stream.trace_id = "0x10@5"
+        stream.emit(1, 8, 8, KIND_READ, 1)
+        stream.trace_id = None
+        stream.emit(1, 16, 8, KIND_READ, 2)
+        stream.drain()
+        assert [ev.trace_id for ev in collector.events] \
+            == [None, "0x10@5", None]
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            RefStream(batch_size=0)
+        with pytest.raises(ValueError):
+            LineStream(batch_size=0)
+
+    def test_default_batch_size(self):
+        assert RefStream().batch_size == BATCH_SIZE
+
+
+class TestInterpreterProduction:
+    def test_ifetch_emitted_only_on_demand(self, tiny_machine_with_icache):
+        program, _ = build_stream_program(n=16, reps=1)
+
+        def run(consumer):
+            stream = RefStream()
+            stream.attach(consumer)
+            hier = MemoryHierarchy(tiny_machine_with_icache)
+            Interpreter(program, hier, stream=stream).run_native()
+            stream.finish()
+            return consumer.events
+
+        plain = run(CollectingRefConsumer())
+        assert all(ev.kind != KIND_IFETCH for ev in plain)
+
+        class HungryCollector(CollectingRefConsumer):
+            wants_ifetch = True
+
+        with_ifetch = run(HungryCollector())
+        ifetches = [ev for ev in with_ifetch if ev.kind == KIND_IFETCH]
+        assert ifetches
+        assert all(ev.pc == 0 and ev.size == 64 for ev in ifetches)
+        # The data-reference substream is identical either way.
+        data = [ev for ev in with_ifetch if ev.kind != KIND_IFETCH]
+        assert data == plain
+
+    def test_trace_ids_stamped_by_runtime(self):
+        from repro.vm import DynamoSim
+
+        program, _ = build_stream_program(n=64, reps=8)
+        collector = CollectingRefConsumer()
+        stream = RefStream()
+        stream.attach(collector)
+        sim = DynamoSim(program, FlatMemory(), stream=stream)
+        sim.run()
+        stream.finish()
+        tids = {ev.trace_id for ev in collector.events
+                if ev.trace_id is not None}
+        assert tids, "trace-cache hits never stamped a trace id"
+        assert all("@" in tid for tid in tids)
+
+    def test_null_consumer_does_not_change_timing(self):
+        program, _ = build_stream_program(n=128, reps=2)
+        machine = get_machine("pentium4", scale=16)
+        bare = run_native(program, machine)
+        piped = run_native(program, machine, consumers=("shadow-nopf",))
+        assert piped.cycles == bare.cycles
+        assert piped.steps == bare.steps
+
+
+class TestRegistry:
+    def test_builtin_names(self):
+        assert consumer_names() == (
+            "din-writer", "phase", "profile-recorder", "shadow-hwpf",
+            "shadow-nopf", "tlb",
+        )
+
+    def test_spec_safe_excludes_din_writer(self):
+        safe = spec_safe_consumer_names()
+        assert "din-writer" not in safe
+        assert set(safe) <= set(consumer_names())
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown consumer"):
+            create_consumer("no-such-backend")
+
+    def test_duplicate_registration_rejected(self):
+        registry = ConsumerRegistry()
+
+        @registry.register("thing", plane="refs")
+        def build(context):
+            return NullRefConsumer()
+
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("thing", plane="refs")(build)
+
+    def test_unknown_plane_rejected(self):
+        with pytest.raises(ValueError, match="unknown plane"):
+            ConsumerRegistry().register("x", plane="bytes")
+
+    def test_create_returns_entry_and_consumer(self):
+        machine = get_machine("pentium4", scale=16)
+        entry, consumer = create_consumer(
+            "shadow-hwpf", BuildContext(machine=machine))
+        assert entry.plane == "refs"
+        assert entry.spec_safe
+        assert consumer.machine is machine
+        assert consumer.hw_prefetch
+
+    def test_options_reach_the_factory(self):
+        _, tlb = create_consumer(
+            "tlb", BuildContext(options={"tlb_entries": 8}))
+        assert tlb.tlb.entries == 8
+
+
+class TestBuiltinConsumers:
+    def test_shadow_replay_matches_real_run(self):
+        """The core fusion guarantee: a shadow hierarchy fed the event
+        stream of a non-prefetching run reproduces a real prefetching
+        run of the same machine bit-exactly."""
+        program = get_workload("mst").build(0.05)
+        machine = get_machine("pentium4", scale=16)
+
+        fused = run_native(program, machine, consumers=("shadow-hwpf",))
+        real = run_native(program, machine, hw_prefetch=True)
+
+        shadow = fused.derived["shadow-hwpf"]
+        assert shadow["l2_miss_ratio"] == real.hw_l2_miss_ratio
+        # The hierarchy snapshot keys are embedded in the summary.
+        for key, count in real.hw_counters.items():
+            assert shadow[key] == count, key
+
+    def test_shadow_nopf_equals_main_hierarchy(self):
+        program, _ = build_stream_program(n=512, reps=2)
+        machine = get_machine("pentium4", scale=16)
+        out = run_native(program, machine, consumers=("shadow-nopf",))
+        assert out.derived["shadow-nopf"]["l2_miss_ratio"] \
+            == out.hw_l2_miss_ratio
+
+    def test_tlb_counts_data_refs(self):
+        program, _ = build_stream_program(n=64, reps=1)
+        machine = get_machine("pentium4", scale=16)
+        out = run_native(program, machine, consumers=("tlb",))
+        tlb = out.derived["tlb"]
+        assert tlb["lookups"] >= 64
+        assert 0.0 <= tlb["miss_ratio"] <= 1.0
+
+    def test_phase_consumer_observes_windows(self):
+        program, _ = build_stream_program(n=2048, reps=4)
+        machine = get_machine("pentium4", scale=16)
+        out = run_native(program, machine, consumers=("phase",))
+        phase = out.derived["phase"]
+        assert phase["observations"] >= 1
+        assert phase["phases"] >= 1
+
+    def test_din_writer_round_trips_through_replay(self):
+        from repro.vm.tracing import replay_din
+
+        program, _ = build_stream_program(n=32, reps=1)
+        collector = CollectingRefConsumer()
+        sink = io.StringIO()
+        stream = RefStream()
+        stream.attach(collector)
+        stream.attach(DinTraceWriter(sink))
+        Interpreter(program, FlatMemory(), stream=stream).run_native()
+        stream.finish()
+        refs = list(replay_din(sink.getvalue().splitlines()))
+        data = [ev for ev in collector.events if ev.kind != KIND_IFETCH]
+        assert refs == [(ev.kind == KIND_WRITE, ev.addr) for ev in data]
+
+    def test_profile_recorder_groups_by_trace(self):
+        from repro.stream.consumers import ProfileRecorderConsumer
+
+        rec = ProfileRecorderConsumer(max_ops=4, max_rows=8)
+        batch = [
+            MemoryEvent(0x10, 0x1000, 8, KIND_READ, 0, "0x10@3"),
+            MemoryEvent(0x18, 0x2000, 8, KIND_READ, 1, "0x10@3"),
+            MemoryEvent(0x10, 0x1040, 8, KIND_READ, 2, "0x10@3"),
+        ]
+        rec.on_refs(batch)
+        rec.finish()
+        assert rec.summary() == {"traces": 1, "rows": 1}
+        profile = rec.profiles["0x10"]
+        assert profile.op_pcs == (0x10, 0x18)
+
+
+class TestPipelineOverhead:
+    """Satellite S3: the no-op pipeline must stay effectively free."""
+
+    N = 100_000
+    BUDGET = 5e-6  # seconds per emitted event, mirroring telemetry's guard
+
+    def test_noop_consumer_emit_cost(self):
+        stream = RefStream()
+        stream.attach(NullRefConsumer())
+        emit = stream.emit
+        n = self.N
+        start = time.perf_counter()
+        for i in range(n):
+            emit(1, i << 3, 8, KIND_READ, i)
+        stream.finish()
+        elapsed = time.perf_counter() - start
+        assert elapsed / n < self.BUDGET, \
+            f"{elapsed / n * 1e9:.0f}ns per event through a no-op consumer"
+
+    def test_consumerless_hierarchy_line_cost(self):
+        machine = get_machine("pentium4", scale=16)
+        hier = MemoryHierarchy(machine)
+        n = self.N
+        start = time.perf_counter()
+        for i in range(n):
+            hier.access(1, (i & 0xFFF) << 6, False)
+        elapsed = time.perf_counter() - start
+        assert elapsed / n < self.BUDGET

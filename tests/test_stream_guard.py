@@ -1,0 +1,44 @@
+"""Satellite S6: no module may grow private memory-ref plumbing again.
+
+The reference-stream pipeline (``repro.stream``) is the only place
+memory-event fan-out may live.  This guard greps the source tree for
+the idioms the refactor deleted -- ad-hoc observer callbacks and
+observer lists -- so a regression shows up as a named file/line, not as
+silently duplicated plumbing.
+"""
+
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Idioms of the pre-pipeline plumbing.  Kept as literal substrings so
+#: the failure message points at the exact offending line.
+FORBIDDEN = ("ref_observer", "RefObserver", "AccessObserver", ".observers")
+
+#: The pipeline package itself plus this guard's own vocabulary.
+ALLOWED = {SRC / "stream"}
+
+
+def _source_files():
+    for path in sorted(SRC.rglob("*.py")):
+        if any(allowed in path.parents for allowed in ALLOWED):
+            continue
+        yield path
+
+
+def test_source_tree_exists():
+    assert SRC.is_dir()
+    assert sum(1 for _ in _source_files()) > 50
+
+
+def test_no_private_ref_plumbing_outside_the_pipeline():
+    offenders = []
+    for path in _source_files():
+        for lineno, line in enumerate(
+                path.read_text().splitlines(), 1):
+            if any(token in line for token in FORBIDDEN):
+                offenders.append(
+                    f"{path.relative_to(SRC)}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "memory-ref callback plumbing belongs in repro.stream:\n"
+        + "\n".join(offenders))

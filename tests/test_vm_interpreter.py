@@ -278,8 +278,10 @@ class TestAccounting:
         with pytest.raises(ExecutionLimitExceeded):
             interp.run_native(max_steps=1000)
 
-    def test_ref_observer_sees_all_refs(self):
-        refs = []
+    def test_stream_sees_all_refs(self):
+        from repro.stream import (
+            KIND_IFETCH, KIND_WRITE, CollectingRefConsumer, RefStream,
+        )
 
         def build(b):
             addr = b.data.alloc("buf", 16)
@@ -290,11 +292,16 @@ class TestAccounting:
             blk.halt()
         b = ProgramBuilder("t")
         build(b)
-        interp = Interpreter(
-            b.build(entry="main"), FlatMemory(),
-            ref_observer=lambda pc, addr, w, size: refs.append((addr, w)),
-        )
+        collector = CollectingRefConsumer()
+        stream = RefStream()
+        stream.attach(collector)
+        interp = Interpreter(b.build(entry="main"), FlatMemory(),
+                             stream=stream)
         interp.run_native()
+        stream.finish()
+        assert collector.finished
+        refs = [(ev.addr, ev.kind == KIND_WRITE)
+                for ev in collector.events if ev.kind != KIND_IFETCH]
         assert len(refs) == 2
         assert refs[0][1] is False and refs[1][1] is True
         assert refs[1][0] == refs[0][0] + 8

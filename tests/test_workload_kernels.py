@@ -9,6 +9,7 @@ import pytest
 
 from repro.isa import EDX, HEAP_BASE, ProgramBuilder
 from repro.memory.flat import FlatMemory
+from repro.stream import KIND_IFETCH, KIND_WRITE, RefConsumer, RefStream
 from repro.vm import Interpreter
 from repro.workloads.base import ProgramComposer
 from repro.workloads.datagen import make_binary_tree, make_linked_list
@@ -18,12 +19,15 @@ from repro.workloads.kernels import (
 )
 
 
-class RefRecorder:
+class RefRecorder(RefConsumer):
     def __init__(self):
         self.refs = []
 
-    def __call__(self, pc, addr, is_write, size):
-        self.refs.append((pc, addr, is_write, size))
+    def on_refs(self, batch):
+        for ev in batch:
+            if ev.kind != KIND_IFETCH:
+                self.refs.append(
+                    (ev.pc, ev.addr, ev.kind == KIND_WRITE, ev.size))
 
     # The heap sits in [HEAP_BASE, STACK_TOP); stack/spill traffic
     # (esp/ebp) lives just below STACK_BASE and must be excluded.
@@ -44,8 +48,11 @@ def run_kernel(kernel, data_setup=None, **params):
     c.add_phase("k", kernel, **{**params, **extra})
     program = c.build()
     recorder = RefRecorder()
-    interp = Interpreter(program, FlatMemory(), ref_observer=recorder)
+    stream = RefStream()
+    stream.attach(recorder)
+    interp = Interpreter(program, FlatMemory(), stream=stream)
     interp.run_native()
+    stream.finish()
     return interp, recorder, program
 
 
