@@ -10,16 +10,19 @@ section of ``docs/ARCHITECTURE.md``.
 
 from .engine import ExecutionEngine
 from .executor import (
-    ParallelExecutor, SerialExecutor, SpecExecutionError, execute_spec,
-    execute_group_payloads, execute_spec_payload, make_executor,
+    FailedRun, InterruptReport, ParallelExecutor, RetryPolicy,
+    SerialExecutor, SpecExecutionError, execute_spec,
+    execute_group_payloads, execute_spec_payload, is_failed_payload,
+    make_executor,
 )
 from .fusion import fusion_key, plan_groups
 from .spec import RunSpec, SPEC_MODES
-from .store import ResultStore
+from .store import FsckReport, ResultStore
 
 __all__ = [
-    "ExecutionEngine", "ParallelExecutor", "ResultStore", "RunSpec",
+    "ExecutionEngine", "FailedRun", "FsckReport", "InterruptReport",
+    "ParallelExecutor", "ResultStore", "RetryPolicy", "RunSpec",
     "SPEC_MODES", "SerialExecutor", "SpecExecutionError", "execute_spec",
     "execute_group_payloads", "execute_spec_payload", "fusion_key",
-    "make_executor", "plan_groups",
+    "is_failed_payload", "make_executor", "plan_groups",
 ]

@@ -9,26 +9,54 @@ the experiment layer byte-identical data.
 
 Workloads and machine models are rebuilt inside the worker from the
 spec alone -- a spec is self-contained -- so the parallel executor fans
-independent specs across cores with no shared state; ``Pool.map``
-preserves submission order, keeping results deterministic regardless of
+independent specs across cores with no shared state; results are
+reported in submission order, keeping them deterministic regardless of
 completion order.
+
+Resilience: both executors run every fusion group through a
+:class:`RetryPolicy` -- bounded attempts, exponential backoff with an
+injectable sleep, and an optional per-group wall-clock deadline.  In
+the parallel executor the deadline is enforced from the parent via
+``apply_async``-style timed collection (a hung worker cannot stall the
+wavefront); the serial executor enforces it post-hoc on the attempt's
+elapsed time, which keeps failure classification identical between the
+two paths.  A group that still fails after its attempts are exhausted
+becomes one structured :class:`FailedRun` payload per member spec --
+the wavefront *completes* and reports partial results -- unless the
+executor is ``strict``, in which case the final failure raises
+:class:`SpecExecutionError` naming the member spec (or the shared
+fused execution) that actually failed.  ``KeyboardInterrupt`` is
+handled gracefully: the pool is terminated cleanly, telemetry for
+completed groups stays merged, and ``last_interrupt`` reports how many
+groups finished before the interrupt.
 
 Telemetry: every executed spec is timed under an ``executor.spec`` span
 (labelled by workload, carrying the spec digest).  Pool workers record
 into their own process-local telemetry and ship a snapshot back with
 the payload; the parent merges snapshots in spec submission order, so
-the combined registry is identical to a serial run's.  Worker failures
-surface as :class:`SpecExecutionError` naming the failing spec's
-digest, and ``runs_executed`` counts only specs that actually
-succeeded.
+the combined registry is identical to a serial run's.  Retries and
+deadline expiries are counted under ``executor.retries`` and
+``executor.timeouts`` in the parent, so serial and parallel runs of
+the same fault plan report identical counts.
+
+Fault injection (:mod:`repro.faults`) hooks in at exactly one seam:
+:func:`_attempt_group` consults the installed plan before executing,
+so injected crashes and hangs take the same code path -- and produce
+byte-identical failure payloads -- whether the attempt runs in-process
+or in a pool worker.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
 import traceback
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    Any, Callable, Dict, List, Optional, Sequence, Tuple,
+)
 
+from repro.faults import InjectedCrash, active_fault_plan, install_fault_plan
 from repro.memory import get_machine
 from repro.runners import run_mode, run_native_fused
 from repro.serialize import outcome_to_dict
@@ -36,6 +64,12 @@ from repro.telemetry import get_telemetry
 from repro.workloads import get_workload
 
 from .spec import RunSpec
+
+#: Signature of the streaming-results callback ``execute_groups``
+#: accepts: ``(group_index, group, payloads)``, invoked as each group
+#: reaches its final state (success or exhausted failure).  The engine
+#: uses it to checkpoint wavefront progress to the store as it goes.
+OnResult = Callable[[int, Sequence[RunSpec], List[Dict[str, Any]]], None]
 
 
 class SpecExecutionError(RuntimeError):
@@ -52,6 +86,98 @@ class SpecExecutionError(RuntimeError):
             f"spec {spec.describe()} (digest {self.digest[:12]}) "
             f"failed: {message}{detail}"
         )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How an executor treats a failing or overrunning group.
+
+    ``max_attempts`` counts total tries (1 = no retries).  Backoff
+    before attempt *n+1* is ``backoff_base * backoff_factor**(n-1)``
+    seconds, delivered through ``sleep`` so tests inject a no-op clock.
+    ``timeout`` is a per-group wall-clock deadline in seconds
+    (``None`` = unbounded); an attempt that overruns it is classified
+    as a timeout even if it eventually returns, keeping serial and
+    parallel classification identical.
+    """
+
+    max_attempts: int = 1
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    timeout: Optional[float] = None
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def backoff(self, failed_attempt: int) -> float:
+        """Seconds to wait after attempt ``failed_attempt`` failed."""
+        return self.backoff_base * self.backoff_factor ** (failed_attempt - 1)
+
+
+@dataclass(frozen=True)
+class InterruptReport:
+    """How far a wavefront got before a ``KeyboardInterrupt``."""
+
+    completed: int
+    total: int
+
+
+@dataclass
+class FailedRun:
+    """The structured residue of a group that exhausted its retries.
+
+    One instance per member spec of the failed group; ``failed_member``
+    names the member (``spec.describe()``) the failure was attributed
+    to, or ``None`` when the shared fused execution itself failed.
+    Serializes to a ``{"kind": "failed_run", ...}`` payload -- the same
+    currency as successful outcome payloads -- so partial wavefront
+    results stay one homogeneous list.
+    """
+
+    spec: RunSpec
+    reason: str  # "error" | "timeout"
+    error: str
+    attempts: int
+    failed_member: Optional[str] = None
+    traceback: Optional[str] = None
+
+    @property
+    def digest(self) -> str:
+        return self.spec.digest()
+
+    def describe(self) -> str:
+        return (f"FAILED[{self.reason}] {self.spec.describe()} "
+                f"after {self.attempts} attempt(s): {self.error}")
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "kind": "failed_run",
+            "spec": self.spec.to_dict(),
+            "digest": self.spec.digest(),
+            "reason": self.reason,
+            "error": self.error,
+            "attempts": self.attempts,
+            "failed_member": self.failed_member,
+            "traceback": self.traceback,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "FailedRun":
+        return cls(
+            spec=RunSpec.from_dict(payload["spec"]),
+            reason=payload["reason"],
+            error=payload["error"],
+            attempts=payload["attempts"],
+            failed_member=payload.get("failed_member"),
+            traceback=payload.get("traceback"),
+        )
+
+
+def is_failed_payload(payload: Dict[str, Any]) -> bool:
+    """True for the payload form of a :class:`FailedRun`."""
+    return isinstance(payload, dict) and payload.get("kind") == "failed_run"
 
 
 def execute_spec(spec: RunSpec):
@@ -79,7 +205,10 @@ def execute_group_payloads(group: Sequence[RunSpec]) -> List[Dict[str, Any]]:
 
     A multi-member group (see :mod:`repro.engine.fusion`) executes the
     shared workload once via :func:`repro.runners.run_native_fused`;
-    singletons take the ordinary per-spec path.
+    singletons take the ordinary per-spec path.  A failure while
+    serializing one member's outcome is tagged with that member's index
+    (``umi_member_index``) so the executor can blame the right spec; a
+    failure in the shared execution itself stays untagged.
     """
     if len(group) == 1:
         return [execute_spec_payload(group[0])]
@@ -96,7 +225,14 @@ def execute_group_payloads(group: Sequence[RunSpec]) -> List[Dict[str, Any]]:
     ]
     outcomes = run_native_fused(program, machine, variants,
                                 hw_prefetch=first.hw_prefetch)
-    return [outcome_to_dict(outcome) for outcome in outcomes]
+    payloads = []
+    for index, outcome in enumerate(outcomes):
+        try:
+            payloads.append(outcome_to_dict(outcome))
+        except Exception as exc:
+            exc.umi_member_index = index
+            raise
+    return payloads
 
 
 def _execute_timed(spec: RunSpec) -> Dict[str, Any]:
@@ -125,84 +261,225 @@ def _execute_group_timed(group: Sequence[RunSpec]) -> List[Dict[str, Any]]:
         return execute_group_payloads(group)
 
 
-def _pool_execute(item: Tuple[Sequence[RunSpec], bool]):
-    """Pool worker unit: one fusion group -> status + payloads.
+def _attempt_group(group: Sequence[RunSpec], attempt: int
+                   ) -> Tuple[str, Any]:
+    """One execution attempt: ``("ok", payloads)`` or ``("error", info)``.
 
-    Returns ``("ok", payloads, snapshot_or_None)`` or ``("error",
-    message, traceback_text)``.  Exceptions are flattened to strings in
-    the worker so unpicklable exception types can still be reported,
-    and so the parent can name the failing spec.  Telemetry is reset
-    per group, making each snapshot self-contained regardless of how
-    the pool chunks the work.
+    The single seam both executors funnel through, in-process or in a
+    pool worker: fault-plan hooks fire here, and exceptions are caught
+    here, so the failure info dict (error text, traceback, blamed
+    member index) is byte-identical regardless of which executor ran
+    the attempt.  Exceptions are flattened to strings so unpicklable
+    exception types can still cross the process boundary.
     """
-    group, telemetry_enabled = item
+    member: Optional[int] = 0 if len(group) == 1 else None
+    try:
+        plan = active_fault_plan()
+        if plan is not None:
+            for spec in group:
+                hang = plan.hang_for(spec, attempt)
+                if hang > 0.0:
+                    time.sleep(hang)
+            for index, spec in enumerate(group):
+                if plan.crash_for(spec, attempt):
+                    member = index
+                    raise InjectedCrash(
+                        f"injected crash ({spec.describe()}, "
+                        f"attempt {attempt})")
+        return "ok", _execute_group_timed(group)
+    except Exception as exc:  # noqa: BLE001 -- reported, not swallowed
+        member = getattr(exc, "umi_member_index", member)
+        return "error", {
+            "reason": "error",
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+            "member": member,
+        }
+
+
+def _timeout_failure(group: Sequence[RunSpec],
+                     policy: RetryPolicy) -> Dict[str, Any]:
+    """The failure info for a group that overran its deadline."""
+    return {
+        "reason": "timeout",
+        "error": f"TimeoutError: group exceeded its {policy.timeout:g}s "
+                 f"deadline",
+        "traceback": None,
+        "member": 0 if len(group) == 1 else None,
+    }
+
+
+def _failed_payloads(group: Sequence[RunSpec], failure: Dict[str, Any],
+                     attempts: int) -> List[Dict[str, Any]]:
+    """One :class:`FailedRun` payload per member of a failed group."""
+    member_index = failure.get("member")
+    member = group[member_index].describe() \
+        if member_index is not None else None
+    return [
+        FailedRun(
+            spec=spec, reason=failure["reason"], error=failure["error"],
+            attempts=attempts, failed_member=member,
+            traceback=failure.get("traceback"),
+        ).to_payload()
+        for spec in group
+    ]
+
+
+def _spec_error(group: Sequence[RunSpec], failure: Dict[str, Any],
+                attempts: int) -> SpecExecutionError:
+    """Strict-mode error naming the member that actually failed."""
+    member_index = failure.get("member")
+    if member_index is not None:
+        spec = group[member_index]
+        blame = ""
+        if len(group) > 1:
+            blame = (f" (member {member_index + 1}/{len(group)} of the "
+                     f"fused group)")
+    else:
+        spec = group[0]
+        blame = (f" (shared fused execution of {len(group)} specs)"
+                 if len(group) > 1 else "")
+    message = (f"{failure['error']}{blame} "
+               f"[reason={failure['reason']}, attempts={attempts}]")
+    return SpecExecutionError(spec, message,
+                              worker_traceback=failure.get("traceback"))
+
+
+def _resolve_group_serially(group: Sequence[RunSpec], policy: RetryPolicy,
+                            telemetry) -> Tuple[str, Any, int]:
+    """Retry loop for one group in the calling process.
+
+    Returns ``(status, value, attempts_used)``.  An attempt whose
+    elapsed wall time overran ``policy.timeout`` is reclassified as a
+    timeout (and its result discarded) even if it returned -- mirroring
+    the parent-side deadline the parallel executor enforces, so both
+    paths retry and fail identically under the same fault plan.
+    """
+    attempt = 1
+    while True:
+        start = time.monotonic()
+        status, value = _attempt_group(group, attempt)
+        elapsed = time.monotonic() - start
+        if policy.timeout is not None and elapsed > policy.timeout:
+            telemetry.count("executor.timeouts")
+            status, value = "error", _timeout_failure(group, policy)
+        if status == "ok" or attempt >= policy.max_attempts:
+            return status, value, attempt
+        telemetry.count("executor.retries")
+        policy.sleep(policy.backoff(attempt))
+        attempt += 1
+
+
+def _execute_groups_serially(executor, groups: List[List[RunSpec]],
+                             on_result: Optional[OnResult]
+                             ) -> List[List[Dict[str, Any]]]:
+    """Shared in-process group loop (SerialExecutor + jobs==1 fallback)."""
+    telemetry = get_telemetry()
+    results: List[List[Dict[str, Any]]] = []
+    completed = 0
+    try:
+        for index, group in enumerate(groups):
+            status, value, attempts = _resolve_group_serially(
+                group, executor.retry, telemetry)
+            if status == "ok":
+                payloads = value
+                executor.runs_executed += 1
+            else:
+                if executor.strict:
+                    raise _spec_error(group, value, attempts)
+                executor.runs_failed += 1
+                payloads = _failed_payloads(group, value, attempts)
+            completed += 1
+            results.append(payloads)
+            if on_result is not None:
+                on_result(index, group, payloads)
+    except KeyboardInterrupt:
+        executor.last_interrupt = InterruptReport(completed, len(groups))
+        telemetry.event("executor.interrupted", completed=completed,
+                        total=len(groups))
+        raise
+    return results
+
+
+def _pool_execute(item: Tuple[Sequence[RunSpec], int, bool, Any]):
+    """Pool worker unit: one attempt of one fusion group.
+
+    Returns ``(status, value, snapshot_or_None)`` where ``(status,
+    value)`` comes straight from :func:`_attempt_group`.  The parent's
+    fault plan travels inside the item and is installed on entry, so
+    injection behaves identically under ``fork`` and ``spawn`` start
+    methods.  Telemetry is reset per attempt, making each snapshot
+    self-contained regardless of how the pool schedules the work.
+    """
+    group, attempt, telemetry_enabled, plan = item
+    install_fault_plan(plan)
     telemetry = get_telemetry()
     telemetry.reset()
     telemetry.enabled = telemetry_enabled
-    try:
-        payloads = _execute_group_timed(group)
-    except Exception as exc:  # noqa: BLE001 -- reported, not swallowed
-        return ("error", f"{type(exc).__name__}: {exc}",
-                traceback.format_exc())
+    status, value = _attempt_group(group, attempt)
     snapshot = telemetry.snapshot() if telemetry_enabled else None
-    return ("ok", payloads, snapshot)
+    return (status, value, snapshot)
 
 
 class SerialExecutor:
     """Runs specs one after another in the calling process."""
 
     jobs = 1
+    supports_on_result = True
 
-    def __init__(self) -> None:
+    def __init__(self, retry: Optional[RetryPolicy] = None,
+                 strict: bool = True) -> None:
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.strict = strict
         self.runs_executed = 0
+        self.runs_failed = 0
+        self.last_interrupt: Optional[InterruptReport] = None
 
     def execute(self, specs: Sequence[RunSpec]) -> List[Dict[str, Any]]:
-        payloads = []
-        for spec in specs:
-            payloads.append(_execute_timed(spec))
-            self.runs_executed += 1
-        return payloads
+        results = self.execute_groups([[spec] for spec in specs])
+        return [payloads[0] for payloads in results]
 
-    def execute_groups(self, groups: Sequence[Sequence[RunSpec]]
+    def execute_groups(self, groups: Sequence[Sequence[RunSpec]],
+                       on_result: Optional[OnResult] = None
                        ) -> List[List[Dict[str, Any]]]:
         """Run fusion groups; one *execution* counted per group."""
-        results = []
-        for group in groups:
-            results.append(_execute_group_timed(group))
-            self.runs_executed += 1
-        return results
+        self.last_interrupt = None
+        groups = [list(group) for group in groups]
+        return _execute_groups_serially(self, groups, on_result)
 
 
 class ParallelExecutor:
     """Fans independent specs across cores via ``multiprocessing``."""
 
-    def __init__(self, jobs: int = 0) -> None:
+    supports_on_result = True
+
+    def __init__(self, jobs: int = 0,
+                 retry: Optional[RetryPolicy] = None,
+                 strict: bool = True) -> None:
         if jobs <= 0:
             jobs = multiprocessing.cpu_count()
         self.jobs = jobs
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.strict = strict
         self.runs_executed = 0
+        self.runs_failed = 0
+        self.last_interrupt: Optional[InterruptReport] = None
 
     def execute(self, specs: Sequence[RunSpec]) -> List[Dict[str, Any]]:
         """Run specs as singleton groups (no fusion)."""
         results = self.execute_groups([[spec] for spec in specs])
         return [payloads[0] for payloads in results]
 
-    def execute_groups(self, groups: Sequence[Sequence[RunSpec]]
+    def execute_groups(self, groups: Sequence[Sequence[RunSpec]],
+                       on_result: Optional[OnResult] = None
                        ) -> List[List[Dict[str, Any]]]:
         """Fan fusion groups across cores; one execution per group."""
+        self.last_interrupt = None
         groups = [list(group) for group in groups]
         if not groups:
             return []
         if len(groups) == 1 or self.jobs == 1:
-            results = []
-            for group in groups:
-                try:
-                    results.append(_execute_group_timed(group))
-                except Exception as exc:
-                    raise SpecExecutionError(
-                        group[0], f"{type(exc).__name__}: {exc}") from exc
-                self.runs_executed += 1
-            return results
+            return _execute_groups_serially(self, groups, on_result)
         # fork shares the already-imported interpreter state read-only
         # and avoids re-importing the package per worker; fall back to
         # the default start method where fork is unavailable.
@@ -211,32 +488,92 @@ class ParallelExecutor:
         except ValueError:
             ctx = multiprocessing.get_context()
         telemetry = get_telemetry()
-        items = [(group, telemetry.enabled) for group in groups]
+        policy = self.retry
+        plan = active_fault_plan()
         workers = min(self.jobs, len(groups))
+        results: List[Optional[List[Dict[str, Any]]]] = [None] * len(groups)
+        failures: Dict[int, Dict[str, Any]] = {}
+        completed = 0
         with ctx.Pool(processes=workers) as pool:
-            # map() preserves order: result i belongs to group i.
-            results_raw = pool.map(_pool_execute, items)
-        results = []
-        failure: Optional[SpecExecutionError] = None
-        for index, (group, result) in enumerate(zip(groups, results_raw)):
-            if result[0] == "error":
-                if failure is None:
-                    failure = SpecExecutionError(
-                        group[0], result[1], worker_traceback=result[2])
-                continue
-            results.append(result[1])
-            self.runs_executed += 1
-            if result[2] is not None:
-                telemetry.merge(result[2], source=f"worker:{index}")
-        if failure is not None:
-            # Groups that completed are still counted/merged above; the
-            # first failing group (submission order) names the error.
-            raise failure
+            try:
+                pending = list(range(len(groups)))
+                attempt = 1
+                while pending and attempt <= policy.max_attempts:
+                    if attempt > 1:
+                        telemetry.count("executor.retries", n=len(pending))
+                        policy.sleep(policy.backoff(attempt - 1))
+                    submitted = [
+                        (index,
+                         pool.apply_async(
+                             _pool_execute,
+                             ((groups[index], attempt, telemetry.enabled,
+                               plan),)),
+                         time.monotonic())
+                        for index in pending
+                    ]
+                    still_pending = []
+                    # Collect in submission order: result i belongs to
+                    # group i, and telemetry merges deterministically.
+                    for index, handle, submit_time in submitted:
+                        try:
+                            if policy.timeout is None:
+                                outcome = handle.get()
+                            else:
+                                remaining = (submit_time + policy.timeout
+                                             - time.monotonic())
+                                outcome = handle.get(max(0.0, remaining))
+                        except multiprocessing.TimeoutError:
+                            telemetry.count("executor.timeouts")
+                            failures[index] = _timeout_failure(
+                                groups[index], policy)
+                            still_pending.append(index)
+                            continue
+                        status, value, snapshot = outcome
+                        if snapshot is not None:
+                            telemetry.merge(snapshot,
+                                            source=f"worker:{index}")
+                        if status == "ok":
+                            results[index] = value
+                            self.runs_executed += 1
+                            completed += 1
+                            failures.pop(index, None)
+                            if on_result is not None:
+                                on_result(index, groups[index], value)
+                        else:
+                            failures[index] = value
+                            still_pending.append(index)
+                    pending = still_pending
+                    attempt += 1
+                if pending and self.strict:
+                    first = pending[0]
+                    raise _spec_error(groups[first], failures[first],
+                                      policy.max_attempts)
+                for index in pending:
+                    payloads = _failed_payloads(
+                        groups[index], failures[index], policy.max_attempts)
+                    results[index] = payloads
+                    self.runs_failed += 1
+                    completed += 1
+                    if on_result is not None:
+                        on_result(index, groups[index], payloads)
+            except KeyboardInterrupt:
+                # Kill outstanding workers before surfacing the
+                # interrupt: completed groups stay counted and their
+                # telemetry stays merged, so a resumed sweep picks up
+                # exactly where this one stopped.
+                pool.terminate()
+                pool.join()
+                self.last_interrupt = InterruptReport(completed,
+                                                      len(groups))
+                telemetry.event("executor.interrupted",
+                                completed=completed, total=len(groups))
+                raise
         return results
 
 
-def make_executor(jobs: int = 1):
+def make_executor(jobs: int = 1, retry: Optional[RetryPolicy] = None,
+                  strict: bool = True):
     """``jobs == 1`` -> serial; otherwise a parallel executor."""
     if jobs == 1:
-        return SerialExecutor()
-    return ParallelExecutor(jobs=jobs)
+        return SerialExecutor(retry=retry, strict=strict)
+    return ParallelExecutor(jobs=jobs, retry=retry, strict=strict)

@@ -12,11 +12,20 @@ Payloads whose ``schema_version`` does not match the current
 match the requested one) are treated as misses, never served stale.
 ``spec in store`` applies the *same* validity rules as :meth:`load`
 (without touching the hit/miss counters), so membership never claims a
-record that a load would then refuse.
+record that a load would then refuse.  :meth:`records` sweeps apply the
+rules a digest-keyed load cannot: a file whose name does not match its
+embedded spec's digest (hand-edited, renamed, or digest-colliding) is
+skipped and counted under ``records_skipped_mismatch``.
 
 Every probe outcome is counted -- on the store itself (``hits``,
 ``misses`` and the per-reason breakdown) and, when enabled, on the
 global telemetry registry (``store.hits`` / ``store.misses{reason=..}``).
+
+:meth:`fsck` is the offline health check behind ``umi-experiments
+store fsck``: it classifies every record (corrupt JSON, stale schema,
+digest/spec mismatch) and, with ``repair=True``, moves the bad files
+into ``<root>/quarantine/`` (counted under ``store.repaired``) so the
+store heals without deleting evidence.
 """
 
 from __future__ import annotations
@@ -24,9 +33,11 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
+from repro.faults import active_fault_plan
 from repro.serialize import SCHEMA_VERSION
 from repro.telemetry import get_telemetry
 
@@ -34,6 +45,48 @@ from .spec import RunSpec
 
 #: Reasons a probe can miss, in the order reported by ``miss_reasons``.
 MISS_REASONS = ("absent", "corrupt", "stale_schema", "spec_mismatch")
+
+#: Subdirectory quarantined records are moved into by ``fsck(repair=True)``.
+QUARANTINE_DIR = "quarantine"
+
+
+@dataclass
+class FsckReport:
+    """What a store sweep found (and, optionally, repaired)."""
+
+    root: str
+    scanned: int = 0
+    valid: int = 0
+    corrupt: List[str] = field(default_factory=list)
+    stale: List[str] = field(default_factory=list)
+    mismatched: List[str] = field(default_factory=list)
+    quarantined: List[str] = field(default_factory=list)
+
+    @property
+    def problems(self) -> int:
+        return len(self.corrupt) + len(self.stale) + len(self.mismatched)
+
+    def render(self) -> str:
+        lines = [f"store fsck: {self.root}",
+                 f"  scanned: {self.scanned}",
+                 f"  valid: {self.valid}"]
+        for label, names in (("corrupt", self.corrupt),
+                             ("stale-schema", self.stale),
+                             ("digest-mismatch", self.mismatched)):
+            lines.append(f"  {label}: {len(names)}")
+            lines.extend(f"    {name}" for name in names)
+        if self.quarantined:
+            lines.append(f"  quarantined to {QUARANTINE_DIR}/: "
+                         f"{len(self.quarantined)}")
+        return "\n".join(lines)
+
+
+def _embedded_digest(record: Dict[str, Any]) -> Optional[str]:
+    """The digest of a record's embedded spec, or ``None`` if unusable."""
+    try:
+        return RunSpec.from_dict(record["spec"]).digest()
+    except Exception:  # noqa: BLE001 -- any malformed spec is a mismatch
+        return None
 
 
 class ResultStore:
@@ -49,6 +102,9 @@ class ResultStore:
         self.records_skipped_corrupt = 0
         #: Stale-schema files skipped while iterating :meth:`records`.
         self.records_skipped_stale = 0
+        #: Filename-digest / embedded-spec mismatches skipped by
+        #: :meth:`records` (mirrors :meth:`load`'s ``spec_mismatch``).
+        self.records_skipped_mismatch = 0
 
     def path_for(self, spec: RunSpec) -> Path:
         return self.root / f"{spec.digest()}.json"
@@ -99,17 +155,25 @@ class ResultStore:
 
         The write is atomic (temp file + rename) so concurrent
         processes sharing a store directory never observe torn files.
+        An installed ``torn_record`` fault plan truncates the text
+        mid-record instead -- producing exactly the damage a crashed
+        writer without the atomic rename would, which the validity
+        rules and ``fsck`` must then catch.
         """
         record = {
             "schema_version": SCHEMA_VERSION,
             "spec": spec.to_dict(),
             "outcome": payload,
         }
+        text = json.dumps(record, indent=2, sort_keys=True)
+        plan = active_fault_plan()
+        if plan is not None and plan.torn_for(spec):
+            text = text[:max(1, int(len(text) * 0.6))]
         path = self.path_for(spec)
         fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
-                json.dump(record, handle, indent=2, sort_keys=True)
+                handle.write(text)
             os.replace(tmp, path)
         except BaseException:
             if os.path.exists(tmp):
@@ -129,8 +193,9 @@ class ResultStore:
     def records(self) -> Iterator[Tuple[Dict[str, Any], Dict[str, Any]]]:
         """Iterate ``(spec_dict, outcome_payload)`` over valid entries.
 
-        Unreadable and stale-schema files are skipped but *counted*
-        (``records_skipped_corrupt`` / ``records_skipped_stale``), so a
+        Unreadable, stale-schema and digest-mismatched files are
+        skipped but *counted* (``records_skipped_corrupt`` /
+        ``records_skipped_stale`` / ``records_skipped_mismatch``), so a
         sweep over a damaged store is detectable instead of silent.
         """
         telemetry = get_telemetry()
@@ -148,4 +213,49 @@ class ResultStore:
                 telemetry.count("store.records_skipped",
                                 labels={"reason": "stale_schema"})
                 continue
+            if _embedded_digest(record) != path.stem:
+                self.records_skipped_mismatch += 1
+                telemetry.count("store.records_skipped",
+                                labels={"reason": "spec_mismatch"})
+                continue
             yield record["spec"], record["outcome"]
+
+    # -- health ------------------------------------------------------------
+
+    def fsck(self, repair: bool = False) -> FsckReport:
+        """Sweep every record; classify damage, optionally quarantine it.
+
+        ``repair=True`` moves each corrupt / stale / mismatched file
+        into ``<root>/quarantine/`` (never deletes), counting each move
+        under the ``store.repaired`` telemetry counter, so the next
+        sweep starts clean while the damaged bytes stay inspectable.
+        """
+        telemetry = get_telemetry()
+        report = FsckReport(root=str(self.root))
+        bad_paths: List[Path] = []
+        for path in sorted(self.root.glob("*.json")):
+            report.scanned += 1
+            try:
+                with open(path) as handle:
+                    record = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                report.corrupt.append(path.name)
+                bad_paths.append(path)
+                continue
+            if record.get("schema_version") != SCHEMA_VERSION:
+                report.stale.append(path.name)
+                bad_paths.append(path)
+                continue
+            if _embedded_digest(record) != path.stem:
+                report.mismatched.append(path.name)
+                bad_paths.append(path)
+                continue
+            report.valid += 1
+        if repair and bad_paths:
+            quarantine = self.root / QUARANTINE_DIR
+            quarantine.mkdir(exist_ok=True)
+            for path in bad_paths:
+                os.replace(path, quarantine / path.name)
+                report.quarantined.append(path.name)
+                telemetry.count("store.repaired")
+        return report

@@ -10,6 +10,9 @@ Usage::
     umi-experiments telemetry /tmp/t
     umi-experiments bench
     umi-experiments bench --quick --check
+    umi-experiments all --store .umi-cache --resume
+    umi-experiments all --retries 3 --timeout 600
+    umi-experiments store fsck --store .umi-cache --repair
 
 Every experiment declares its required runs upfront
 (``required_runs``), so ``all`` resolves the union of every table's
@@ -29,6 +32,19 @@ The ``bench`` subcommand runs the micro-benchmark kernels
 (:mod:`repro.bench`) and writes a ``BENCH_kernels.json`` report;
 ``--check`` compares it against the committed baseline and the kernel
 speedup floors, exiting non-zero on regression.
+
+Resilience (see the "Resilience" section of ``docs/ARCHITECTURE.md``):
+the CLI runs **non-strict** by default -- a run that keeps failing
+after ``--retries`` attempts (or exceeds ``--timeout`` seconds) is
+reported and its dependent tables are skipped, while every unaffected
+run still completes and persists.  ``--strict`` restores fail-fast.
+``--resume`` (with ``--store``) re-plans only the specs without valid
+records, which is how a killed or interrupted sweep picks up where it
+left off.  ``store fsck`` sweeps a store directory for corrupt, stale
+or digest-mismatched records; ``--repair`` moves them into
+``<store>/quarantine/``.  ``--faults PLAN.json`` installs a
+deterministic fault-injection plan (:mod:`repro.faults`) for the whole
+invocation -- the chaos-testing hook CI uses.
 """
 
 from __future__ import annotations
@@ -41,6 +57,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.engine import ResultStore, RetryPolicy
+from repro.faults import fault_injection, load_fault_plan
 from repro.stats import Table
 from repro.telemetry import (
     get_telemetry, render_telemetry_dir, write_telemetry_dir,
@@ -91,13 +109,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment", nargs="?", default=None,
-        help="experiment name (see --list), 'all', 'telemetry', or "
-             "'bench'",
+        help="experiment name (see --list), 'all', 'telemetry', "
+             "'bench', or 'store'",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
         help="for the 'telemetry' subcommand: the directory written by "
-             "a previous --telemetry run",
+             "a previous --telemetry run; for 'store': the action "
+             "('fsck')",
     )
     parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
                         help="workload iteration scale (default %(default)s)")
@@ -122,6 +141,33 @@ def main(argv=None) -> int:
     parser.add_argument("--telemetry", metavar="DIR", default=None,
                         help="enable the telemetry subsystem and export "
                              "events/metrics/summary to DIR")
+    resilience = parser.add_argument_group("resilience")
+    resilience.add_argument("--strict", action="store_true",
+                            help="abort the whole invocation on the "
+                                 "first failed run (default: report "
+                                 "failures, skip their tables, keep "
+                                 "going)")
+    resilience.add_argument("--retries", type=int, default=1,
+                            metavar="N",
+                            help="attempts per run group before it is "
+                                 "declared failed (default %(default)s)")
+    resilience.add_argument("--timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="wall-clock deadline per run group; "
+                                 "overruns count as failures (and are "
+                                 "retried)")
+    resilience.add_argument("--resume", action="store_true",
+                            help="with --store: continue an earlier "
+                                 "(killed or failed) sweep, executing "
+                                 "only the specs without valid stored "
+                                 "records")
+    resilience.add_argument("--faults", metavar="PLAN.json", default=None,
+                            help="install a deterministic fault-"
+                                 "injection plan (repro.faults) for "
+                                 "this invocation")
+    resilience.add_argument("--repair", action="store_true",
+                            help="for 'store fsck': move damaged "
+                                 "records into <store>/quarantine/")
     bench_group = parser.add_argument_group("bench subcommand")
     bench_group.add_argument("--quick", action="store_true",
                              help="smaller kernel inputs and fewer "
@@ -156,10 +202,15 @@ def main(argv=None) -> int:
         print("  all")
         print("  telemetry DIR  (render a stored --telemetry directory)")
         print("  bench          (micro-benchmark the simulation kernels)")
+        print("  store fsck     (check --store health; --repair "
+              "quarantines damage)")
         return 0
 
     if args.experiment == "bench":
         return _run_bench(args, parser)
+
+    if args.experiment == "store":
+        return _run_store(args, parser)
 
     if args.experiment == "telemetry":
         if args.target is None:
@@ -184,6 +235,18 @@ def main(argv=None) -> int:
     if store is not None and os.path.exists(store) \
             and not os.path.isdir(store):
         parser.error(f"--store {store!r} exists and is not a directory")
+    if args.resume and store is None:
+        parser.error("--resume needs --store: there is nothing to "
+                     "resume from without a persistent result store")
+    if args.retries < 1:
+        parser.error("--retries must be >= 1")
+
+    fault_plan = None
+    if args.faults is not None:
+        try:
+            fault_plan = load_fault_plan(args.faults)
+        except (OSError, ValueError) as exc:
+            parser.error(f"--faults {args.faults!r}: {exc}")
 
     telemetry = get_telemetry()
     if args.telemetry:
@@ -193,14 +256,15 @@ def main(argv=None) -> int:
                         scale=args.scale, jobs=args.jobs,
                         store=bool(store))
     try:
-        _run_experiments(args, names, store)
+        with fault_injection(fault_plan):
+            code = _run_experiments(args, names, store)
         if args.telemetry:
             write_telemetry_dir(telemetry, args.telemetry)
             print(f"[telemetry written to {args.telemetry}]")
     finally:
         if args.telemetry:
             telemetry.disable()
-    return 0
+    return code
 
 
 def _run_bench(args, parser) -> int:
@@ -268,8 +332,26 @@ def _run_bench(args, parser) -> int:
     return 0
 
 
-def _run_experiments(args, names: List[str], store) -> None:
-    cache = ResultCache(scale=args.scale, jobs=args.jobs, store=store)
+def _run_store(args, parser) -> int:
+    """The ``store`` subcommand: offline store health (``fsck``)."""
+    if args.target != "fsck":
+        parser.error("unknown store action "
+                     f"{args.target!r}; use: umi-experiments store fsck")
+    if args.store is None:
+        parser.error("store fsck needs --store DIR")
+    report = ResultStore(args.store).fsck(repair=args.repair)
+    print(report.render())
+    if report.problems and not args.repair:
+        print("[run again with --repair to quarantine the damaged "
+              "records]")
+        return 1
+    return 0
+
+
+def _run_experiments(args, names: List[str], store) -> int:
+    retry = RetryPolicy(max_attempts=args.retries, timeout=args.timeout)
+    cache = ResultCache(scale=args.scale, jobs=args.jobs, store=store,
+                        strict=args.strict, retry=retry)
 
     # One deduplicated wavefront covering every requested experiment,
     # instead of each table looping over its runs serially.
@@ -279,16 +361,57 @@ def _run_experiments(args, names: List[str], store) -> None:
         if declared is not None:
             wavefront.extend(declared(cache))
     if wavefront:
+        if args.resume:
+            distinct = set(wavefront)
+            done = sum(1 for spec in distinct if spec in cache.engine.store)
+            print(f"[resume: {done}/{len(distinct)} specs already "
+                  f"stored; re-planning the remaining "
+                  f"{len(distinct) - done}]")
         start = time.time()
-        cache.prefill(wavefront)
+        try:
+            cache.prefill(wavefront)
+        except KeyboardInterrupt:
+            report = getattr(cache.engine.executor, "last_interrupt",
+                             None)
+            done = (f"{report.completed}/{report.total} groups"
+                    if report is not None else "partial progress")
+            hint = (f"; resume with --store {store} --resume"
+                    if store else "; use --store to make sweeps "
+                                  "resumable")
+            print(f"\n[interrupted: {done} completed and "
+                  f"checkpointed{hint}]")
+            return 130
         elapsed = time.time() - start
         executed = cache.engine.runs_executed
-        reused = len(set(wavefront)) - executed
-        print(f"[wavefront: {executed} runs executed, {reused} reused "
-              f"in {elapsed:.1f}s]\n")
+        failed = cache.engine.runs_failed
+        reused = len(set(wavefront)) - executed - failed
+        suffix = f", {failed} failed" if failed else ""
+        print(f"[wavefront: {executed} runs executed, {reused} reused"
+              f"{suffix} in {elapsed:.1f}s]\n")
+
+    failed_runs = cache.engine.failed_runs()
+    if failed_runs:
+        print(f"[{len(failed_runs)} runs failed after retries]")
+        for spec, failure in failed_runs.items():
+            print(f"  {failure.describe()}")
+        resume_hint = (f"umi-experiments {args.experiment} --store "
+                       f"{store} --resume" if store else
+                       "re-run with --store to make retries cheap")
+        print(f"[failed runs are not stored; fix the cause and run: "
+              f"{resume_hint}]\n")
 
     markdown_parts: List[str] = []
+    exit_code = 0
     for name in names:
+        declared = EXPERIMENTS[name].required_runs
+        if declared is not None and failed_runs:
+            required = set(declared(cache))
+            broken = sum(1 for spec in required if spec in failed_runs)
+            if broken:
+                print(f"[{name} skipped: {broken} of its "
+                      f"{len(required)} required runs failed]\n")
+                exit_code = 1
+                continue
         start = time.time()
         result = EXPERIMENTS[name].run(scale=args.scale, cache=cache)
         elapsed = time.time() - start
@@ -316,6 +439,8 @@ def _run_experiments(args, names: List[str], store) -> None:
     if args.json:
         _archive_runs(cache, args.json)
         print(f"[runs archived to {args.json}]")
+
+    return exit_code
 
 
 def _archive_runs(cache: ResultCache, path: str) -> None:

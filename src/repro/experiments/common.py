@@ -20,7 +20,9 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core import UMIConfig
-from repro.engine import ExecutionEngine, ResultStore, RunSpec
+from repro.engine import (
+    ExecutionEngine, ResultStore, RetryPolicy, RunSpec,
+)
 from repro.isa import Program
 from repro.memory import DEFAULT_MACHINE_SCALE, MachineConfig, get_machine
 from repro.runners import RunOutcome
@@ -64,13 +66,16 @@ class ResultCache:
                  machine_scale: int = DEFAULT_MACHINE_SCALE,
                  engine: Optional[ExecutionEngine] = None,
                  jobs: int = 1,
-                 store: Union[ResultStore, str, Path, None] = None) -> None:
+                 store: Union[ResultStore, str, Path, None] = None,
+                 strict: bool = True,
+                 retry: Optional[RetryPolicy] = None) -> None:
         self.scale = scale
         self.machine_scale = machine_scale
         if engine is None:
             if isinstance(store, (str, Path)):
                 store = ResultStore(store)
-            engine = ExecutionEngine(jobs=jobs, store=store)
+            engine = ExecutionEngine(jobs=jobs, store=store,
+                                     strict=strict, retry=retry)
         self.engine = engine
         self._programs: Dict[str, Program] = {}
         self._machines: Dict[str, MachineConfig] = {}

@@ -1,0 +1,27 @@
+"""Deterministic fault injection for resilience testing.
+
+The paper's contract is that introspection must degrade gracefully --
+the measured program is never taken down by the profiling apparatus.
+This package provides the controlled failures that prove it: seeded
+:class:`FaultPlan` objects describe worker crashes, hung workers, torn
+store records and throwing stream consumers; the engine, store and
+stream layers consult the installed plan at their decision seams and
+must survive every injected fault class (see the "Resilience" section
+of ``docs/ARCHITECTURE.md``).
+"""
+
+from .inject import (
+    FaultyConsumerProxy, active_fault_plan, clear_fault_plan,
+    fault_injection, install_fault_plan,
+)
+from .plan import (
+    FAULT_KINDS, FaultPlan, FaultRule, InjectedConsumerFault,
+    InjectedCrash, InjectedFault, load_fault_plan,
+)
+
+__all__ = [
+    "FAULT_KINDS", "FaultPlan", "FaultRule", "FaultyConsumerProxy",
+    "InjectedConsumerFault", "InjectedCrash", "InjectedFault",
+    "active_fault_plan", "clear_fault_plan", "fault_injection",
+    "install_fault_plan", "load_fault_plan",
+]

@@ -1,0 +1,171 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultPlan` is a declarative description of the failures to
+inject into a run: which specs' workers crash or hang, which store
+records come back torn, which stream consumer throws and on which
+batch.  Every decision is a *pure function* of ``(seed, rule, spec
+digest, attempt)`` -- no mutable state -- so a plan injected into a
+serial sweep and into a parallel wavefront produces bit-identical
+failure payloads and retry counts, which is what the determinism tests
+pin.
+
+Plans deliberately know nothing about the engine: rule matching only
+reads ``spec.workload`` and ``spec.digest()`` (duck-typed), so this
+package imports nothing from :mod:`repro.engine` and can be consulted
+from any layer without creating an import cycle.
+
+Fault kinds
+-----------
+
+``crash``
+    The executor raises :class:`InjectedCrash` for a matched spec's
+    group before the run starts (the worker dies mid-flight).
+``hang``
+    The executor sleeps ``hang_seconds`` before running a matched
+    spec's group, pushing the attempt past any configured per-group
+    deadline (a stuck worker).
+``torn_record``
+    :meth:`repro.engine.store.ResultStore.save` truncates a matched
+    spec's record mid-write (a torn file a later load must reject and
+    ``store fsck`` must find).
+``consumer``
+    The named stream consumer raises :class:`InjectedConsumerFault`
+    on its ``batch``-th delivered batch (``on_refs``/``on_lines``),
+    exercising the hub's quarantine path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+#: The fault kinds a rule may declare.
+FAULT_KINDS = ("crash", "hang", "torn_record", "consumer")
+
+
+class InjectedFault(RuntimeError):
+    """Base class of every deliberately injected failure."""
+
+
+class InjectedCrash(InjectedFault):
+    """A fault plan made this worker raise."""
+
+
+class InjectedConsumerFault(InjectedFault):
+    """A fault plan made this stream consumer throw."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule of a plan.
+
+    ``match`` selects specs: ``"*"`` matches everything, otherwise the
+    rule applies when it equals the spec's workload name or is a prefix
+    of the spec's content digest.  ``attempts`` bounds which execution
+    attempts (1-based) the rule affects, so ``attempts=1`` faults only
+    the first try and lets a retry succeed.  ``probability`` draws a
+    deterministic per-``(seed, kind, digest, attempt)`` coin, making
+    partial-coverage chaos plans reproducible.
+    """
+
+    kind: str
+    match: str = "*"
+    attempts: int = 1
+    probability: float = 1.0
+    hang_seconds: float = 30.0
+    consumer: Optional[str] = None
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
+        if self.kind == "consumer" and not self.consumer:
+            raise ValueError("consumer rules need a consumer name")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
+
+    def matches_spec(self, spec: Any) -> bool:
+        if self.match == "*":
+            return True
+        if self.match == getattr(spec, "workload", None):
+            return True
+        return spec.digest().startswith(self.match)
+
+
+def _coin(seed: int, kind: str, digest: str, attempt: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one decision point."""
+    blob = f"{seed}:{kind}:{digest}:{attempt}".encode()
+    word = int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+    return word / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, picklable, JSON-round-trippable set of rules."""
+
+    seed: int = 0
+    rules: Tuple[FaultRule, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    # -- decisions (pure functions of plan + spec + attempt) ---------------
+
+    def _applies(self, rule: FaultRule, spec: Any, attempt: int) -> bool:
+        if attempt > rule.attempts or not rule.matches_spec(spec):
+            return False
+        if rule.probability >= 1.0:
+            return True
+        return _coin(self.seed, rule.kind, spec.digest(),
+                     attempt) < rule.probability
+
+    def crash_for(self, spec: Any, attempt: int) -> bool:
+        """Should this spec's execution attempt raise?"""
+        return any(r.kind == "crash" and self._applies(r, spec, attempt)
+                   for r in self.rules)
+
+    def hang_for(self, spec: Any, attempt: int) -> float:
+        """Seconds this spec's attempt should stall (0.0 = no hang)."""
+        seconds = 0.0
+        for rule in self.rules:
+            if rule.kind == "hang" and self._applies(rule, spec, attempt):
+                seconds = max(seconds, rule.hang_seconds)
+        return seconds
+
+    def torn_for(self, spec: Any) -> bool:
+        """Should this spec's store record be written torn?"""
+        return any(r.kind == "torn_record" and self._applies(r, spec, 1)
+                   for r in self.rules)
+
+    def consumer_batch(self, name: str) -> Optional[int]:
+        """The 1-based batch on which consumer ``name`` throws, if any."""
+        for rule in self.rules:
+            if rule.kind == "consumer" and rule.consumer == name:
+                return rule.batch
+        return None
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed,
+                "rules": [asdict(rule) for rule in self.rules]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultPlan":
+        rules = tuple(FaultRule(**rule)
+                      for rule in payload.get("rules", ()))
+        return cls(seed=int(payload.get("seed", 0)), rules=rules)
+
+
+def load_fault_plan(path: str) -> FaultPlan:
+    """Read a JSON fault plan from disk (the CLI's ``--faults FILE``)."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return FaultPlan.from_dict(payload)

@@ -40,6 +40,7 @@ from typing import (
 
 from repro.core import UMIConfig, UMIResult, UMIRuntime
 from repro.counters import HardwareCounters
+from repro.faults import FaultyConsumerProxy, active_fault_plan
 from repro.fullsim import CachegrindSimulator
 from repro.isa import Program
 from repro.memory import (
@@ -114,18 +115,34 @@ def _make_hierarchy(machine: MachineConfig, hw_prefetch: bool
 
 
 class _StreamPlan:
-    """Registry consumers resolved for one run, wired to its streams."""
+    """Registry consumers resolved for one run, wired to its streams.
+
+    An installed fault plan (:mod:`repro.faults`) may mark a consumer
+    name for injection; the built consumer is then wrapped in a
+    :class:`~repro.faults.FaultyConsumerProxy` that throws on its Nth
+    batch -- exercising the hubs' quarantine path.  ``derived()``
+    reports a quarantined consumer's failure record in place of its
+    summary, so the outcome documents the degradation instead of
+    silently dropping the analysis.
+    """
 
     def __init__(self, machine: MachineConfig, program: Program,
                  names: Sequence[str]) -> None:
         context = BuildContext(machine=machine, program=program)
+        fault_plan = active_fault_plan()
         self.by_name: Dict[str, Any] = {}
         self.refs: List[Any] = []
         self.lines: List[Any] = []
+        self._streams: List[Any] = []
         for name in names:
             if name in self.by_name:
                 continue
             entry, consumer = create_consumer(name, context)
+            if fault_plan is not None:
+                fail_batch = fault_plan.consumer_batch(name)
+                if fail_batch is not None:
+                    consumer = FaultyConsumerProxy(consumer, name,
+                                                   fail_batch)
             self.by_name[name] = consumer
             (self.lines if entry.plane == "lines" else self.refs
              ).append(consumer)
@@ -140,10 +157,33 @@ class _StreamPlan:
             stream.attach(consumer)
         for consumer in self.lines:
             hierarchy.line_stream.attach(consumer)
+        if stream is not None:
+            self._streams.append(stream)
+        if hierarchy is not None:
+            self._streams.append(hierarchy.line_stream)
+
+    def _quarantine_records(self) -> Dict[int, Any]:
+        """Quarantined-consumer records keyed by consumer identity."""
+        return {id(record.consumer): record
+                for stream in self._streams
+                for record in stream.quarantined}
 
     def derived(self) -> Dict[str, Dict[str, Any]]:
         """Per-consumer summaries (call after the streams finish)."""
-        return {name: c.summary() for name, c in self.by_name.items()}
+        quarantined = self._quarantine_records()
+        out: Dict[str, Dict[str, Any]] = {}
+        for name, consumer in self.by_name.items():
+            record = quarantined.get(id(consumer))
+            if record is not None:
+                out[name] = {
+                    "quarantined": True,
+                    "stage": record.stage,
+                    "error": record.error,
+                    "traceback": record.traceback,
+                }
+            else:
+                out[name] = consumer.summary()
+        return out
 
 
 def _finish_streams(stream: Optional[RefStream],

@@ -18,7 +18,7 @@ from .consumer import (
 from .events import (
     KIND_IFETCH, KIND_READ, KIND_WRITE, LineEvent, MemoryEvent,
 )
-from .hub import BATCH_SIZE, LineStream, RefStream
+from .hub import BATCH_SIZE, LineStream, QuarantineRecord, RefStream
 from .registry import (
     REGISTRY, BuildContext, ConsumerEntry, ConsumerRegistry,
     consumer_names, create_consumer, register_consumer,
@@ -29,7 +29,7 @@ __all__ = [
     "BATCH_SIZE", "BuildContext", "CollectingRefConsumer",
     "ConsumerEntry", "ConsumerRegistry", "KIND_IFETCH", "KIND_READ",
     "KIND_WRITE", "LineConsumer", "LineEvent", "LineStream",
-    "MemoryEvent", "NullRefConsumer", "REGISTRY", "RefConsumer",
-    "RefStream", "consumer_names", "create_consumer",
+    "MemoryEvent", "NullRefConsumer", "QuarantineRecord", "REGISTRY",
+    "RefConsumer", "RefStream", "consumer_names", "create_consumer",
     "register_consumer", "spec_safe_consumer_names",
 ]

@@ -11,17 +11,42 @@ the property the pipeline-overhead regression test pins.
 Producers check ``stream.consumers`` (a plain list) before emitting, so
 a stream with no consumers costs a single truthiness test per event
 site, same as the ad-hoc observer lists it replaced.
+
+Quarantine: a consumer whose callback raises must never take the
+producing run down -- the paper's degrade-gracefully contract.  Both
+hubs catch exceptions from delivery callbacks (``on_refs`` /
+``on_lines`` / ``on_epoch`` / ``finish``), detach the offending
+consumer on the spot, and record a :class:`QuarantineRecord` (stage,
+error, traceback) on ``stream.quarantined``; the run then completes
+with the remaining consumers and the outcome reports the quarantine
+instead of propagating it (see ``_StreamPlan.derived`` in
+:mod:`repro.runners`).  Each quarantine increments the
+``stream.quarantined`` telemetry counter.
 """
 
 from __future__ import annotations
 
+import traceback
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
+
+from repro.telemetry import get_telemetry
 
 from .consumer import LineConsumer, RefConsumer
 from .events import LineEvent, MemoryEvent
 
 #: Buffered events between batch deliveries.
 BATCH_SIZE = 4096
+
+
+@dataclass
+class QuarantineRecord:
+    """One detached consumer and the failure that condemned it."""
+
+    consumer: Any
+    stage: str  # "on_refs" | "on_lines" | "on_epoch" | "finish"
+    error: str
+    traceback: str
 
 
 class RefStream:
@@ -32,6 +57,8 @@ class RefStream:
             raise ValueError("batch_size must be >= 1")
         self.batch_size = batch_size
         self.consumers: List[RefConsumer] = []
+        #: Consumers detached after a callback raised, with the error.
+        self.quarantined: List[QuarantineRecord] = []
         #: Current trace pass label (``"<head>@<entry>"``) or ``None``;
         #: the runtime stamps it around trace execution.
         self.trace_id: Optional[str] = None
@@ -53,6 +80,18 @@ class RefStream:
         self.wants_ifetch = any(
             getattr(c, "wants_ifetch", False) for c in self.consumers)
 
+    def _quarantine(self, consumer: RefConsumer, stage: str,
+                    exc: Exception) -> None:
+        self.quarantined.append(QuarantineRecord(
+            consumer=consumer, stage=stage,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc(),
+        ))
+        self.consumers.remove(consumer)
+        self.wants_ifetch = any(
+            getattr(c, "wants_ifetch", False) for c in self.consumers)
+        get_telemetry().count("stream.quarantined")
+
     # -- producing ---------------------------------------------------------
 
     def emit(self, pc: int, addr: int, size: int, kind: int,
@@ -70,21 +109,30 @@ class RefStream:
             return
         batch = buf[:]
         del buf[:]
-        for consumer in self.consumers:
-            consumer.on_refs(batch)
+        for consumer in list(self.consumers):
+            try:
+                consumer.on_refs(batch)
+            except Exception as exc:  # noqa: BLE001 -- quarantined
+                self._quarantine(consumer, "on_refs", exc)
 
     def epoch(self, info: Optional[Dict[str, Any]] = None) -> None:
         """Flush, then signal an analysis epoch to every consumer."""
         self.drain()
         info = info if info is not None else {}
-        for consumer in self.consumers:
-            consumer.on_epoch(info)
+        for consumer in list(self.consumers):
+            try:
+                consumer.on_epoch(info)
+            except Exception as exc:  # noqa: BLE001 -- quarantined
+                self._quarantine(consumer, "on_epoch", exc)
 
     def finish(self) -> None:
         """Flush and close the stream (call once, at run end)."""
         self.drain()
-        for consumer in self.consumers:
-            consumer.finish()
+        for consumer in list(self.consumers):
+            try:
+                consumer.finish()
+            except Exception as exc:  # noqa: BLE001 -- quarantined
+                self._quarantine(consumer, "finish", exc)
 
 
 class LineStream:
@@ -95,6 +143,8 @@ class LineStream:
             raise ValueError("batch_size must be >= 1")
         self.batch_size = batch_size
         self.consumers: List[LineConsumer] = []
+        #: Consumers detached after a callback raised, with the error.
+        self.quarantined: List[QuarantineRecord] = []
         self._buf: List[LineEvent] = []
 
     def attach(self, consumer: LineConsumer) -> LineConsumer:
@@ -104,6 +154,16 @@ class LineStream:
     def detach(self, consumer: LineConsumer) -> None:
         self.drain()
         self.consumers.remove(consumer)
+
+    def _quarantine(self, consumer: LineConsumer, stage: str,
+                    exc: Exception) -> None:
+        self.quarantined.append(QuarantineRecord(
+            consumer=consumer, stage=stage,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc(),
+        ))
+        self.consumers.remove(consumer)
+        get_telemetry().count("stream.quarantined")
 
     def emit(self, pc: int, line_addr: int, is_write: bool,
              l1_hit: bool, l2_hit: bool) -> None:
@@ -118,10 +178,16 @@ class LineStream:
             return
         batch = buf[:]
         del buf[:]
-        for consumer in self.consumers:
-            consumer.on_lines(batch)
+        for consumer in list(self.consumers):
+            try:
+                consumer.on_lines(batch)
+            except Exception as exc:  # noqa: BLE001 -- quarantined
+                self._quarantine(consumer, "on_lines", exc)
 
     def finish(self) -> None:
         self.drain()
-        for consumer in self.consumers:
-            consumer.finish()
+        for consumer in list(self.consumers):
+            try:
+                consumer.finish()
+            except Exception as exc:  # noqa: BLE001 -- quarantined
+                self._quarantine(consumer, "finish", exc)

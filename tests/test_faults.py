@@ -1,0 +1,494 @@
+"""Tests for the resilience layer: fault plans, retries, quarantine.
+
+The load-bearing property is *determinism*: a seeded fault plan run
+through the serial executor and through the parallel executor must
+produce byte-identical ``FailedRun`` payloads and identical retry /
+timeout counter values, because fault decisions are pure functions of
+``(seed, kind, spec digest, attempt)`` and failures are captured at the
+single ``_attempt_group`` seam both executors share.  The rest covers
+each fault class end to end: crash-then-retry recovery, deadline
+classification, consumer quarantine, torn-record detection and repair,
+checkpoint/resume, interrupt handling, and the CLI surface.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    ExecutionEngine, FailedRun, InterruptReport, ParallelExecutor,
+    ResultStore, RetryPolicy, RunSpec, SerialExecutor,
+    SpecExecutionError, is_failed_payload, plan_groups,
+)
+from repro.experiments.cli import main
+from repro.faults import (
+    FaultPlan, FaultRule, InjectedConsumerFault, fault_injection,
+    load_fault_plan,
+)
+from repro.stream import CollectingRefConsumer, RefStream
+from repro.telemetry import TELEMETRY
+
+SCALE = 0.1
+MACHINE_SCALE = 16
+WORKLOAD = "181.mcf"
+OTHER = "183.equake"
+
+
+def native_spec(workload=WORKLOAD, **kwargs):
+    return RunSpec.native(workload, SCALE, "pentium4", MACHINE_SCALE,
+                          **kwargs)
+
+
+def policy(attempts=1, timeout=None):
+    """A retry policy with a no-op sleep (tests never really back off)."""
+    return RetryPolicy(max_attempts=attempts, timeout=timeout,
+                       sleep=lambda _s: None)
+
+
+def crash_plan(match, attempts=99):
+    return FaultPlan(seed=3, rules=(
+        FaultRule(kind="crash", match=match, attempts=attempts),))
+
+
+@pytest.fixture
+def global_telemetry():
+    """The module-level object, enabled, clean before and after."""
+    TELEMETRY.reset()
+    TELEMETRY.enable()
+    yield TELEMETRY
+    TELEMETRY.reset()
+    TELEMETRY.disable()
+
+
+def counter(name):
+    return TELEMETRY.registry.counter(name).value
+
+
+class TestFaultPlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule(kind="meteor")
+
+    def test_consumer_rule_needs_name(self):
+        with pytest.raises(ValueError, match="consumer name"):
+            FaultRule(kind="consumer")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule(kind="crash", probability=1.5)
+
+    def test_matching_star_workload_and_digest_prefix(self):
+        spec = native_spec()
+        assert FaultRule(kind="crash").matches_spec(spec)
+        assert FaultRule(kind="crash", match=WORKLOAD).matches_spec(spec)
+        assert FaultRule(kind="crash",
+                         match=spec.digest()[:8]).matches_spec(spec)
+        assert not FaultRule(kind="crash", match=OTHER).matches_spec(spec)
+
+    def test_attempts_bound_lets_retry_succeed(self):
+        plan = crash_plan(WORKLOAD, attempts=1)
+        spec = native_spec()
+        assert plan.crash_for(spec, 1)
+        assert not plan.crash_for(spec, 2)
+
+    def test_probability_draws_are_deterministic(self):
+        plan = FaultPlan(seed=11, rules=(
+            FaultRule(kind="crash", probability=0.5, attempts=99),))
+        specs = [native_spec(counter_sample_size=n)
+                 for n in (10, 20, 30, 40)]
+        first = [plan.crash_for(s, a) for s in specs for a in (1, 2)]
+        again = [plan.crash_for(s, a) for s in specs for a in (1, 2)]
+        assert first == again
+
+    def test_round_trip_and_load(self, tmp_path):
+        plan = FaultPlan(seed=5, rules=(
+            FaultRule(kind="hang", match=WORKLOAD, hang_seconds=1.5),
+            FaultRule(kind="consumer", consumer="phase", batch=3),
+        ))
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_dict()))
+        assert load_fault_plan(str(path)) == plan
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential(self):
+        pol = RetryPolicy(max_attempts=3, backoff_base=0.1,
+                          backoff_factor=2.0)
+        assert pol.backoff(1) == pytest.approx(0.1)
+        assert pol.backoff(2) == pytest.approx(0.2)
+
+    def test_crash_then_retry_succeeds(self, global_telemetry):
+        slept = []
+        pol = RetryPolicy(max_attempts=2, backoff_base=0.25,
+                          sleep=slept.append)
+        ex = SerialExecutor(retry=pol, strict=True)
+        with fault_injection(crash_plan(WORKLOAD, attempts=1)):
+            payloads = ex.execute([native_spec()])
+        assert payloads[0]["kind"] == "run_outcome"
+        assert ex.runs_executed == 1 and ex.runs_failed == 0
+        assert slept == [0.25]
+        assert counter("executor.retries") == 1
+
+    def test_strict_raises_after_exhausting_attempts(self):
+        ex = SerialExecutor(retry=policy(attempts=2), strict=True)
+        with fault_injection(crash_plan(WORKLOAD)):
+            with pytest.raises(SpecExecutionError) as excinfo:
+                ex.execute([native_spec()])
+        assert "attempts=2" in str(excinfo.value)
+        assert "InjectedCrash" in str(excinfo.value)
+        assert excinfo.value.spec == native_spec()
+
+
+class TestFaultDeterminism:
+    """Same seed, same plan -> identical residue, serial or parallel."""
+
+    def _sweep(self, parallel, plan, pol):
+        TELEMETRY.reset()
+        if parallel:
+            ex = ParallelExecutor(jobs=2, retry=pol, strict=False)
+        else:
+            ex = SerialExecutor(retry=pol, strict=False)
+        with fault_injection(plan):
+            results = ex.execute_groups(
+                [[native_spec()], [native_spec(OTHER)]])
+        return results, {
+            "retries": counter("executor.retries"),
+            "timeouts": counter("executor.timeouts"),
+        }
+
+    def test_crash_payloads_identical_serial_vs_parallel(
+            self, global_telemetry):
+        plan, pol = crash_plan(WORKLOAD), policy(attempts=2)
+        serial, serial_counts = self._sweep(False, plan, pol)
+        parallel, parallel_counts = self._sweep(True, plan, pol)
+        assert json.dumps(serial, sort_keys=True) \
+            == json.dumps(parallel, sort_keys=True)
+        assert serial_counts == parallel_counts
+        assert serial_counts["retries"] == 1
+        failed = serial[0][0]
+        assert is_failed_payload(failed)
+        assert failed["reason"] == "error"
+        assert failed["attempts"] == 2
+        assert "InjectedCrash" in failed["error"]
+        # The unaffected group resolved normally in both sweeps.
+        assert serial[1][0]["kind"] == "run_outcome"
+
+    def test_timeout_classification_identical(self, global_telemetry):
+        # The deadline must be generous enough that only the hung
+        # group overruns it -- the clean group's real run (and, in the
+        # parallel sweep, pool startup) must fit inside it.
+        plan = FaultPlan(seed=3, rules=(
+            FaultRule(kind="hang", match=WORKLOAD, attempts=99,
+                      hang_seconds=2.5),))
+        pol = policy(attempts=2, timeout=2.0)
+        serial, serial_counts = self._sweep(False, plan, pol)
+        parallel, parallel_counts = self._sweep(True, plan, pol)
+        failed = serial[0][0]
+        assert failed["reason"] == "timeout"
+        assert failed["traceback"] is None
+        assert "2s deadline" in failed["error"]
+        assert json.dumps(serial[0], sort_keys=True) \
+            == json.dumps(parallel[0], sort_keys=True)
+        assert serial_counts == parallel_counts
+        assert serial_counts["timeouts"] == 2
+
+    def test_failed_run_round_trips(self):
+        failed = FailedRun(spec=native_spec(), reason="error",
+                           error="InjectedCrash: boom", attempts=3,
+                           failed_member=native_spec().describe(),
+                           traceback="tb")
+        assert FailedRun.from_payload(failed.to_payload()) == failed
+        assert is_failed_payload(failed.to_payload())
+        assert "after 3 attempt(s)" in failed.describe()
+
+
+class TestFusedMemberAttribution:
+    def _fused_group(self):
+        group = plan_groups([native_spec(counter_sample_size=50),
+                             native_spec(counter_sample_size=100)])
+        assert len(group) == 1 and len(group[0]) == 2
+        return group[0]
+
+    def test_crashing_member_is_named(self):
+        group = self._fused_group()
+        plan = crash_plan(group[1].digest()[:12])
+        ex = SerialExecutor(retry=policy(), strict=True)
+        with fault_injection(plan):
+            with pytest.raises(SpecExecutionError) as excinfo:
+                ex.execute_groups([group])
+        assert excinfo.value.spec == group[1]
+        assert "member 2/2 of the fused group" in str(excinfo.value)
+
+    def test_member_recorded_in_failed_payloads(self):
+        group = self._fused_group()
+        plan = crash_plan(group[1].digest()[:12])
+        ex = SerialExecutor(retry=policy(), strict=False)
+        with fault_injection(plan):
+            results = ex.execute_groups([group])
+        assert [p["failed_member"] for p in results[0]] \
+            == [group[1].describe()] * 2
+
+    def test_shared_execution_failure_blames_no_member(self, monkeypatch):
+        def explode(*_args, **_kwargs):
+            raise RuntimeError("shared boom")
+
+        monkeypatch.setattr("repro.engine.executor.run_native_fused",
+                            explode)
+        group = self._fused_group()
+        ex = SerialExecutor(retry=policy(), strict=True)
+        with pytest.raises(SpecExecutionError) as excinfo:
+            ex.execute_groups([group])
+        assert "shared fused execution of 2 specs" in str(excinfo.value)
+        strict_free = SerialExecutor(retry=policy(), strict=False)
+        results = strict_free.execute_groups([group])
+        assert all(p["failed_member"] is None for p in results[0])
+
+
+class TestConsumerQuarantine:
+    def test_hub_detaches_thrower_and_keeps_going(self, global_telemetry):
+        class Boom:
+            def on_refs(self, batch):
+                raise RuntimeError("boom")
+
+            def finish(self):
+                pass
+
+        stream = RefStream(batch_size=1)
+        boom, survivor = Boom(), CollectingRefConsumer()
+        stream.attach(boom)
+        stream.attach(survivor)
+        stream.emit(0, 64, 4, 0, 0)
+        stream.emit(4, 128, 4, 0, 1)
+        stream.finish()
+        assert len(survivor.events) == 2
+        assert boom not in stream.consumers
+        record = stream.quarantined[0]
+        assert record.consumer is boom and record.stage == "on_refs"
+        assert "RuntimeError: boom" in record.error
+        assert counter("stream.quarantined") == 1
+
+    def test_run_completes_with_quarantined_summary(
+            self, global_telemetry):
+        plan = FaultPlan(rules=(
+            FaultRule(kind="consumer", consumer="phase", batch=1),))
+        engine = ExecutionEngine(jobs=1)
+        spec = native_spec(consumers=("phase",))
+        with fault_injection(plan):
+            outcome = engine.run(spec)
+        phase = outcome.derived["phase"]
+        assert phase["quarantined"] is True
+        assert phase["stage"] == "on_lines"
+        assert "InjectedConsumerFault" in phase["error"]
+        assert counter("stream.quarantined") >= 1
+        # Without the plan the same spec yields a real summary.
+        clean = ExecutionEngine(jobs=1).run(spec)
+        assert "quarantined" not in clean.derived["phase"]
+
+
+class TestStoreHealth:
+    def _filled_store(self, tmp_path, plan=None):
+        store = ResultStore(tmp_path / "store")
+        engine = ExecutionEngine(jobs=1, store=store)
+        with fault_injection(plan):
+            engine.run_many([native_spec(), native_spec(OTHER)])
+        return store
+
+    def test_torn_record_is_a_miss_and_fsck_finds_it(self, tmp_path):
+        plan = FaultPlan(rules=(
+            FaultRule(kind="torn_record", match=WORKLOAD),))
+        store = self._filled_store(tmp_path, plan)
+        assert native_spec() not in store
+        assert native_spec(OTHER) in store
+        report = store.fsck()
+        assert report.scanned == 2 and report.valid == 1
+        assert report.corrupt == [f"{native_spec().digest()}.json"]
+        assert report.problems == 1
+        assert "digest-mismatch: 0" in report.render()
+
+    def test_fsck_repair_quarantines_damage(self, tmp_path,
+                                            global_telemetry):
+        plan = FaultPlan(rules=(
+            FaultRule(kind="torn_record", match=WORKLOAD),))
+        store = self._filled_store(tmp_path, plan)
+        report = store.fsck(repair=True)
+        assert report.quarantined == [f"{native_spec().digest()}.json"]
+        assert (store.root / "quarantine"
+                / f"{native_spec().digest()}.json").exists()
+        assert store.fsck().problems == 0
+        assert counter("store.repaired") == 1
+
+    def test_records_skips_and_counts_digest_mismatch(self, tmp_path):
+        store = self._filled_store(tmp_path)
+        path = store.path_for(native_spec())
+        path.rename(store.root / f"{'0' * 64}.json")
+        records = list(store.records())
+        assert len(records) == 1
+        assert store.records_skipped_mismatch == 1
+        report = store.fsck()
+        assert report.mismatched == [f"{'0' * 64}.json"]
+
+
+class TestCheckpointResume:
+    def test_failures_stay_out_of_store_and_resume_reruns_them(
+            self, tmp_path):
+        store_root = tmp_path / "store"
+        engine = ExecutionEngine(jobs=1, store=ResultStore(store_root),
+                                 strict=False, retry=policy(attempts=2))
+        with fault_injection(crash_plan(WORKLOAD)):
+            resolved = engine.run_many([native_spec(),
+                                        native_spec(OTHER)])
+        assert isinstance(resolved[0], FailedRun)
+        assert engine.runs_failed == 1
+        assert native_spec() in engine.failed_runs()
+        store = ResultStore(store_root)
+        assert native_spec() not in store
+        assert native_spec(OTHER) in store
+        # A failed spec is not re-executed within the session...
+        again = engine.run_many([native_spec()])
+        assert again[0] is resolved[0]
+        # ...but a fresh (resumed) engine re-plans exactly the failures.
+        resumed = ExecutionEngine(jobs=1, store=ResultStore(store_root))
+        outcomes = resumed.run_many([native_spec(), native_spec(OTHER)])
+        assert resumed.runs_executed == 1
+        assert not isinstance(outcomes[0], FailedRun)
+
+    def test_strict_failure_still_checkpoints_earlier_groups(
+            self, tmp_path):
+        store_root = tmp_path / "store"
+        engine = ExecutionEngine(jobs=1, store=ResultStore(store_root),
+                                 strict=True, retry=policy())
+        with fault_injection(crash_plan(OTHER)):
+            with pytest.raises(SpecExecutionError):
+                engine.run_many([native_spec(), native_spec(OTHER)])
+        assert native_spec() in ResultStore(store_root)
+
+
+class TestInterrupts:
+    def _interrupt_after_first(self):
+        calls = []
+
+        def on_result(index, group, payloads):
+            calls.append(index)
+            raise KeyboardInterrupt
+
+        return calls, on_result
+
+    def test_serial_interrupt_reports_progress(self, global_telemetry):
+        calls, on_result = self._interrupt_after_first()
+        ex = SerialExecutor(retry=policy())
+        with pytest.raises(KeyboardInterrupt):
+            ex.execute_groups([[native_spec()], [native_spec(OTHER)]],
+                              on_result=on_result)
+        assert calls == [0]
+        assert ex.last_interrupt == InterruptReport(completed=1, total=2)
+        assert any(e.get("name") == "executor.interrupted"
+                   for e in TELEMETRY.events)
+
+    def test_parallel_interrupt_terminates_pool_cleanly(self):
+        calls, on_result = self._interrupt_after_first()
+        ex = ParallelExecutor(jobs=2, retry=policy())
+        with pytest.raises(KeyboardInterrupt):
+            ex.execute_groups([[native_spec()], [native_spec(OTHER)]],
+                              on_result=on_result)
+        assert ex.last_interrupt is not None
+        assert ex.last_interrupt.total == 2
+        assert ex.last_interrupt.completed >= 1
+
+
+class TestAcceptanceWavefront:
+    """Scaled-down version of the issue's acceptance scenario."""
+
+    def test_partial_results_match_clean_sweep(self, global_telemetry):
+        # Distinct workloads, so the planner keeps four singleton
+        # groups: faults on one group cannot leak into another.
+        specs = [native_spec(),                 # crashes every attempt
+                 native_spec(OTHER),            # hangs past the deadline
+                 native_spec("255.vortex"),     # clean
+                 native_spec("179.art")]        # clean
+        groups = plan_groups(specs)
+        assert [len(g) for g in groups] == [1, 1, 1, 1]
+        plan = FaultPlan(seed=9, rules=(
+            FaultRule(kind="crash", match=WORKLOAD, attempts=99),
+            FaultRule(kind="hang", match=OTHER, attempts=99,
+                      hang_seconds=30.0),
+        ))
+
+        clean_ex = SerialExecutor(retry=RetryPolicy(), strict=True)
+        clean = clean_ex.execute_groups(groups)
+
+        # The per-group deadline is measured from submission, so it
+        # must comfortably cover pool startup and queueing -- only the
+        # deliberately hung group may overrun it.
+        ex = ParallelExecutor(jobs=2, retry=policy(attempts=2,
+                                                   timeout=2.0),
+                              strict=False)
+        with fault_injection(plan):
+            chaos = ex.execute_groups(groups)
+
+        crashed, timed_out = chaos[0][0], chaos[1][0]
+        assert is_failed_payload(crashed) and crashed["reason"] == "error"
+        assert is_failed_payload(timed_out) \
+            and timed_out["reason"] == "timeout"
+        assert ex.runs_failed == 2 and ex.runs_executed == 2
+        assert counter("executor.retries") == 2
+        for index in (2, 3):
+            assert json.dumps(chaos[index], sort_keys=True) \
+                == json.dumps(clean[index], sort_keys=True)
+
+
+class TestResilienceCLI:
+    def test_resume_requires_store(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table2", "--resume"])
+        assert "--resume needs --store" in capsys.readouterr().err
+
+    def test_resume_banner_and_reuse(self, tmp_path, capsys):
+        store = tmp_path / "cache"
+        assert main(["table2", "--scale", "0.1", "--store",
+                     str(store)]) == 0
+        capsys.readouterr()
+        assert main(["table2", "--scale", "0.1", "--store", str(store),
+                     "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "[resume: 4/4 specs already stored" in out
+        assert "0 runs executed, 4 reused" in out
+
+    def test_faults_flag_reports_and_skips(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps(FaultPlan(rules=(
+            FaultRule(kind="crash", attempts=99),)).to_dict()))
+        assert main(["table2", "--scale", "0.1", "--faults",
+                     str(plan_path)]) == 1
+        out = capsys.readouterr().out
+        assert "runs failed after retries" in out
+        assert "table2 skipped" in out
+
+    def test_strict_flag_restores_fail_fast(self, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps(FaultPlan(rules=(
+            FaultRule(kind="crash", attempts=99),)).to_dict()))
+        with pytest.raises(SpecExecutionError):
+            main(["table2", "--scale", "0.1", "--faults",
+                  str(plan_path), "--strict"])
+
+    def test_store_fsck_subcommand(self, tmp_path, capsys):
+        store_dir = tmp_path / "cache"
+        assert main(["table2", "--scale", "0.1", "--store",
+                     str(store_dir)]) == 0
+        capsys.readouterr()
+        assert main(["store", "fsck", "--store", str(store_dir)]) == 0
+        victim = sorted(store_dir.glob("*.json"))[0]
+        victim.write_text(victim.read_text()[:40])
+        assert main(["store", "fsck", "--store", str(store_dir)]) == 1
+        assert "--repair" in capsys.readouterr().out
+        assert main(["store", "fsck", "--store", str(store_dir),
+                     "--repair"]) == 0
+        assert main(["store", "fsck", "--store", str(store_dir)]) == 0
+        assert (store_dir / "quarantine" / victim.name).exists()
+
+    def test_fsck_requires_store_and_known_action(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["store", "fsck"])
+        with pytest.raises(SystemExit):
+            main(["store", "scrub", "--store", "x"])
