@@ -56,6 +56,10 @@ class ExecutionEngine:
         self.executor = executor if executor is not None \
             else make_executor(jobs, retry=retry, strict=strict)
         self.store = store
+        #: Specs handed to the executor this session (memo/store hits
+        #: excluded, failed specs included) -- the spec-level
+        #: counterpart of the executor's per-*group* ``runs_executed``.
+        self.specs_executed = 0
         self._memo: Dict[RunSpec, RunOutcome] = {}
         self._payloads: Dict[RunSpec, dict] = {}
         self._failed: Dict[RunSpec, FailedRun] = {}
@@ -119,6 +123,7 @@ class ExecutionEngine:
                                 groups=len(groups),
                                 jobs=getattr(self.executor, "jobs", 1)):
                 self._execute_wavefront(groups)
+            self.specs_executed += len(missing)
             telemetry.count("engine.specs_executed", n=len(missing))
         return [self._failed[spec] if spec in self._failed
                 else self._memo[spec] for spec in specs]

@@ -15,23 +15,27 @@ completion order.
 
 Resilience: both executors run every fusion group through a
 :class:`RetryPolicy` -- bounded attempts, exponential backoff with an
-injectable sleep, and an optional per-group wall-clock deadline.  In
-the parallel executor the deadline is enforced from the parent via
-``apply_async``-style timed collection (a hung worker cannot stall the
-wavefront); the serial executor enforces it post-hoc on the attempt's
-elapsed time, which keeps failure classification identical between the
-two paths.  A group that still fails after its attempts are exhausted
-becomes one structured :class:`FailedRun` payload per member spec --
+injectable sleep, and an optional per-group wall-clock deadline.  The
+parallel executor runs every attempt in a dedicated, killable worker
+process (at most ``jobs`` in flight); the deadline clock starts when
+the group's process starts -- time spent waiting for a free slot never
+counts against it -- and a process that overruns the deadline is
+terminated on the spot, so a hung worker neither stalls the wavefront
+nor starves retries of a slot.  The serial executor enforces the same
+deadline post-hoc on the attempt's elapsed time, which keeps failure
+classification identical between the two paths.  A group that still
+fails after its attempts are exhausted becomes one structured
+:class:`FailedRun` payload per member spec --
 the wavefront *completes* and reports partial results -- unless the
 executor is ``strict``, in which case the final failure raises
 :class:`SpecExecutionError` naming the member spec (or the shared
 fused execution) that actually failed.  ``KeyboardInterrupt`` is
-handled gracefully: the pool is terminated cleanly, telemetry for
+handled gracefully: outstanding workers are terminated, telemetry for
 completed groups stays merged, and ``last_interrupt`` reports how many
 groups finished before the interrupt.
 
 Telemetry: every executed spec is timed under an ``executor.spec`` span
-(labelled by workload, carrying the spec digest).  Pool workers record
+(labelled by workload, carrying the spec digest).  Workers record
 into their own process-local telemetry and ship a snapshot back with
 the payload; the parent merges snapshots in spec submission order, so
 the combined registry is identical to a serial run's.  Retries and
@@ -43,12 +47,13 @@ Fault injection (:mod:`repro.faults`) hooks in at exactly one seam:
 :func:`_attempt_group` consults the installed plan before executing,
 so injected crashes and hangs take the same code path -- and produce
 byte-identical failure payloads -- whether the attempt runs in-process
-or in a pool worker.
+or in a worker process.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -266,7 +271,7 @@ def _attempt_group(group: Sequence[RunSpec], attempt: int
     """One execution attempt: ``("ok", payloads)`` or ``("error", info)``.
 
     The single seam both executors funnel through, in-process or in a
-    pool worker: fault-plan hooks fire here, and exceptions are caught
+    worker process: fault-plan hooks fire here, and exceptions are caught
     here, so the failure info dict (error text, traceback, blamed
     member index) is byte-identical regardless of which executor ran
     the attempt.  Exceptions are flattened to strings so unpicklable
@@ -402,14 +407,14 @@ def _execute_groups_serially(executor, groups: List[List[RunSpec]],
 
 
 def _pool_execute(item: Tuple[Sequence[RunSpec], int, bool, Any]):
-    """Pool worker unit: one attempt of one fusion group.
+    """Worker-process unit: one attempt of one fusion group.
 
     Returns ``(status, value, snapshot_or_None)`` where ``(status,
     value)`` comes straight from :func:`_attempt_group`.  The parent's
     fault plan travels inside the item and is installed on entry, so
     injection behaves identically under ``fork`` and ``spawn`` start
     methods.  Telemetry is reset per attempt, making each snapshot
-    self-contained regardless of how the pool schedules the work.
+    self-contained regardless of how attempts land on processes.
     """
     group, attempt, telemetry_enabled, plan = item
     install_fault_plan(plan)
@@ -419,6 +424,41 @@ def _pool_execute(item: Tuple[Sequence[RunSpec], int, bool, Any]):
     status, value = _attempt_group(group, attempt)
     snapshot = telemetry.snapshot() if telemetry_enabled else None
     return (status, value, snapshot)
+
+
+def _dead_worker_failure(group: Sequence[RunSpec]) -> Dict[str, Any]:
+    """Failure info for a worker that died without reporting a result."""
+    return {
+        "reason": "error",
+        "error": "RuntimeError: worker process died without reporting "
+                 "a result",
+        "traceback": None,
+        "member": 0 if len(group) == 1 else None,
+    }
+
+
+def _wave_worker(conn, item: Tuple[Sequence[RunSpec], int, bool, Any]
+                 ) -> None:
+    """Dedicated-process entry: run one attempt, ship the result back.
+
+    :func:`_pool_execute` already flattens execution failures into the
+    ``("error", info, snapshot)`` shape; the guard here only covers
+    failures *around* it (e.g. an unpicklable result), so the parent
+    still receives a structured failure instead of a bare EOF.
+    """
+    try:
+        result = _pool_execute(item)
+    except BaseException as exc:  # noqa: BLE001 -- last-resort guard
+        result = ("error", {
+            "reason": "error",
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+            "member": 0 if len(item[0]) == 1 else None,
+        }, None)
+    try:
+        conn.send(result)
+    finally:
+        conn.close()
 
 
 class SerialExecutor:
@@ -470,6 +510,74 @@ class ParallelExecutor:
         results = self.execute_groups([[spec] for spec in specs])
         return [payloads[0] for payloads in results]
 
+    def _run_wave(self, ctx, groups: List[List[RunSpec]],
+                  pending: List[int], attempt: int, plan,
+                  telemetry_enabled: bool,
+                  outcomes: Dict[int, Any], expired: set) -> None:
+        """One retry wave: every pending group in its own process.
+
+        At most ``self.jobs`` processes run at once; each group's
+        deadline clock starts when *its* process starts, so time spent
+        waiting for a free slot never counts against the deadline.  A
+        process that overruns the deadline is terminated on the spot
+        (the serial path's post-hoc rule: an attempt that overran is a
+        timeout even if its result just arrived), so a hung worker
+        neither occupies a slot nor can a retry queue behind it.
+        Results land incrementally in ``outcomes`` (index ->
+        ``(status, value, snapshot)``) and ``expired``, so the caller
+        can salvage completed groups when the wave is interrupted.
+        """
+        policy = self.retry
+        waiting = list(pending)
+        running: Dict[int, Tuple[Any, Any, float]] = {}
+        try:
+            while waiting or running:
+                while waiting and len(running) < self.jobs:
+                    index = waiting.pop(0)
+                    recv_end, send_end = ctx.Pipe(duplex=False)
+                    process = ctx.Process(
+                        target=_wave_worker,
+                        args=(send_end, (groups[index], attempt,
+                                         telemetry_enabled, plan)),
+                        daemon=True)
+                    process.start()
+                    send_end.close()
+                    running[index] = (process, recv_end, time.monotonic())
+                wait_for = None
+                if policy.timeout is not None:
+                    now = time.monotonic()
+                    wait_for = max(0.0, min(
+                        started + policy.timeout - now
+                        for _, _, started in running.values()))
+                ready = multiprocessing.connection.wait(
+                    [conn for _, conn, _ in running.values()], wait_for)
+                now = time.monotonic()
+                for index in list(running):
+                    process, conn, started = running[index]
+                    if policy.timeout is not None \
+                            and now - started > policy.timeout:
+                        expired.add(index)
+                        process.terminate()
+                    elif conn in ready:
+                        try:
+                            outcomes[index] = conn.recv()
+                        except EOFError:  # died without reporting
+                            outcomes[index] = (
+                                "error",
+                                _dead_worker_failure(groups[index]), None)
+                    else:
+                        continue
+                    process.join()
+                    conn.close()
+                    del running[index]
+        except BaseException:
+            for process, _conn, _started in running.values():
+                process.terminate()
+            for process, conn, _started in running.values():
+                process.join()
+                conn.close()
+            raise
+
     def execute_groups(self, groups: Sequence[Sequence[RunSpec]],
                        on_result: Optional[OnResult] = None
                        ) -> List[List[Dict[str, Any]]]:
@@ -490,45 +598,39 @@ class ParallelExecutor:
         telemetry = get_telemetry()
         policy = self.retry
         plan = active_fault_plan()
-        workers = min(self.jobs, len(groups))
         results: List[Optional[List[Dict[str, Any]]]] = [None] * len(groups)
         failures: Dict[int, Dict[str, Any]] = {}
         completed = 0
-        with ctx.Pool(processes=workers) as pool:
-            try:
-                pending = list(range(len(groups)))
-                attempt = 1
-                while pending and attempt <= policy.max_attempts:
-                    if attempt > 1:
-                        telemetry.count("executor.retries", n=len(pending))
-                        policy.sleep(policy.backoff(attempt - 1))
-                    submitted = [
-                        (index,
-                         pool.apply_async(
-                             _pool_execute,
-                             ((groups[index], attempt, telemetry.enabled,
-                               plan),)),
-                         time.monotonic())
-                        for index in pending
-                    ]
+        try:
+            pending = list(range(len(groups)))
+            attempt = 1
+            while pending and attempt <= policy.max_attempts:
+                if attempt > 1:
+                    telemetry.count("executor.retries", n=len(pending))
+                    policy.sleep(policy.backoff(attempt - 1))
+                outcomes: Dict[int, Any] = {}
+                expired: set = set()
+                try:
+                    self._run_wave(ctx, groups, pending, attempt, plan,
+                                   telemetry.enabled, outcomes, expired)
+                finally:
+                    # Resolve in submission order -- even when the wave
+                    # was interrupted -- so telemetry merges
+                    # deterministically (result i belongs to group i)
+                    # and completed groups are checkpointed before the
+                    # interrupt unwinds.
                     still_pending = []
-                    # Collect in submission order: result i belongs to
-                    # group i, and telemetry merges deterministically.
-                    for index, handle, submit_time in submitted:
-                        try:
-                            if policy.timeout is None:
-                                outcome = handle.get()
-                            else:
-                                remaining = (submit_time + policy.timeout
-                                             - time.monotonic())
-                                outcome = handle.get(max(0.0, remaining))
-                        except multiprocessing.TimeoutError:
+                    for index in pending:
+                        if index in expired:
                             telemetry.count("executor.timeouts")
                             failures[index] = _timeout_failure(
                                 groups[index], policy)
                             still_pending.append(index)
                             continue
-                        status, value, snapshot = outcome
+                        if index not in outcomes:  # interrupted mid-wave
+                            still_pending.append(index)
+                            continue
+                        status, value, snapshot = outcomes[index]
                         if snapshot is not None:
                             telemetry.merge(snapshot,
                                             source=f"worker:{index}")
@@ -543,31 +645,28 @@ class ParallelExecutor:
                             failures[index] = value
                             still_pending.append(index)
                     pending = still_pending
-                    attempt += 1
-                if pending and self.strict:
-                    first = pending[0]
-                    raise _spec_error(groups[first], failures[first],
-                                      policy.max_attempts)
-                for index in pending:
-                    payloads = _failed_payloads(
-                        groups[index], failures[index], policy.max_attempts)
-                    results[index] = payloads
-                    self.runs_failed += 1
-                    completed += 1
-                    if on_result is not None:
-                        on_result(index, groups[index], payloads)
-            except KeyboardInterrupt:
-                # Kill outstanding workers before surfacing the
-                # interrupt: completed groups stay counted and their
-                # telemetry stays merged, so a resumed sweep picks up
-                # exactly where this one stopped.
-                pool.terminate()
-                pool.join()
-                self.last_interrupt = InterruptReport(completed,
-                                                      len(groups))
-                telemetry.event("executor.interrupted",
-                                completed=completed, total=len(groups))
-                raise
+                attempt += 1
+            if pending and self.strict:
+                first = pending[0]
+                raise _spec_error(groups[first], failures[first],
+                                  policy.max_attempts)
+            for index in pending:
+                payloads = _failed_payloads(
+                    groups[index], failures[index], policy.max_attempts)
+                results[index] = payloads
+                self.runs_failed += 1
+                completed += 1
+                if on_result is not None:
+                    on_result(index, groups[index], payloads)
+        except KeyboardInterrupt:
+            # _run_wave has already reaped its workers; completed
+            # groups stay counted and their telemetry stays merged, so
+            # a resumed sweep picks up exactly where this one stopped.
+            self.last_interrupt = InterruptReport(completed,
+                                                  len(groups))
+            telemetry.event("executor.interrupted",
+                            completed=completed, total=len(groups))
+            raise
         return results
 
 

@@ -382,9 +382,14 @@ def _run_experiments(args, names: List[str], store) -> int:
                   f"checkpointed{hint}]")
             return 130
         elapsed = time.time() - start
-        executed = cache.engine.runs_executed
-        failed = cache.engine.runs_failed
-        reused = len(set(wavefront)) - executed - failed
+        # All spec-level figures: the executor's runs_executed /
+        # runs_failed count fusion *groups*, which would overstate
+        # "reused" (and disagree with the per-spec failed list below)
+        # whenever a fused group has several members.
+        attempted = cache.engine.specs_executed
+        failed = len(cache.engine.failed_runs())
+        executed = attempted - failed
+        reused = len(set(wavefront)) - attempted
         suffix = f", {failed} failed" if failed else ""
         print(f"[wavefront: {executed} runs executed, {reused} reused"
               f"{suffix} in {elapsed:.1f}s]\n")

@@ -5,9 +5,9 @@ executors, the result store, the runner's stream plan) consult
 :func:`active_fault_plan` at their decision points and do nothing when
 no plan is installed -- production runs pay one module-global read.
 
-Pool workers receive the parent's plan inside their work item and
-install it on entry, so injection works identically under ``fork`` and
-``spawn`` start methods and regardless of how the pool chunks work.
+Worker processes receive the parent's plan inside their work item
+and install it on entry, so injection works identically under
+``fork`` and ``spawn`` start methods.
 """
 
 from __future__ import annotations

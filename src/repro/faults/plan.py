@@ -31,7 +31,10 @@ Fault kinds
 ``consumer``
     The named stream consumer raises :class:`InjectedConsumerFault`
     on its ``batch``-th delivered batch (``on_refs``/``on_lines``),
-    exercising the hub's quarantine path.
+    exercising the hub's quarantine path.  Consumer rules select by
+    consumer name alone (it fires in every run that builds that
+    consumer); the spec selectors ``match``, ``attempts`` and
+    ``probability`` are rejected on this kind.
 """
 
 from __future__ import annotations
@@ -67,7 +70,9 @@ class FaultRule:
     attempts (1-based) the rule affects, so ``attempts=1`` faults only
     the first try and lets a retry succeed.  ``probability`` draws a
     deterministic per-``(seed, kind, digest, attempt)`` coin, making
-    partial-coverage chaos plans reproducible.
+    partial-coverage chaos plans reproducible.  ``consumer`` rules
+    select by consumer name alone and reject all three selector
+    fields (see the module docstring).
     """
 
     kind: str
@@ -82,8 +87,19 @@ class FaultRule:
         if self.kind not in FAULT_KINDS:
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
-        if self.kind == "consumer" and not self.consumer:
-            raise ValueError("consumer rules need a consumer name")
+        if self.kind == "consumer":
+            if not self.consumer:
+                raise ValueError("consumer rules need a consumer name")
+            # The consumer seam fires while a run is in flight, where
+            # neither the spec nor the attempt is in scope -- a
+            # consumer rule selects by consumer name alone.  Reject the
+            # spec-selector fields rather than silently ignoring them,
+            # which would break the determinism contract.
+            if (self.match != "*" or self.attempts != 1
+                    or self.probability < 1.0):
+                raise ValueError(
+                    "consumer rules select by consumer name alone; "
+                    "match, attempts and probability are not supported")
         if not 0.0 <= self.probability <= 1.0:
             raise ValueError("probability must be within [0, 1]")
         if self.attempts < 1:

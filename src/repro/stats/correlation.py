@@ -34,9 +34,15 @@ def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
 
     Returns 0.0 when either series is constant (undefined correlation),
     which is the conservative choice for miss-ratio series that can be
-    all zero.
+    all zero.  Constancy is detected on the values themselves, not the
+    computed variance: for a constant series whose mean rounds to a
+    slightly different float (e.g. every element 3.002), the centered
+    sums come out as tiny cancellation noise and would yield a spurious
+    +/-1.  The result is clamped to [-1, 1] against the same rounding.
     """
     _check(xs, ys)
+    if min(xs) == max(xs) or min(ys) == max(ys):
+        return 0.0
     n = len(xs)
     mx = sum(xs) / n
     my = sum(ys) / n
@@ -45,7 +51,7 @@ def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
     syy = sum((y - my) ** 2 for y in ys)
     if sxx == 0.0 or syy == 0.0:
         return 0.0
-    return sxy / math.sqrt(sxx * syy)
+    return max(-1.0, min(1.0, sxy / math.sqrt(sxx * syy)))
 
 
 def paper_formula(xs: Sequence[float], ys: Sequence[float]) -> float:

@@ -21,7 +21,9 @@ error, traceback) on ``stream.quarantined``; the run then completes
 with the remaining consumers and the outcome reports the quarantine
 instead of propagating it (see ``_StreamPlan.derived`` in
 :mod:`repro.runners`).  Each quarantine increments the
-``stream.quarantined`` telemetry counter.
+``stream.quarantined`` telemetry counter.  ``detach`` is idempotent so
+cleanup code that detaches its consumer at end of run (e.g. hardware
+counters) stays safe when quarantine already removed it.
 """
 
 from __future__ import annotations
@@ -75,8 +77,12 @@ class RefStream:
         return consumer
 
     def detach(self, consumer: RefConsumer) -> None:
+        # Idempotent: quarantine may have already removed the consumer,
+        # and cleanup paths (e.g. HardwareCounters.detach) must not
+        # crash the run over an already-detached one.
         self.drain()
-        self.consumers.remove(consumer)
+        if consumer in self.consumers:
+            self.consumers.remove(consumer)
         self.wants_ifetch = any(
             getattr(c, "wants_ifetch", False) for c in self.consumers)
 
@@ -152,8 +158,11 @@ class LineStream:
         return consumer
 
     def detach(self, consumer: LineConsumer) -> None:
+        # Idempotent, like RefStream.detach: the consumer may already
+        # be gone via quarantine.
         self.drain()
-        self.consumers.remove(consumer)
+        if consumer in self.consumers:
+            self.consumers.remove(consumer)
 
     def _quarantine(self, consumer: LineConsumer, stage: str,
                     exc: Exception) -> None:

@@ -12,6 +12,8 @@ checkpoint/resume, interrupt handling, and the CLI surface.
 """
 
 import json
+import multiprocessing
+import time
 
 import pytest
 
@@ -25,7 +27,7 @@ from repro.faults import (
     FaultPlan, FaultRule, InjectedConsumerFault, fault_injection,
     load_fault_plan,
 )
-from repro.stream import CollectingRefConsumer, RefStream
+from repro.stream import CollectingRefConsumer, LineStream, RefStream
 from repro.telemetry import TELEMETRY
 
 SCALE = 0.1
@@ -72,6 +74,14 @@ class TestFaultPlan:
     def test_consumer_rule_needs_name(self):
         with pytest.raises(ValueError, match="consumer name"):
             FaultRule(kind="consumer")
+
+    def test_consumer_rule_rejects_spec_selectors(self):
+        # The consumer seam has no spec or attempt in scope, so these
+        # fields would be silently ignored -- reject them instead.
+        for kwargs in ({"match": "179.art"}, {"attempts": 2},
+                       {"probability": 0.5}):
+            with pytest.raises(ValueError, match="consumer name alone"):
+                FaultRule(kind="consumer", consumer="phase", **kwargs)
 
     def test_probability_bounds(self):
         with pytest.raises(ValueError, match="probability"):
@@ -193,6 +203,44 @@ class TestFaultDeterminism:
         assert serial_counts == parallel_counts
         assert serial_counts["timeouts"] == 2
 
+    def test_queue_wait_does_not_count_against_deadline(
+            self, global_telemetry):
+        # Four slow groups on two workers: measured from each group's
+        # own process start the deadline comfortably fits every
+        # attempt; measured from submission (the old behaviour) the
+        # queued groups would falsely time out behind the first two.
+        plan = FaultPlan(seed=1, rules=(
+            FaultRule(kind="hang", match="*", attempts=99,
+                      hang_seconds=0.8),))
+        specs = [native_spec(), native_spec(OTHER),
+                 native_spec("255.vortex"), native_spec("179.art")]
+        ex = ParallelExecutor(jobs=2, retry=policy(timeout=1.5),
+                              strict=False)
+        with fault_injection(plan):
+            results = ex.execute_groups([[s] for s in specs])
+        assert counter("executor.timeouts") == 0
+        assert all(p[0]["kind"] == "run_outcome" for p in results)
+        assert ex.runs_executed == 4 and ex.runs_failed == 0
+
+    def test_expired_worker_is_killed_not_abandoned(self):
+        # Two groups hanging far past the deadline: expiring workers
+        # are terminated, so retries get fresh slots and the wavefront
+        # ends in about attempts * timeout -- not after the hangs run
+        # their course -- and no worker process outlives the call.
+        plan = FaultPlan(seed=1, rules=(
+            FaultRule(kind="hang", match="*", attempts=99,
+                      hang_seconds=8.0),))
+        ex = ParallelExecutor(jobs=2, retry=policy(attempts=2,
+                                                   timeout=0.4),
+                              strict=False)
+        start = time.monotonic()
+        with fault_injection(plan):
+            results = ex.execute_groups([[native_spec()],
+                                         [native_spec(OTHER)]])
+        assert time.monotonic() - start < 4.0
+        assert all(p[0]["reason"] == "timeout" for p in results)
+        assert not multiprocessing.active_children()
+
     def test_failed_run_round_trips(self):
         failed = FailedRun(spec=native_spec(), reason="error",
                            error="InjectedCrash: boom", attempts=3,
@@ -267,6 +315,31 @@ class TestConsumerQuarantine:
         assert record.consumer is boom and record.stage == "on_refs"
         assert "RuntimeError: boom" in record.error
         assert counter("stream.quarantined") == 1
+
+    def test_detach_after_quarantine_is_idempotent(self, global_telemetry):
+        class Boom:
+            def on_refs(self, batch):
+                raise RuntimeError("boom")
+
+            def on_lines(self, batch):
+                raise RuntimeError("boom")
+
+            def finish(self):
+                pass
+
+        ref_stream, boom = RefStream(batch_size=1), Boom()
+        ref_stream.attach(boom)
+        ref_stream.emit(0, 64, 4, 0, 0)
+        assert boom not in ref_stream.consumers
+        # Cleanup code (e.g. HardwareCounters.detach) detaching its
+        # already-quarantined consumer must not crash the run.
+        ref_stream.detach(boom)
+
+        line_stream, boom = LineStream(batch_size=1), Boom()
+        line_stream.attach(boom)
+        line_stream.emit(0, 64, False, True, True)
+        assert boom not in line_stream.consumers
+        line_stream.detach(boom)
 
     def test_run_completes_with_quarantined_summary(
             self, global_telemetry):
@@ -417,9 +490,9 @@ class TestAcceptanceWavefront:
         clean_ex = SerialExecutor(retry=RetryPolicy(), strict=True)
         clean = clean_ex.execute_groups(groups)
 
-        # The per-group deadline is measured from submission, so it
-        # must comfortably cover pool startup and queueing -- only the
-        # deliberately hung group may overrun it.
+        # The per-group deadline is measured from each group's own
+        # process start -- only the deliberately hung group may
+        # overrun it.
         ex = ParallelExecutor(jobs=2, retry=policy(attempts=2,
                                                    timeout=2.0),
                               strict=False)
