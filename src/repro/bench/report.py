@@ -18,7 +18,9 @@ Two kinds of guard run over a report:
   same machine in the same process -- so they are enforced on every
   ``--check``, regardless of where the baseline came from.  The
   ``minisim`` floor of 3x is the acceptance bound for the fast analyzer
-  kernel.
+  kernel; ``fullsim`` (2.5x) and ``pipeline`` (2x) are the acceptance
+  bounds for the columnar reference-stream refactor, measured against
+  the retained array-of-structs implementations.
 * **Regression comparison** against a baseline report flags any kernel
   whose median slowed by more than :data:`REGRESSION_THRESHOLD`.
   Absolute timings only transfer between matching hosts, so the
@@ -45,6 +47,8 @@ REGRESSION_THRESHOLD = 0.20
 #: within one process, so it is portable across hosts.
 SPEEDUP_FLOORS: Dict[str, float] = {
     "minisim": 3.0,
+    "fullsim": 2.5,
+    "pipeline": 2.0,
 }
 
 

@@ -16,9 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from operator import or_
+
 from repro.memory.hierarchy import MemoryHierarchy
-from repro.stream.consumer import LineConsumer
-from repro.stream.events import LineEvent
+from repro.stream import LineBatch, LineConsumer, LineEvent
 from repro.vm.cost_model import DEFAULT_COST_MODEL, CostModel
 from repro.vm.state import MachineState
 
@@ -78,6 +79,21 @@ class EventCounter:
                 self._until_overflow = self.sample_size
                 self.interrupts += 1
 
+    def add(self, n: int) -> None:
+        """Count ``n`` events at once; interrupt-exact w.r.t. ``n``
+        consecutive :meth:`increment` calls (closed-form overflow)."""
+        if n <= 0:
+            return
+        self.count += n
+        sample_size = self.sample_size
+        if sample_size:
+            until = self._until_overflow - n
+            if until <= 0:
+                fired = 1 + (-until // sample_size)
+                self.interrupts += fired
+                until += fired * sample_size
+            self._until_overflow = until
+
     def reading(self) -> CounterReading:
         return CounterReading(
             event=self.event,
@@ -124,6 +140,23 @@ class HardwareCounters(LineConsumer):
     def detach(self, hierarchy: MemoryHierarchy) -> None:
         """Stop counting (flushes buffered events first)."""
         hierarchy.line_stream.detach(self)
+
+    def on_line_batch(self, batch: LineBatch) -> None:
+        l1_hits = batch.l1_hits
+        n = len(l1_hits)
+        l2_refs = n - sum(l1_hits)  # L1 misses: the L2 sees references
+        if not l2_refs:
+            return
+        counters = self.counters
+        l1_miss = counters.get("l1_miss")
+        if l1_miss is not None:
+            l1_miss.add(l2_refs)
+        l2_ref = counters.get("l2_ref")
+        if l2_ref is not None:
+            l2_ref.add(l2_refs)
+        l2_miss = counters.get("l2_miss")
+        if l2_miss is not None:
+            l2_miss.add(n - sum(map(or_, l1_hits, batch.l2_hits)))
 
     def on_lines(self, batch: List[LineEvent]) -> None:
         counters = self.counters

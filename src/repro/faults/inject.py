@@ -63,6 +63,16 @@ class FaultyConsumerProxy:
         self._fail_batch = fail_batch
         self._batches = 0
         self.wants_ifetch = getattr(consumer, "wants_ifetch", False)
+        # Mirror the wrapped consumer's columnar hooks: the hubs pick
+        # the delivery path by getattr, so the proxy must expose
+        # on_batch/on_line_batch exactly when its consumer does --
+        # otherwise wrapping would silently reroute a columnar consumer
+        # through the legacy tuple shim.
+        if hasattr(consumer, "on_batch"):
+            self.on_batch = lambda batch: self._deliver("on_batch", batch)
+        if hasattr(consumer, "on_line_batch"):
+            self.on_line_batch = (
+                lambda batch: self._deliver("on_line_batch", batch))
 
     def _deliver(self, method: str, batch: List[Any]) -> None:
         self._batches += 1

@@ -86,7 +86,7 @@ def simulate_events(events, config: CacheConfig,
     """Run :class:`~repro.stream.MemoryEvent` records (e.g. collected by
     a :class:`~repro.stream.CollectingRefConsumer`) through one cache;
     instruction-fetch events are skipped, matching the din data trace."""
-    from repro.stream.events import KIND_IFETCH, KIND_WRITE
+    from repro.stream import KIND_IFETCH, KIND_WRITE
 
     return simulate_trace(
         ((ev.kind == KIND_WRITE, ev.addr)

@@ -15,7 +15,9 @@ Two engines back the same public API:
   (LRU, FIFO, bit-PLRU): line state lives in flat parallel lists indexed
   by ``set * assoc + way`` with a single ``line_addr -> slot`` dict for
   lookup, and :meth:`Cache.access_many` runs a whole demand stream
-  through one loop with stats accumulated in locals;
+  through one loop with stats accumulated in locals -- retiring all-hit
+  chunks columnar (one ``map()`` probe, one ``range()`` of stamps)
+  whenever the cache has never seen a prefetch or timed fill;
 * the original **dict engine** (per-set ``dict`` of
   :class:`~repro.memory.lines.CacheLine`) for :class:`RandomPolicy` --
   whose RNG consumes the set's key order -- and for any policy subclass
@@ -31,6 +33,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from itertools import compress, repeat
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .lines import CacheLine
@@ -41,6 +44,30 @@ from .policies import (
 #: Drains a ``map()`` at C speed without building a list (used to apply
 #: columnar state deltas via ``list.__setitem__``).
 _consume = deque(maxlen=0).extend
+
+#: Endless ``True`` source for vectorized flag stores
+#: (``map(dirty.__setitem__, slots, _TRUES)``).
+_TRUES = repeat(True)
+
+#: Chunk width of the :meth:`Cache.access_many` vector sublane.  Each
+#: chunk is probed with one C-level ``map(where.get, chunk)`` and its
+#: all-hit prefix retired columnar; the probe costs under a tenth of
+#: processing the chunk event by event, so even miss-heavy streams pay
+#: only a small constant for the attempt.
+_VECTOR_CHUNK = 128
+
+#: Misses cluster (a phase change first-touches its whole working set
+#: in a burst), so after a miss the lane processes a block of this many
+#: events through the per-event body before re-probing the rest of the
+#: chunk columnar -- one re-probe per *cluster*, not per miss.
+_MISS_BLOCK = 16
+
+#: Re-probes allowed per chunk before it is declared miss-heavy and
+#: finishes event by event.  Together with :data:`_MISS_BLOCK` this
+#: bounds the wasted probe work of a thrashing stream at a fraction of
+#: its per-event cost, while a phase-entry miss burst (working-set
+#: turnover inside one chunk) stays on the columnar lane.
+_REPROBE_BUDGET = 4
 
 
 def _is_power_of_two(value: int) -> bool:
@@ -181,6 +208,13 @@ class Cache:
             # still at its initial value, so batch read streams may skip
             # that bookkeeping wholesale (the analyzer's entire regime).
             self._plain = True
+            # Weaker flag: writes allowed, but still no prefetch and no
+            # future ready time ever -- every ready cell is 0 and every
+            # pref cell False.  Demand-only simulation (the Cachegrind
+            # full simulator's regime) keeps this True forever, which
+            # lets access_many retire all-hit chunks without per-event
+            # stall/prefetch bookkeeping.
+            self._plain_timing = True
         else:
             self._sets: List[Dict[int, CacheLine]] = [
                 {} for _ in range(config.num_sets)
@@ -276,7 +310,10 @@ class Cache:
         existing line untouched.
         """
         if self._fast:
-            if is_write or prefetched or ready_at:
+            if prefetched or ready_at:
+                self._plain = False
+                self._plain_timing = False
+            elif is_write:
                 self._plain = False
             where = self._where
             if line_addr in where:
@@ -374,7 +411,8 @@ class Cache:
     def access_many(self, line_addrs: Sequence[int], is_write: bool = False,
                     writes: Optional[Sequence[bool]] = None,
                     start_now: int = 0,
-                    nows: Optional[Sequence[int]] = None) -> List[bool]:
+                    nows: Optional[Sequence[int]] = None,
+                    misses_only: bool = False) -> List:
         """Run a whole demand stream: probe each line, fill on miss.
 
         Semantically identical to the loop::
@@ -387,12 +425,18 @@ class Cache:
                     self.fill(la, now=now, is_write=w)
 
         but on the array engine the whole stream runs through one loop
-        with hoisted state and batched stats.  Returns the per-access hit
-        flags.  The default timestamps (``start_now + i + 1``) mirror the
+        with hoisted state and batched stats, and long demand-only
+        streams (no prefetch or timed fill ever -- ``_plain_timing``)
+        retire all-hit chunks through a columnar vector sublane.
+        Returns the per-access hit flags -- or, with ``misses_only``,
+        just the ascending stream indices of the misses, sparing
+        hit-dominated streams the per-event flag list when the caller
+        (e.g. the Cachegrind drain) only consumes the miss subsequence.
+        The default timestamps (``start_now + i + 1``) mirror the
         analyzer's pre-incremented reference counter.
         """
         if not self._fast:
-            hits: List[bool] = []
+            out: List = []
             now = start_now
             for i, line_addr in enumerate(line_addrs):
                 now = nows[i] if nows is not None else now + 1
@@ -400,8 +444,12 @@ class Cache:
                 hit, _ = self.probe(line_addr, w, now)
                 if not hit:
                     self.fill(line_addr, now=now, is_write=w)
-                hits.append(hit)
-            return hits
+                if misses_only:
+                    if not hit:
+                        out.append(i)
+                else:
+                    out.append(hit)
+            return out
 
         where = self._where
         get = where.get
@@ -422,8 +470,11 @@ class Cache:
 
         n_reads = n_writes = n_read_misses = n_write_misses = 0
         n_evictions = n_useful = n_stall = 0
-        hits = []
-        append = hits.append
+        #: hit flags, or miss indices under ``misses_only``
+        out: List = []
+        append = out.append
+        n = len(line_addrs)
+        step = _VECTOR_CHUNK
 
         if (writes is None and nows is None and not is_write
                 and self._plain and not plru):
@@ -435,39 +486,282 @@ class Cache:
             # stamp store, and misses skip four dead bookkeeping writes.
             # The victim scan runs as C slice ops (min/count/index) --
             # the set is full, and stamp ties fall back to the slow path.
+            #
+            # Long streams additionally run a chunked vector sublane:
+            # one map() probes a whole chunk's slots and the all-hit
+            # *prefix* is retired columnar (one range() of stamps, one
+            # block of hit flags) -- no residency changes before the
+            # first miss, so the pre-computed slots stay valid, and
+            # duplicate lines resolve in stream order because map()
+            # applies stores left to right.  A miss runs a
+            # ``_MISS_BLOCK`` of events through the per-event body (its
+            # fill may have evicted a pre-computed slot, and misses
+            # cluster) before the remainder is re-probed; a chunk that
+            # exhausts ``_REPROBE_BUDGET`` is miss-heavy and finishes
+            # event by event.
             now = start_now
-            for line_addr in line_addrs:
-                now += 1
-                slot = get(line_addr)
-                if slot is not None:
-                    append(True)
-                    if touch:
-                        stamps[slot] = now
-                    continue
-                append(False)
-                n_read_misses += 1
-                set_idx = line_addr & set_mask
-                if set_len[set_idx] >= assoc:
-                    base = set_idx * assoc
-                    seg = stamps[base:base + assoc]
-                    oldest = min(seg)
-                    if seg.count(oldest) == 1:
-                        slot = base + seg.index(oldest)
-                    else:
-                        slot = victim_slot(base)
-                    del where[tags[slot]]
-                    n_evictions += 1
+            pos = 0
+            vector = n >= step
+            while pos < n:
+                if vector:
+                    chunk = line_addrs[pos:pos + step]
+                    pos += step
+                    m = len(chunk)
+                    i = 0
+                    budget = _REPROBE_BUDGET
+                    while True:
+                        seg = chunk[i:] if i else chunk
+                        slot_v = list(map(get, seg))
+                        cut = (slot_v.index(None) if None in slot_v
+                               else m - i)
+                        if cut:
+                            if touch:
+                                # map() stops at the range's end: only
+                                # the prefix slots are stamped.
+                                _consume(map(stamps.__setitem__, slot_v,
+                                             range(now + 1,
+                                                   now + cut + 1)))
+                            now += cut
+                            if not misses_only:
+                                out += [True] * cut
+                            i += cut
+                            if i == m:
+                                break
+                        if not budget:
+                            break
+                        budget -= 1
+                        for line_addr in chunk[i:i + _MISS_BLOCK]:
+                            now += 1
+                            slot = get(line_addr)
+                            if slot is not None:
+                                if not misses_only:
+                                    append(True)
+                                if touch:
+                                    stamps[slot] = now
+                                continue
+                            append(now - start_now - 1
+                                   if misses_only else False)
+                            n_read_misses += 1
+                            set_idx = line_addr & set_mask
+                            if set_len[set_idx] >= assoc:
+                                base = set_idx * assoc
+                                sseg = stamps[base:base + assoc]
+                                oldest = min(sseg)
+                                if sseg.count(oldest) == 1:
+                                    slot = base + sseg.index(oldest)
+                                else:
+                                    slot = victim_slot(base)
+                                del where[tags[slot]]
+                                n_evictions += 1
+                            else:
+                                slot = set_idx * assoc
+                                while tags[slot] is not None:
+                                    slot += 1
+                                set_len[set_idx] += 1
+                            tags[slot] = line_addr
+                            where[line_addr] = slot
+                            stamps[slot] = now
+                            fill_seq += 1
+                            order[slot] = fill_seq
+                        i += _MISS_BLOCK
+                        if i >= m:
+                            i = m
+                            break
+                    if i == m:
+                        continue
+                    chunk = chunk[i:]
                 else:
-                    slot = set_idx * assoc
-                    while tags[slot] is not None:
-                        slot += 1
-                    set_len[set_idx] += 1
-                tags[slot] = line_addr
-                where[line_addr] = slot
-                stamps[slot] = now
-                fill_seq += 1
-                order[slot] = fill_seq
-            n_reads = len(line_addrs)
+                    chunk = line_addrs
+                    pos = n
+                for line_addr in chunk:
+                    now += 1
+                    slot = get(line_addr)
+                    if slot is not None:
+                        if not misses_only:
+                            append(True)
+                        if touch:
+                            stamps[slot] = now
+                        continue
+                    append(now - start_now - 1 if misses_only else False)
+                    n_read_misses += 1
+                    set_idx = line_addr & set_mask
+                    if set_len[set_idx] >= assoc:
+                        base = set_idx * assoc
+                        sseg = stamps[base:base + assoc]
+                        oldest = min(sseg)
+                        if sseg.count(oldest) == 1:
+                            slot = base + sseg.index(oldest)
+                        else:
+                            slot = victim_slot(base)
+                        del where[tags[slot]]
+                        n_evictions += 1
+                    else:
+                        slot = set_idx * assoc
+                        while tags[slot] is not None:
+                            slot += 1
+                        set_len[set_idx] += 1
+                    tags[slot] = line_addr
+                    where[line_addr] = slot
+                    stamps[slot] = now
+                    fill_seq += 1
+                    order[slot] = fill_seq
+            n_reads = n
+        elif (nows is None and start_now >= 0 and n >= step
+                and self._plain_timing):
+            # Chunked vector lane for demand-only streams with writes.
+            # ``_plain_timing`` guarantees every ready cell is 0 and
+            # every pref cell False, and nothing below changes that:
+            # consecutive timestamps from a non-negative start keep
+            # ``now`` above every ready time, so no stall or
+            # useful-prefetch accounting can fire and hit work reduces
+            # to dirty/stamp/mru stores.  All-hit chunk prefixes retire
+            # columnar exactly as in the read-only lane, with the dirty
+            # stores picked out by C-level compress(); a miss runs a
+            # ``_MISS_BLOCK`` of events through a per-event body that
+            # skips the same dead ready/pref bookkeeping before the
+            # remainder is re-probed, and a chunk that exhausts
+            # ``_REPROBE_BUDGET`` finishes event by event.
+            if is_write or writes is not None:
+                self._plain = False
+            now = start_now
+            pos = 0
+            while pos < n:
+                chunk = line_addrs[pos:pos + step]
+                wchunk = (writes[pos:pos + step]
+                          if writes is not None else None)
+                pos += step
+                m = len(chunk)
+                i = 0
+                budget = _REPROBE_BUDGET
+                while True:
+                    seg = chunk[i:] if i else chunk
+                    slot_v = list(map(get, seg))
+                    cut = (slot_v.index(None) if None in slot_v
+                           else m - i)
+                    if cut:
+                        hslots = (slot_v if cut == m - i
+                                  else slot_v[:cut])
+                        if wchunk is None:
+                            nw = cut if is_write else 0
+                            if nw:
+                                _consume(map(dirty.__setitem__, hslots,
+                                             _TRUES))
+                        else:
+                            wslots = list(compress(
+                                hslots, wchunk[i:i + cut]))
+                            nw = len(wslots)
+                            if nw:
+                                _consume(map(dirty.__setitem__, wslots,
+                                             _TRUES))
+                        n_writes += nw
+                        n_reads += cut - nw
+                        if touch:
+                            _consume(map(stamps.__setitem__, hslots,
+                                         range(now + 1, now + cut + 1)))
+                            if plru:
+                                _consume(map(mru.__setitem__, hslots,
+                                             _TRUES))
+                        now += cut
+                        if not misses_only:
+                            out += [True] * cut
+                        i += cut
+                        if i == m:
+                            break
+                    if not budget:
+                        break
+                    budget -= 1
+                    wblk = (wchunk[i:i + _MISS_BLOCK]
+                            if wchunk is not None else repeat(is_write))
+                    for line_addr, w in zip(chunk[i:i + _MISS_BLOCK],
+                                            wblk):
+                        now += 1
+                        if w:
+                            n_writes += 1
+                        else:
+                            n_reads += 1
+                        slot = get(line_addr)
+                        if slot is not None:
+                            if not misses_only:
+                                append(True)
+                            if w:
+                                dirty[slot] = True
+                            if touch:
+                                stamps[slot] = now
+                                if plru:
+                                    mru[slot] = True
+                            continue
+                        append(now - start_now - 1
+                               if misses_only else False)
+                        if w:
+                            n_write_misses += 1
+                        else:
+                            n_read_misses += 1
+                        set_idx = line_addr & set_mask
+                        if set_len[set_idx] >= assoc:
+                            slot = victim_slot(set_idx * assoc)
+                            del where[tags[slot]]
+                            n_evictions += 1
+                        else:
+                            slot = set_idx * assoc
+                            while tags[slot] is not None:
+                                slot += 1
+                            set_len[set_idx] += 1
+                        tags[slot] = line_addr
+                        where[line_addr] = slot
+                        stamps[slot] = now
+                        fill_seq += 1
+                        order[slot] = fill_seq
+                        dirty[slot] = w
+                        if plru:
+                            mru[slot] = True
+                    i += _MISS_BLOCK
+                    if i >= m:
+                        i = m
+                        break
+                if i == m:
+                    continue
+                wtail = (wchunk[i:] if wchunk is not None
+                         else repeat(is_write))
+                for line_addr, w in zip(chunk[i:], wtail):
+                    now += 1
+                    if w:
+                        n_writes += 1
+                    else:
+                        n_reads += 1
+                    slot = get(line_addr)
+                    if slot is not None:
+                        if not misses_only:
+                            append(True)
+                        if w:
+                            dirty[slot] = True
+                        if touch:
+                            stamps[slot] = now
+                            if plru:
+                                mru[slot] = True
+                        continue
+                    append(now - start_now - 1 if misses_only else False)
+                    if w:
+                        n_write_misses += 1
+                    else:
+                        n_read_misses += 1
+                    set_idx = line_addr & set_mask
+                    if set_len[set_idx] >= assoc:
+                        slot = victim_slot(set_idx * assoc)
+                        del where[tags[slot]]
+                        n_evictions += 1
+                    else:
+                        slot = set_idx * assoc
+                        while tags[slot] is not None:
+                            slot += 1
+                        set_len[set_idx] += 1
+                    tags[slot] = line_addr
+                    where[line_addr] = slot
+                    stamps[slot] = now
+                    fill_seq += 1
+                    order[slot] = fill_seq
+                    dirty[slot] = w
+                    if plru:
+                        mru[slot] = True
         else:
             if is_write or writes is not None:
                 self._plain = False
@@ -481,7 +775,8 @@ class Cache:
                     n_reads += 1
                 slot = get(line_addr)
                 if slot is not None:
-                    append(True)
+                    if not misses_only:
+                        append(True)
                     r = ready[slot]
                     if r > now:
                         n_stall += r - now
@@ -495,7 +790,7 @@ class Cache:
                         if plru:
                             mru[slot] = True
                     continue
-                append(False)
+                append(i if misses_only else False)
                 if w:
                     n_write_misses += 1
                 else:
@@ -529,7 +824,7 @@ class Cache:
         stats.evictions += n_evictions
         stats.useful_prefetches += n_useful
         stats.late_prefetch_stall_cycles += n_stall
-        return hits
+        return out
 
     def invalidate(self, line_addr: int) -> bool:
         """Drop one line; returns whether it was present."""
@@ -579,18 +874,18 @@ class Cache:
             list(self._tags), list(self._stamps), list(self._order),
             list(self._ready), list(self._pref), list(self._dirty),
             list(self._mru), dict(self._where), list(self._set_len),
-            self._fill_seq,
+            self._fill_seq, self._plain, self._plain_timing,
         )
 
     def state_restore(self, snapshot) -> None:
         """Reinstate a :meth:`state_snapshot` copy (fast engine only)."""
         (self._tags, self._stamps, self._order, self._ready, self._pref,
          self._dirty, self._mru, self._where, self._set_len,
-         self._fill_seq) = (
+         self._fill_seq, self._plain, self._plain_timing) = (
             list(snapshot[0]), list(snapshot[1]), list(snapshot[2]),
             list(snapshot[3]), list(snapshot[4]), list(snapshot[5]),
             list(snapshot[6]), dict(snapshot[7]), list(snapshot[8]),
-            snapshot[9],
+            snapshot[9], snapshot[10], snapshot[11],
         )
 
     def state_pre_capture(self):

@@ -133,14 +133,15 @@ class ReferenceCache:
 
     def access_many(self, line_addrs, is_write: bool = False,
                     writes=None, start_now: int = 0,
-                    nows=None) -> List[bool]:
+                    nows=None, misses_only: bool = False) -> List:
         """Reference batch path: a plain probe + fill-on-miss loop.
 
-        Same contract as :meth:`repro.memory.cache.Cache.access_many`;
-        exists so equivalence tests can compare the batch kernel against
-        the one-at-a-time semantics it must preserve.
+        Same contract as :meth:`repro.memory.cache.Cache.access_many`
+        (including the ``misses_only`` miss-index form); exists so
+        equivalence tests can compare the batch kernel against the
+        one-at-a-time semantics it must preserve.
         """
-        hits: List[bool] = []
+        out: List = []
         now = start_now
         for i, line_addr in enumerate(line_addrs):
             if nows is not None:
@@ -151,8 +152,12 @@ class ReferenceCache:
             hit, _ = self.probe(line_addr, w, now)
             if not hit:
                 self.fill(line_addr, now=now, is_write=w)
-            hits.append(hit)
-        return hits
+            if misses_only:
+                if not hit:
+                    out.append(i)
+            else:
+                out.append(hit)
+        return out
 
     def resident_lines(self) -> int:
         return sum(len(s) for s in self._sets)

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from repro.stream.hub import LineStream
+from repro.stream import LineStream
 
 from .cache import Cache, CacheConfig, CacheStats
 from .policies import make_policy
@@ -79,7 +79,8 @@ class MemoryHierarchy:
     """L1D + L2 + memory, with optional hardware prefetchers at the L2."""
 
     def __init__(self, config: MachineConfig,
-                 hw_prefetcher: Optional[HardwarePrefetcher] = None) -> None:
+                 hw_prefetcher: Optional[HardwarePrefetcher] = None,
+                 line_batch_size: Optional[int] = None) -> None:
         if config.l1.line_size != config.l2.line_size:
             raise ValueError("L1 and L2 line sizes must match in this model")
         self.config = config
@@ -91,9 +92,16 @@ class MemoryHierarchy:
         #: optional data TLB (see :mod:`repro.memory.tlb`); attach one
         #: to study translation overheads.  None by default.
         self.tlb = None
-        #: demand line-access events (``LineEvent``) publish here; the
-        #: hardware counters and phase detector attach as consumers.
-        self.line_stream = LineStream()
+        #: demand line-access events publish here in columnar batches;
+        #: the hardware counters and phase detector attach as consumers.
+        #: ``line_batch_size`` overrides the stream default (which in
+        #: turn honours ``UMI_STREAM_BATCH``).
+        self.line_stream = LineStream(batch_size=line_batch_size)
+        # Bound column appends, hoisted once (the buffers are stable).
+        stream = self.line_stream
+        self._emit_line = (stream.pcs.append, stream.line_addrs.append,
+                           stream.writes.append, stream.l1_hits.append,
+                           stream.l2_hits.append)
         self._line_bits = config.l1.line_bits
         self._line_size = config.l1.line_size
         self.sw_prefetches_issued = 0
@@ -150,7 +158,14 @@ class MemoryHierarchy:
             latency += stall
         stream = self.line_stream
         if stream.consumers:
-            stream.emit(pc, line_addr, is_write, l1_hit, l2_hit)
+            e_pc, e_line, e_write, e_h1, e_h2 = self._emit_line
+            e_pc(pc)
+            e_line(line_addr)
+            e_write(is_write)
+            e_h1(l1_hit)
+            e_h2(l2_hit)
+            if len(stream.pcs) >= stream.batch_size:
+                stream.drain()
         return latency
 
     # -- instruction fetch path ------------------------------------------------

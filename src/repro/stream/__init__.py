@@ -16,9 +16,13 @@ from .consumer import (
     CollectingRefConsumer, LineConsumer, NullRefConsumer, RefConsumer,
 )
 from .events import (
-    KIND_IFETCH, KIND_READ, KIND_WRITE, LineEvent, MemoryEvent,
+    KIND_IFETCH, KIND_READ, KIND_WRITE, LineBatch, LineEvent, MemoryEvent,
+    RefBatch,
 )
-from .hub import BATCH_SIZE, LineStream, QuarantineRecord, RefStream
+from .hub import (
+    BATCH_ENV_VAR, BATCH_SIZE, LineStream, QuarantineRecord, RefStream,
+    default_batch_size,
+)
 from .registry import (
     REGISTRY, BuildContext, ConsumerEntry, ConsumerRegistry,
     consumer_names, create_consumer, register_consumer,
@@ -26,10 +30,11 @@ from .registry import (
 )
 
 __all__ = [
-    "BATCH_SIZE", "BuildContext", "CollectingRefConsumer",
+    "BATCH_ENV_VAR", "BATCH_SIZE", "BuildContext", "CollectingRefConsumer",
     "ConsumerEntry", "ConsumerRegistry", "KIND_IFETCH", "KIND_READ",
-    "KIND_WRITE", "LineConsumer", "LineEvent", "LineStream",
+    "KIND_WRITE", "LineBatch", "LineConsumer", "LineEvent", "LineStream",
     "MemoryEvent", "NullRefConsumer", "QuarantineRecord", "REGISTRY",
-    "RefConsumer", "RefStream", "consumer_names", "create_consumer",
-    "register_consumer", "spec_safe_consumer_names",
+    "RefBatch", "RefConsumer", "RefStream", "consumer_names",
+    "create_consumer", "default_batch_size", "register_consumer",
+    "spec_safe_consumer_names",
 ]

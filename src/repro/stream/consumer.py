@@ -1,12 +1,18 @@
 """The consumer protocol of the reference-stream pipeline.
 
-A consumer receives *batches* of events (lists of
-:class:`~repro.stream.events.MemoryEvent` or
-:class:`~repro.stream.events.LineEvent`), never single callbacks -- the
+A consumer receives *batches* of events, never single callbacks -- the
 producer buffers and amortizes dispatch, so a consumer's per-batch cost
-is one method call plus its own loop.  The lifecycle is::
+is one method call plus its own loop.  The native delivery format is
+columnar: ``on_batch`` receives a
+:class:`~repro.stream.events.RefBatch` (``on_line_batch`` a
+:class:`~repro.stream.events.LineBatch`) whose parallel arrays can be
+swept with C-speed builtins.  The base-class defaults shim columnar
+batches to the legacy per-event-tuple hooks (``on_refs`` /
+``on_lines``), so a consumer only implementing those keeps working;
+hot consumers override ``on_batch`` and read the columns directly.
+The lifecycle is::
 
-    on_refs(batch)*  on_epoch(info)*  finish()
+    on_batch(batch)*  on_epoch(info)*  finish()
 
 ``on_epoch`` marks analysis boundaries (UMI's analyzer invocations);
 ``finish`` is called exactly once when the producing run completes, with
@@ -19,7 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
-from .events import LineEvent, MemoryEvent
+from .events import LineBatch, LineEvent, MemoryEvent, RefBatch
 
 
 class RefConsumer:
@@ -30,8 +36,16 @@ class RefConsumer:
     #: wants it, keeping the default data-only stream cheap.
     wants_ifetch: bool = False
 
+    def on_batch(self, batch: RefBatch) -> None:
+        """One columnar batch of raw references, in program order.
+
+        The default materializes the tuple view and forwards to
+        :meth:`on_refs`, so legacy subclasses keep working unchanged.
+        """
+        self.on_refs(batch.to_events())
+
     def on_refs(self, batch: List[MemoryEvent]) -> None:
-        """One batch of raw references, in program order."""
+        """Legacy hook: one batch of per-event tuples, in order."""
 
     def on_epoch(self, info: Dict[str, Any]) -> None:
         """An analysis epoch boundary (buffered events already flushed)."""
@@ -47,8 +61,15 @@ class RefConsumer:
 class LineConsumer:
     """Base class for line-event consumers (the hierarchy's plane)."""
 
+    def on_line_batch(self, batch: LineBatch) -> None:
+        """One columnar batch of demand line accesses, in order.
+
+        Defaults to materializing tuples for :meth:`on_lines`.
+        """
+        self.on_lines(batch.to_events())
+
     def on_lines(self, batch: List[LineEvent]) -> None:
-        """One batch of resolved demand line accesses, in order."""
+        """Legacy hook: one batch of per-event tuples, in order."""
 
     def finish(self) -> None:
         """The producing run completed."""
@@ -59,6 +80,9 @@ class LineConsumer:
 
 class NullRefConsumer(RefConsumer):
     """A consumer that does nothing: the pipeline-overhead yardstick."""
+
+    def on_batch(self, batch: RefBatch) -> None:
+        """Discard the batch without materializing the tuple view."""
 
 
 class CollectingRefConsumer(RefConsumer):

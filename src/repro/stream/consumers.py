@@ -43,7 +43,9 @@ from repro.memory.hierarchy import MachineConfig, MemoryHierarchy
 from repro.memory.tlb import TLB
 
 from .consumer import LineConsumer, RefConsumer
-from .events import KIND_IFETCH, KIND_WRITE, LineEvent, MemoryEvent
+from .events import (
+    KIND_IFETCH, KIND_WRITE, LineBatch, LineEvent, MemoryEvent, RefBatch,
+)
 from .registry import BuildContext, register_consumer
 
 #: Code lines are 64 bytes in the interpreter's fetch model; ifetch
@@ -68,6 +70,22 @@ class ShadowHierarchyConsumer(RefConsumer):
         self.hierarchy = MemoryHierarchy(
             machine, make_hw_prefetcher(machine, enabled=hw_prefetch),
         )
+
+    def on_batch(self, batch: RefBatch) -> None:
+        hierarchy = self.hierarchy
+        access = hierarchy.access
+        columns = zip(batch.pcs, batch.addrs, batch.sizes, batch.kinds,
+                      batch.cycles)
+        if KIND_IFETCH in batch.kinds:
+            fetch = hierarchy.fetch
+            for pc, addr, size, kind, cycle in columns:
+                if kind == KIND_IFETCH:
+                    fetch((addr >> _CODE_LINE_BITS,), cycle)
+                else:
+                    access(pc, addr, kind == KIND_WRITE, size, cycle)
+        else:
+            for pc, addr, size, kind, cycle in columns:
+                access(pc, addr, kind == KIND_WRITE, size, cycle)
 
     def on_refs(self, batch: List[MemoryEvent]) -> None:
         hierarchy = self.hierarchy
@@ -96,6 +114,15 @@ class TLBConsumer(RefConsumer):
     def __init__(self, entries: int = 64, walk_latency: int = 30) -> None:
         self.tlb = TLB(entries=entries, walk_latency=walk_latency)
         self.walk_cycles = 0
+
+    def on_batch(self, batch: RefBatch) -> None:
+        kinds = batch.kinds
+        if KIND_IFETCH in kinds:
+            addrs = [a for a, k in zip(batch.addrs, kinds)
+                     if k != KIND_IFETCH]
+        else:
+            addrs = batch.addrs
+        self.walk_cycles += sum(map(self.tlb.translate, addrs))
 
     def on_refs(self, batch: List[MemoryEvent]) -> None:
         translate = self.tlb.translate
@@ -127,6 +154,35 @@ class PhaseConsumer(LineConsumer):
         self.observations = 0
         self._refs = 0
         self._misses = 0
+
+    def on_line_batch(self, batch: LineBatch) -> None:
+        l1_hits = batch.l1_hits
+        if len(l1_hits) == sum(l1_hits):
+            return  # every access hit L1: invisible at the L2
+        # The windowed substream is the l2_hit flags of the L1 misses;
+        # walking it window-chunk by window-chunk keeps the observation
+        # boundaries (and therefore the ratios) bit-identical to the
+        # per-event walk while counting misses with C-speed sums.
+        sub = [h2 for h1, h2 in zip(l1_hits, batch.l2_hits) if not h1]
+        refs = self._refs
+        misses = self._misses
+        window = self.window
+        observe = self.tracker.observe
+        total = len(sub)
+        pos = 0
+        while pos < total:
+            take = min(window - refs, total - pos)
+            chunk = sub[pos:pos + take]
+            refs += take
+            misses += take - sum(chunk)
+            pos += take
+            if refs >= window:
+                observe(misses / refs)
+                self.observations += 1
+                refs = 0
+                misses = 0
+        self._refs = refs
+        self._misses = misses
 
     def on_lines(self, batch: List[LineEvent]) -> None:
         refs = self._refs
@@ -178,6 +234,31 @@ class ProfileRecorderConsumer(RefConsumer):
         self._cols: Dict[str, Dict[int, int]] = {}
         self._current: Optional[str] = None
         self._pairs: List = []
+
+    def on_batch(self, batch: RefBatch) -> None:
+        # Trace passes are exactly the batch's trace-id runs, so the
+        # per-event trace-id comparison of the tuple path collapses to
+        # one branch per run.
+        kinds = batch.kinds
+        has_ifetch = KIND_IFETCH in kinds
+        pcs = batch.pcs
+        addrs = batch.addrs
+        current = self._current
+        pairs = self._pairs
+        for start, stop, tid in batch.iter_runs():
+            if tid != current:
+                if current is not None and pairs:
+                    self._flush_pass(current, pairs)
+                    pairs = self._pairs
+                current = tid
+            if tid is not None:
+                if has_ifetch:
+                    pairs.extend(
+                        (pcs[i], addrs[i]) for i in range(start, stop)
+                        if kinds[i] != KIND_IFETCH)
+                else:
+                    pairs.extend(zip(pcs[start:stop], addrs[start:stop]))
+        self._current = current
 
     def on_refs(self, batch: List[MemoryEvent]) -> None:
         current = self._current
@@ -252,6 +333,18 @@ class DinTraceWriter(RefConsumer):
         self.wants_ifetch = include_ifetch
         self._include_ifetch = include_ifetch
         self.records = 0
+
+    def on_batch(self, batch: RefBatch) -> None:
+        kinds = batch.kinds
+        if self._include_ifetch or KIND_IFETCH not in kinds:
+            count = len(kinds)
+            pairs = zip(kinds, batch.addrs)
+        else:
+            pairs = [(k, a) for k, a in zip(kinds, batch.addrs)
+                     if k != KIND_IFETCH]
+            count = len(pairs)
+        self._handle.write("".join(map("%d %x\n".__mod__, pairs)))
+        self.records += count
 
     def on_refs(self, batch: List[MemoryEvent]) -> None:
         write = self._handle.write

@@ -22,11 +22,21 @@ cycles reproduce the producing run's stamps verbatim).
 ``"<head>@<entry>"`` -- the trace-cache head label plus the pass number
 -- unique per pass so consumers can group references into profile rows
 without extra markers.
+
+Batches travel in structure-of-arrays form: :class:`RefBatch` and
+:class:`LineBatch` carry one parallel column per field instead of a
+list of per-event tuples, so producers pay five list appends per event
+and columnar consumers iterate plain int lists at C speed.  Trace ids
+are run-length encoded (they only change between trace passes): a batch
+carries an interning table plus ``(start_offset, table_index)`` runs,
+never a per-event string column.  ``to_events()`` materializes the
+legacy tuple view on demand (cached per batch) for consumers that still
+implement ``on_refs``/``on_lines``.
 """
 
 from __future__ import annotations
 
-from typing import NamedTuple, Optional
+from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 #: Event kinds, matching the din trace format's record types.
 KIND_READ = 0
@@ -61,3 +71,107 @@ class LineEvent(NamedTuple):
     is_write: bool
     l1_hit: bool
     l2_hit: bool
+
+
+class RefBatch:
+    """A batch of raw references in structure-of-arrays form.
+
+    The five columns are parallel lists (``len(batch)`` entries each).
+    ``trace_table`` maps small ints to trace-id strings (index 0 is
+    always ``None``); ``trace_runs`` is a tuple of ``(start_offset,
+    table_index)`` pairs, one per maximal run of events sharing a trace
+    id, ordered by offset with ``trace_runs[0][0] == 0``.  The table is
+    scoped to this batch, so it stays small even across millions of
+    unique per-pass trace ids.
+
+    ``addr_or`` / ``max_size`` are optional column statistics (in the
+    spirit of columnar file formats' per-chunk min/max), computed once
+    when the hub seals a batch and shared by every consumer:
+    ``addr_or`` is the bitwise OR of the address column, so
+    ``(addr_or & (line_size - 1)) + max_size <= line_size`` proves --
+    for *any* line size -- that no reference in the batch straddles a
+    line, without a per-event scan.  The bound is conservative (an OR
+    over-approximates the maximum of any bit-masked offset) and both
+    default to ``None``, which consumers must treat as "unknown: do
+    the exact per-event check".
+    """
+
+    __slots__ = ("pcs", "addrs", "sizes", "kinds", "cycles",
+                 "trace_table", "trace_runs", "addr_or", "max_size",
+                 "_events")
+
+    def __init__(self, pcs: List[int], addrs: List[int], sizes: List[int],
+                 kinds: List[int], cycles: List[int],
+                 trace_table: Sequence[Optional[str]],
+                 trace_runs: Tuple[Tuple[int, int], ...],
+                 addr_or: Optional[int] = None,
+                 max_size: Optional[int] = None) -> None:
+        self.pcs = pcs
+        self.addrs = addrs
+        self.sizes = sizes
+        self.kinds = kinds
+        self.cycles = cycles
+        self.trace_table = trace_table
+        self.trace_runs = trace_runs
+        self.addr_or = addr_or
+        self.max_size = max_size
+        self._events: Optional[List[MemoryEvent]] = None
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    def iter_runs(self) -> Iterator[Tuple[int, int, Optional[str]]]:
+        """Yield ``(start, stop, trace_id)`` per trace-id run, in order."""
+        runs = self.trace_runs
+        table = self.trace_table
+        n = len(self.pcs)
+        last = len(runs) - 1
+        for i, (start, tid) in enumerate(runs):
+            stop = runs[i + 1][0] if i < last else n
+            if stop > start:
+                yield start, stop, table[tid]
+
+    def trace_ids(self) -> List[Optional[str]]:
+        """The per-event trace-id column, materialized from the runs."""
+        out: List[Optional[str]] = []
+        for start, stop, tid in self.iter_runs():
+            out.extend([tid] * (stop - start))
+        return out
+
+    def to_events(self) -> List[MemoryEvent]:
+        """The legacy array-of-structs view (cached on first call)."""
+        events = self._events
+        if events is None:
+            events = list(map(MemoryEvent, self.pcs, self.addrs, self.sizes,
+                              self.kinds, self.cycles, self.trace_ids()))
+            self._events = events
+        return events
+
+
+class LineBatch:
+    """A batch of resolved demand line accesses, one column per field."""
+
+    __slots__ = ("pcs", "line_addrs", "writes", "l1_hits", "l2_hits",
+                 "_events")
+
+    def __init__(self, pcs: List[int], line_addrs: List[int],
+                 writes: List[bool], l1_hits: List[bool],
+                 l2_hits: List[bool]) -> None:
+        self.pcs = pcs
+        self.line_addrs = line_addrs
+        self.writes = writes
+        self.l1_hits = l1_hits
+        self.l2_hits = l2_hits
+        self._events: Optional[List[LineEvent]] = None
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    def to_events(self) -> List[LineEvent]:
+        """The legacy array-of-structs view (cached on first call)."""
+        events = self._events
+        if events is None:
+            events = list(map(LineEvent, self.pcs, self.line_addrs,
+                              self.writes, self.l1_hits, self.l2_hits))
+            self._events = events
+        return events

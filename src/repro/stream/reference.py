@@ -1,0 +1,55 @@
+"""The pre-SoA hub, kept verbatim as the pipeline bench yardstick.
+
+This is the array-of-structs :class:`RefStream` the columnar refactor
+replaced: ``emit`` constructs one :class:`MemoryEvent` per reference
+and ``drain`` hands consumers a list of tuples.  The ``pipeline`` bench
+kernel runs the same event stream through this hub and the real one and
+reports the ratio, giving the speedup floor a host-independent anchor.
+Like :mod:`repro.fullsim.reference`, it must stay slow and obvious --
+do not optimize it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .consumer import RefConsumer
+from .events import MemoryEvent
+from .hub import BATCH_SIZE
+
+
+class ReferenceRefStream:
+    """Array-of-structs fan-out: one NamedTuple per emitted event."""
+
+    def __init__(self, batch_size: int = BATCH_SIZE) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
+        self.consumers: List[RefConsumer] = []
+        self.trace_id: Optional[str] = None
+        self._buf: List[MemoryEvent] = []
+
+    def attach(self, consumer: RefConsumer) -> RefConsumer:
+        self.consumers.append(consumer)
+        return consumer
+
+    def emit(self, pc: int, addr: int, size: int, kind: int,
+             cycle: int) -> None:
+        buf = self._buf
+        buf.append(MemoryEvent(pc, addr, size, kind, cycle, self.trace_id))
+        if len(buf) >= self.batch_size:
+            self.drain()
+
+    def drain(self) -> None:
+        buf = self._buf
+        if not buf:
+            return
+        batch = buf[:]
+        del buf[:]
+        for consumer in self.consumers:
+            consumer.on_refs(batch)
+
+    def finish(self) -> None:
+        self.drain()
+        for consumer in self.consumers:
+            consumer.finish()

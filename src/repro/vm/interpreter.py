@@ -196,7 +196,19 @@ class Interpreter:
         memsys = self.memsys
         access = memsys.access
         stream = self.stream
-        emit = stream.emit if stream is not None else None
+        if stream is not None:
+            # The stream's column buffers are stable list objects, so
+            # the bound appends stay valid across drains.
+            s_pcs = stream.pcs
+            emit_pc = s_pcs.append
+            emit_addr = stream.addrs.append
+            emit_size = stream.sizes.append
+            emit_kind = stream.kinds.append
+            emit_cycle = stream.cycles.append
+            s_limit = stream.batch_size
+            s_drain = stream.drain
+        else:
+            emit_pc = None
         profile_cols = self.profile_cols
         profile_row = self.profile_row
         prefetch_map = self.prefetch_map
@@ -208,9 +220,15 @@ class Interpreter:
 
         ops, lines = entry
         if lines is not None:
-            if emit is not None and stream.wants_ifetch:
+            if emit_pc is not None and stream.wants_ifetch:
                 for line_addr in lines:
-                    emit(0, line_addr << 6, 64, 2, cycles)
+                    emit_pc(0)
+                    emit_addr(line_addr << 6)
+                    emit_size(64)
+                    emit_kind(2)
+                    emit_cycle(cycles)
+                if len(s_pcs) >= s_limit:
+                    s_drain()
             cycles += memsys.fetch(lines, cycles)
 
         for t in ops:
@@ -227,10 +245,16 @@ class Interpreter:
                 if index is not None:
                     addr += regs[index] * t[7]
                 pc = t[2]
-                if emit is not None:
+                if emit_pc is not None:
                     # Pre-access cycle count: the exact `now` the
                     # hierarchy sees, so consumers can replay exactly.
-                    emit(pc, addr, t[4], 0, cycles)
+                    emit_pc(pc)
+                    emit_addr(addr)
+                    emit_size(t[4])
+                    emit_kind(0)
+                    emit_cycle(cycles)
+                    if len(s_pcs) >= s_limit:
+                        s_drain()
                 cycles += access(pc, addr, False, t[4], cycles)
                 regs[t[3]] = memory.get(addr, 0)
                 if profile_cols is not None:
@@ -254,8 +278,14 @@ class Interpreter:
                 if index is not None:
                     addr += regs[index] * t[8]
                 pc = t[2]
-                if emit is not None:
-                    emit(pc, addr, t[5], 1, cycles)
+                if emit_pc is not None:
+                    emit_pc(pc)
+                    emit_addr(addr)
+                    emit_size(t[5])
+                    emit_kind(1)
+                    emit_cycle(cycles)
+                    if len(s_pcs) >= s_limit:
+                        s_drain()
                 cycles += access(pc, addr, True, t[5], cycles)
                 src = t[3]
                 memory[addr] = regs[src] if src is not None else t[4]
@@ -352,8 +382,14 @@ class Interpreter:
                 regs[ESP] -= 8
                 addr = regs[ESP]
                 pc = t[2]
-                if emit is not None:
-                    emit(pc, addr, 8, 1, cycles)
+                if emit_pc is not None:
+                    emit_pc(pc)
+                    emit_addr(addr)
+                    emit_size(8)
+                    emit_kind(1)
+                    emit_cycle(cycles)
+                    if len(s_pcs) >= s_limit:
+                        s_drain()
                 cycles += access(pc, addr, True, 8, cycles)
                 memory[addr] = 0
                 state.call_stack.append(t[4])
@@ -363,8 +399,14 @@ class Interpreter:
             if op == RET:
                 addr = regs[ESP]
                 pc = t[2]
-                if emit is not None:
-                    emit(pc, addr, 8, 0, cycles)
+                if emit_pc is not None:
+                    emit_pc(pc)
+                    emit_addr(addr)
+                    emit_size(8)
+                    emit_kind(0)
+                    emit_cycle(cycles)
+                    if len(s_pcs) >= s_limit:
+                        s_drain()
                 cycles += access(pc, addr, False, 8, cycles)
                 regs[ESP] += 8
                 if state.call_stack:

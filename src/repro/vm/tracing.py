@@ -19,8 +19,7 @@ from typing import IO, Iterable, List, Optional, Tuple, Union
 
 from repro.isa import Program
 from repro.memory.flat import FlatMemory
-from repro.stream.consumer import RefConsumer
-from repro.stream.events import KIND_IFETCH, KIND_WRITE
+from repro.stream import KIND_IFETCH, KIND_WRITE, RefBatch, RefConsumer
 
 DIN_READ = 0
 DIN_WRITE = 1
@@ -40,6 +39,28 @@ class MemoryTraceRecorder(RefConsumer):
         self.limit = limit
         self.records: List[Tuple[int, int, bool, int]] = []
         self.dropped = 0
+
+    def on_batch(self, batch: RefBatch) -> None:
+        """Columnar stream delivery; records data references only."""
+        kinds = batch.kinds
+        if KIND_IFETCH in kinds:
+            rows = [(p, a, k == KIND_WRITE, s) for p, a, s, k in
+                    zip(batch.pcs, batch.addrs, batch.sizes, kinds)
+                    if k != KIND_IFETCH]
+        else:
+            rows = list(zip(batch.pcs, batch.addrs, map(bool, kinds),
+                            batch.sizes))
+        limit = self.limit
+        records = self.records
+        if limit is not None:
+            room = limit - len(records)
+            if room <= 0:
+                self.dropped += len(rows)
+                return
+            if len(rows) > room:
+                self.dropped += len(rows) - room
+                rows = rows[:room]
+        records.extend(rows)
 
     def on_refs(self, batch) -> None:
         """Stream delivery; records data references only."""
@@ -119,7 +140,7 @@ def trace_program(program: Program, max_steps: int = 50_000_000,
                   memory_limit: Optional[int] = 1_000_000,
                   ) -> Tuple[MemoryTraceRecorder, BlockTraceRecorder]:
     """Execute a program natively and capture both trace kinds."""
-    from repro.stream.hub import RefStream
+    from repro.stream import RefStream
 
     from .interpreter import Interpreter
 

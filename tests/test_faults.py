@@ -351,7 +351,7 @@ class TestConsumerQuarantine:
             outcome = engine.run(spec)
         phase = outcome.derived["phase"]
         assert phase["quarantined"] is True
-        assert phase["stage"] == "on_lines"
+        assert phase["stage"] == "on_line_batch"
         assert "InjectedConsumerFault" in phase["error"]
         assert counter("stream.quarantined") >= 1
         # Without the plan the same spec yields a real summary.

@@ -125,6 +125,39 @@ class TestCacheEquivalence:
             == ref.access_many(addrs, nows=nows)
         assert_stats_equal(fast, ref)
 
+    @pytest.mark.parametrize("geometry", GEOMETRIES)
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_access_many_misses_only(self, geometry, policy):
+        """The miss-index form agrees with the hit-flag form."""
+        fast, ref = make_pair(*geometry, policy=policy, seed=17)
+        flags_side, _ = make_pair(*geometry, policy=policy, seed=17)
+        rng = random.Random(5)
+        span = 4 * (fast.config.num_sets * fast.config.assoc)
+        now = 0
+        for batch in range(4):
+            addrs = stream(100 + batch, 350, span)
+            writes = [rng.random() < 0.25 for _ in addrs] \
+                if batch % 2 else None
+            got = fast.access_many(addrs, writes=writes, start_now=now,
+                                   misses_only=True)
+            want = ref.access_many(addrs, writes=writes, start_now=now,
+                                   misses_only=True)
+            flags = flags_side.access_many(addrs, writes=writes,
+                                           start_now=now)
+            now += len(addrs)
+            assert got == want
+            assert got == [i for i, hit in enumerate(flags) if not hit]
+        assert_stats_equal(fast, ref)
+        assert_stats_equal(fast, flags_side)
+
+    def test_access_many_misses_only_explicit_timestamps(self):
+        fast, ref = make_pair(8192, 2, 32)
+        addrs = stream(9, 300, 2 * (fast.config.num_sets * fast.config.assoc))
+        nows = [3 * (i + 1) for i in range(len(addrs))]
+        assert fast.access_many(addrs, nows=nows, misses_only=True) \
+            == ref.access_many(addrs, nows=nows, misses_only=True)
+        assert_stats_equal(fast, ref)
+
     def test_flush_equivalence(self):
         fast, ref = make_pair(4096, 4, 64)
         addrs = stream(8, 500, 2 * (fast.config.num_sets * fast.config.assoc))

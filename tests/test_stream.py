@@ -16,10 +16,11 @@ from repro.memory import MemoryHierarchy, get_machine
 from repro.memory.flat import FlatMemory
 from repro.runners import run_native
 from repro.stream import (
-    BATCH_SIZE, KIND_IFETCH, KIND_READ, KIND_WRITE, BuildContext,
-    CollectingRefConsumer, ConsumerRegistry, LineConsumer, MemoryEvent,
-    NullRefConsumer, RefConsumer, RefStream, LineStream, consumer_names,
-    create_consumer, spec_safe_consumer_names,
+    BATCH_ENV_VAR, BATCH_SIZE, KIND_IFETCH, KIND_READ, KIND_WRITE,
+    BuildContext, CollectingRefConsumer, ConsumerRegistry, LineConsumer,
+    MemoryEvent, NullRefConsumer, RefBatch, RefConsumer, RefStream,
+    LineStream, consumer_names, create_consumer, default_batch_size,
+    spec_safe_consumer_names,
 )
 from repro.stream.consumers import DinTraceWriter
 from repro.vm import Interpreter
@@ -120,6 +121,207 @@ class TestRefStream:
 
     def test_default_batch_size(self):
         assert RefStream().batch_size == BATCH_SIZE
+
+
+class _BatchRecorder(RefConsumer):
+    """Records columnar batches and lifecycle calls, in arrival order."""
+
+    def __init__(self):
+        self.batches = []
+        self.order = []
+
+    def on_batch(self, batch):
+        self.batches.append(batch)
+        self.order.append(f"batch:{len(batch)}")
+
+    def on_epoch(self, info):
+        self.order.append("epoch")
+
+    def finish(self):
+        self.order.append("finish")
+
+
+class TestBatchBoundaries:
+    """Satellite: epoch/finish mid-batch flush order and quarantine
+    semantics at batch boundaries."""
+
+    def test_epoch_mid_batch_delivers_partial_batch_first(self):
+        rec = _BatchRecorder()
+        stream = RefStream(batch_size=8)
+        stream.attach(rec)
+        for i in range(3):
+            stream.emit(1, i * 8, 8, KIND_READ, i)
+        stream.epoch({"kind": "analyzer"})
+        assert rec.order == ["batch:3", "epoch"]
+
+    def test_finish_mid_batch_delivers_partial_batch_first(self):
+        rec = _BatchRecorder()
+        stream = RefStream(batch_size=8)
+        stream.attach(rec)
+        stream.emit(1, 0, 8, KIND_READ, 0)
+        stream.emit(1, 8, 8, KIND_WRITE, 1)
+        stream.finish()
+        assert rec.order == ["batch:2", "finish"]
+
+    def test_epoch_between_full_batches_keeps_order(self):
+        rec = _BatchRecorder()
+        stream = RefStream(batch_size=2)
+        stream.attach(rec)
+        for i in range(5):
+            stream.emit(1, i * 8, 8, KIND_READ, i)
+        stream.epoch()
+        stream.emit(1, 40, 8, KIND_READ, 5)
+        stream.finish()
+        assert rec.order == [
+            "batch:2", "batch:2", "batch:1", "epoch", "batch:1", "finish"]
+
+    def test_quarantine_in_on_batch_preserves_delivered_prefix(self):
+        """A consumer blowing up mid-stream keeps every batch it already
+        received, and the surviving consumers still see the whole
+        stream."""
+        class Bomb(_BatchRecorder):
+            def on_batch(self, batch):
+                if self.batches:  # second batch is fatal
+                    raise RuntimeError("boom")
+                super().on_batch(batch)
+
+        bomb = Bomb()
+        healthy = CollectingRefConsumer()
+        stream = RefStream(batch_size=2)
+        stream.attach(bomb)
+        stream.attach(healthy)
+        for i in range(6):
+            stream.emit(i, i * 8, 8, KIND_READ, i)
+        stream.finish()
+        # The bomb kept its delivered prefix: exactly the first batch.
+        assert [len(b) for b in bomb.batches] == [2]
+        assert bomb.batches[0].pcs == [0, 1]
+        # It was quarantined at the on_batch stage, not propagated.
+        assert len(stream.quarantined) == 1
+        assert stream.quarantined[0].stage == "on_batch"
+        assert stream.quarantined[0].consumer is bomb
+        assert bomb not in stream.consumers
+        # Survivors saw every event, in order.
+        assert [ev.pc for ev in healthy.events] == list(range(6))
+        assert healthy.finished
+
+    def test_quarantine_in_on_batch_recomputes_wants_ifetch(self):
+        class HungryBomb(RefConsumer):
+            wants_ifetch = True
+
+            def on_batch(self, batch):
+                raise RuntimeError("boom")
+
+        stream = RefStream(batch_size=1)
+        stream.attach(HungryBomb())
+        assert stream.wants_ifetch is True
+        stream.emit(1, 0, 8, KIND_READ, 0)
+        assert stream.wants_ifetch is False
+
+
+class TestBatchSizeConfiguration:
+    """Satellite: per-stream batch size plus the env override."""
+
+    def test_env_override_applies_to_new_streams(self, monkeypatch):
+        monkeypatch.setenv(BATCH_ENV_VAR, "128")
+        assert default_batch_size() == 128
+        assert RefStream().batch_size == 128
+        assert LineStream().batch_size == 128
+
+    def test_explicit_batch_size_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BATCH_ENV_VAR, "128")
+        assert RefStream(batch_size=7).batch_size == 7
+
+    def test_env_override_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(BATCH_ENV_VAR, "many")
+        with pytest.raises(ValueError, match=BATCH_ENV_VAR):
+            default_batch_size()
+        monkeypatch.setenv(BATCH_ENV_VAR, "0")
+        with pytest.raises(ValueError, match=BATCH_ENV_VAR):
+            default_batch_size()
+
+    def test_empty_env_means_default(self, monkeypatch):
+        monkeypatch.setenv(BATCH_ENV_VAR, "")
+        assert default_batch_size() == BATCH_SIZE
+
+    def test_hierarchy_threads_line_batch_size(self):
+        machine = get_machine("pentium4", scale=16)
+        hier = MemoryHierarchy(machine, line_batch_size=32)
+        assert hier.line_stream.batch_size == 32
+
+
+class TestRefBatchMechanics:
+    """The SoA record itself: columns, trace-run RLE, seal statistics."""
+
+    def _capture(self, emit_fn, batch_size=64):
+        rec = _BatchRecorder()
+        stream = RefStream(batch_size=batch_size)
+        stream.attach(rec)
+        emit_fn(stream)
+        stream.finish()
+        return rec.batches
+
+    def test_columns_are_parallel_and_match_events(self):
+        def produce(stream):
+            stream.emit(1, 0x100, 8, KIND_READ, 10)
+            stream.emit(2, 0x108, 4, KIND_WRITE, 11)
+
+        (batch,) = self._capture(produce)
+        assert batch.pcs == [1, 2]
+        assert batch.addrs == [0x100, 0x108]
+        assert batch.sizes == [8, 4]
+        assert batch.kinds == [KIND_READ, KIND_WRITE]
+        assert batch.cycles == [10, 11]
+        assert batch.to_events() == [
+            MemoryEvent(1, 0x100, 8, KIND_READ, 10, None),
+            MemoryEvent(2, 0x108, 4, KIND_WRITE, 11, None),
+        ]
+        assert batch.to_events() is batch.to_events()  # cached view
+
+    def test_seal_statistics_cover_the_columns(self):
+        def produce(stream):
+            for addr, size in ((0x100, 8), (0x204, 4), (0x1F8, 8)):
+                stream.emit(1, addr, size, KIND_READ, 0)
+
+        (batch,) = self._capture(produce)
+        assert batch.addr_or == 0x100 | 0x204 | 0x1F8
+        assert batch.max_size == 8
+        # The conservative straddle screen they exist for: every batch
+        # address is 64B-line-contained iff the bound holds (it is an
+        # over-approximation, so holding *proves* containment).
+        if (batch.addr_or & 63) + batch.max_size <= 64:
+            assert all((a & 63) + s <= 64
+                       for a, s in zip(batch.addrs, batch.sizes))
+
+    def test_hand_built_batch_has_unknown_stats(self):
+        batch = RefBatch([1], [0x3F], [8], [KIND_READ], [0], (None,), ((0, 0),))
+        assert batch.addr_or is None
+        assert batch.max_size is None
+
+    def test_trace_runs_are_run_length_encoded(self):
+        def produce(stream):
+            stream.emit(1, 0, 8, KIND_READ, 0)
+            stream.trace_id = "0x10@1"
+            for i in range(3):
+                stream.emit(2, 8 * i, 8, KIND_READ, i)
+            stream.trace_id = None
+            stream.emit(3, 64, 8, KIND_READ, 9)
+
+        (batch,) = self._capture(produce)
+        assert batch.trace_ids() == [None, "0x10@1", "0x10@1", "0x10@1", None]
+        # RLE, not a per-event column: one run per id change.
+        assert len(batch.trace_runs) == 3
+
+    def test_active_trace_id_carries_across_batch_seal(self):
+        def produce(stream):
+            stream.trace_id = "0x40@2"
+            for i in range(5):
+                stream.emit(1, 8 * i, 8, KIND_READ, i)
+
+        batches = self._capture(produce, batch_size=2)
+        assert [len(b) for b in batches] == [2, 2, 1]
+        for b in batches:
+            assert set(b.trace_ids()) == {"0x40@2"}
 
 
 class TestInterpreterProduction:

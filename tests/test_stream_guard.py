@@ -42,3 +42,30 @@ def test_no_private_ref_plumbing_outside_the_pipeline():
     assert not offenders, (
         "memory-ref callback plumbing belongs in repro.stream:\n"
         + "\n".join(offenders))
+
+
+#: Producer hot paths that must append columns, never build per-event
+#: records.  The SoA refactor's whole point is that these modules pay a
+#: handful of list appends per reference; a ``MemoryEvent(`` /
+#: ``LineEvent(`` creeping back in means someone reintroduced an
+#: array-of-structs hop on the hot path.
+HOT_PRODUCERS = (
+    SRC / "vm" / "interpreter.py",
+    SRC / "vm" / "tracing.py",
+    SRC / "memory" / "hierarchy.py",
+)
+
+FORBIDDEN_IN_PRODUCERS = ("MemoryEvent(", "LineEvent(")
+
+
+def test_producer_hot_paths_stay_columnar():
+    offenders = []
+    for path in HOT_PRODUCERS:
+        assert path.is_file(), path
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if any(token in line for token in FORBIDDEN_IN_PRODUCERS):
+                offenders.append(
+                    f"{path.relative_to(SRC)}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "producers append columns; per-event records are for consumers "
+        "that asked for the legacy view:\n" + "\n".join(offenders))
