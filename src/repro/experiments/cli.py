@@ -5,6 +5,8 @@ Usage::
     umi-experiments --list
     umi-experiments table4 --scale 0.5
     umi-experiments all --jobs 4 --store .umi-cache
+    umi-experiments all --set all        # every set incl. generated
+    umi-experiments sets --set "paper,thrash"
     umi-experiments all --json runs.json
     umi-experiments table1 --telemetry /tmp/t
     umi-experiments telemetry /tmp/t
@@ -64,9 +66,11 @@ from repro.telemetry import (
     get_telemetry, render_telemetry_dir, write_telemetry_dir,
 )
 
+from repro.workloads import resolve_set
+
 from . import (
-    apps, fig2, prefetch_figs, sensitivity, table1, table2, table3,
-    table4, table5, table6,
+    apps, fig2, prefetch_figs, sensitivity, setreport, table1, table2,
+    table3, table4, table5, table6,
 )
 from .common import DEFAULT_SCALE, ResultCache
 
@@ -79,26 +83,42 @@ def _tables(result) -> List[Table]:
 
 @dataclass(frozen=True)
 class Experiment:
-    """One regenerable artefact: its runner and its spec declaration."""
+    """One regenerable artefact: its runner and its spec declaration.
+
+    ``takes_workloads`` experiments accept a ``workloads=`` name list
+    (both in ``run`` and ``required_runs``) and therefore honour the
+    ``--set`` flag; the rest have a fixed, paper-defined spec shape.
+    """
 
     run: Callable
     required_runs: Optional[Callable] = None
+    takes_workloads: bool = False
 
 
 EXPERIMENTS: Dict[str, Experiment] = {
     "table1": Experiment(table1.run, table1.required_runs),
     "table2": Experiment(table2.run, table2.required_runs),
-    "table3": Experiment(table3.run, table3.required_runs),
-    "table4": Experiment(table4.run, table4.required_runs),
+    "table3": Experiment(table3.run, table3.required_runs,
+                         takes_workloads=True),
+    "table4": Experiment(table4.run, table4.required_runs,
+                         takes_workloads=True),
     "table5": Experiment(table5.run, table5.required_runs),
-    "table6": Experiment(table6.run, table6.required_runs),
-    "fig2": Experiment(fig2.run, fig2.required_runs),
-    "fig3": Experiment(prefetch_figs.fig3, prefetch_figs.fig3_runs),
-    "fig4": Experiment(prefetch_figs.fig4, prefetch_figs.fig4_runs),
-    "fig5": Experiment(prefetch_figs.fig5, prefetch_figs.fig5_runs),
-    "fig6": Experiment(prefetch_figs.fig6, prefetch_figs.fig6_runs),
+    "table6": Experiment(table6.run, table6.required_runs,
+                         takes_workloads=True),
+    "fig2": Experiment(fig2.run, fig2.required_runs,
+                       takes_workloads=True),
+    "fig3": Experiment(prefetch_figs.fig3, prefetch_figs.fig3_runs,
+                       takes_workloads=True),
+    "fig4": Experiment(prefetch_figs.fig4, prefetch_figs.fig4_runs,
+                       takes_workloads=True),
+    "fig5": Experiment(prefetch_figs.fig5, prefetch_figs.fig5_runs,
+                       takes_workloads=True),
+    "fig6": Experiment(prefetch_figs.fig6, prefetch_figs.fig6_runs,
+                       takes_workloads=True),
     "sensitivity": Experiment(sensitivity.run, sensitivity.required_runs),
     "apps": Experiment(apps.run, apps.required_runs),
+    "sets": Experiment(setreport.run, setreport.required_runs,
+                       takes_workloads=True),
 }
 
 
@@ -120,6 +140,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
                         help="workload iteration scale (default %(default)s)")
+    parser.add_argument("--set", dest="set_expr", metavar="EXPR",
+                        default=None,
+                        help="benchmark-set expression selecting the "
+                             "workloads for set-aware experiments (e.g. "
+                             "'int', 'paper,thrash', 'all,!pairs'; see "
+                             "repro.workloads.sets)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for independent runs "
                              "(default 1 = serial; 0 = all cores)")
@@ -231,6 +257,20 @@ def main(argv=None) -> int:
             f"unknown experiment {args.experiment!r}; use --list"
         )
 
+    workloads = None
+    if args.set_expr is not None:
+        try:
+            workloads = resolve_set(args.set_expr)
+        except ValueError as exc:
+            parser.error(f"--set: {exc}")
+        unaware = [n for n in names if not EXPERIMENTS[n].takes_workloads]
+        if len(names) == 1 and unaware:
+            parser.error(f"experiment {names[0]!r} has a fixed workload "
+                         f"suite and does not honour --set")
+        if unaware:
+            print(f"[--set applies to set-aware experiments; "
+                  f"{', '.join(unaware)} keep their fixed suites]")
+
     store = None if args.no_store else args.store
     if store is not None and os.path.exists(store) \
             and not os.path.isdir(store):
@@ -257,7 +297,7 @@ def main(argv=None) -> int:
                         store=bool(store))
     try:
         with fault_injection(fault_plan):
-            code = _run_experiments(args, names, store)
+            code = _run_experiments(args, names, store, workloads)
         if args.telemetry:
             write_telemetry_dir(telemetry, args.telemetry)
             print(f"[telemetry written to {args.telemetry}]")
@@ -348,18 +388,27 @@ def _run_store(args, parser) -> int:
     return 0
 
 
-def _run_experiments(args, names: List[str], store) -> int:
+def _run_experiments(args, names: List[str], store,
+                     workloads: Optional[List[str]] = None) -> int:
     retry = RetryPolicy(max_attempts=args.retries, timeout=args.timeout)
     cache = ResultCache(scale=args.scale, jobs=args.jobs, store=store,
                         strict=args.strict, retry=retry)
+
+    def declared_runs(name: str):
+        exp = EXPERIMENTS[name]
+        if exp.required_runs is None:
+            return None
+        if exp.takes_workloads and workloads is not None:
+            return exp.required_runs(cache, workloads=workloads)
+        return exp.required_runs(cache)
 
     # One deduplicated wavefront covering every requested experiment,
     # instead of each table looping over its runs serially.
     wavefront = []
     for name in names:
-        declared = EXPERIMENTS[name].required_runs
+        declared = declared_runs(name)
         if declared is not None:
-            wavefront.extend(declared(cache))
+            wavefront.extend(declared)
     if wavefront:
         if args.resume:
             distinct = set(wavefront)
@@ -408,9 +457,9 @@ def _run_experiments(args, names: List[str], store) -> int:
     markdown_parts: List[str] = []
     exit_code = 0
     for name in names:
-        declared = EXPERIMENTS[name].required_runs
+        declared = declared_runs(name)
         if declared is not None and failed_runs:
-            required = set(declared(cache))
+            required = set(declared)
             broken = sum(1 for spec in required if spec in failed_runs)
             if broken:
                 print(f"[{name} skipped: {broken} of its "
@@ -418,7 +467,11 @@ def _run_experiments(args, names: List[str], store) -> int:
                 exit_code = 1
                 continue
         start = time.time()
-        result = EXPERIMENTS[name].run(scale=args.scale, cache=cache)
+        exp = EXPERIMENTS[name]
+        kwargs = {}
+        if exp.takes_workloads and workloads is not None:
+            kwargs["workloads"] = workloads
+        result = exp.run(scale=args.scale, cache=cache, **kwargs)
         elapsed = time.time() - start
         for tbl in _tables(result):
             print(tbl.render())

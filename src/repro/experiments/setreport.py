@@ -1,0 +1,76 @@
+"""Per-set delinquent-load prediction quality (the ``sets`` experiment).
+
+The paper reports recall and false-positive rates over whole suites;
+with the benchmark-set registry (:mod:`repro.workloads.sets`) and the
+generated adversarial families the suite structure is richer than the
+original three groups, so this experiment aggregates Table 6's
+per-benchmark prediction-quality rows *per named set*.  Sets overlap
+(``prefetchable`` cuts across ``fp``/``int``/``olden``; ``all``
+contains everything), so one benchmark contributes to every set it
+belongs to.
+
+The underlying runs are exactly Table 6's specs (the shared Pentium 4
+UMI + Cachegrind + shadow-prefetch run per workload), so with
+``umi-experiments all --set ...`` this experiment adds *zero* extra
+executions to the deduplicated wavefront -- only the aggregation.
+Sets with no member among the measured workloads are omitted from the
+report rather than rendered empty.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.engine import RunSpec
+from repro.stats import Table
+from repro.workloads import set_members, set_names
+
+from . import table6
+from .common import DEFAULT_SCALE, ResultCache, paper_suite_names
+
+
+def _names(workloads: Optional[List[str]]) -> List[str]:
+    if workloads is not None:
+        return workloads
+    return paper_suite_names()
+
+
+def required_runs(cache: ResultCache,
+                  workloads: Optional[List[str]] = None) -> List[RunSpec]:
+    """Every spec the per-set report consumes (== Table 6's specs)."""
+    return table6.required_runs(cache, workloads=_names(workloads))
+
+
+def run(scale: float = DEFAULT_SCALE,
+        cache: Optional[ResultCache] = None,
+        workloads: Optional[List[str]] = None,
+        coverage: float = 0.90) -> Table:
+    """Aggregate delinquent-load recall / false positives per set."""
+    cache = cache or ResultCache(scale)
+    names = _names(workloads)
+    rows = table6.measure(scale=scale, cache=cache, workloads=names,
+                          coverage=coverage)
+    by_name = {row.name: row for row in rows}
+
+    table = Table(
+        f"Per-set delinquent load prediction quality "
+        f"({len(rows)} benchmarks measured, {coverage:.0%} delinquency)",
+        ["set", "benchmarks", "l2_miss_ratio", "P", "P_coverage",
+         "recall", "false_positive"],
+        ["{}", "{}", "{:.4f}", "{:.1f}", "{:.2%}", "{:.2%}", "{:.2%}"],
+    )
+    for set_name in set_names():
+        members = [by_name[n] for n in set_members(set_name)
+                   if n in by_name]
+        if not members:
+            continue
+        n = len(members)
+        table.add_row(
+            set_name, n,
+            sum(r.l2_miss_ratio for r in members) / n,
+            sum(r.p_size for r in members) / n,
+            sum(r.p_coverage for r in members) / n,
+            sum(r.recall for r in members) / n,
+            sum(r.false_positive for r in members) / n,
+        )
+    return table

@@ -31,16 +31,24 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.engine import RunSpec
 from repro.stats import Table, pearson
-from repro.workloads import all_workloads
+from repro.workloads import all_workloads, get_workload
 
 from .common import DEFAULT_SCALE, GROUP_ORDER, ResultCache
 
 
+def _specs(groups: Tuple[str, ...],
+           workloads: Optional[List[str]]):
+    if workloads is not None:
+        return [get_workload(name) for name in workloads]
+    return all_workloads(list(groups))
+
+
 def required_runs(cache: ResultCache,
-                  groups: Tuple[str, ...] = GROUP_ORDER) -> List[RunSpec]:
+                  groups: Tuple[str, ...] = GROUP_ORDER,
+                  workloads: Optional[List[str]] = None) -> List[RunSpec]:
     """Every spec the Table 4 measurements consume."""
     specs = []
-    for spec in all_workloads(list(groups)):
+    for spec in _specs(groups, workloads):
         specs.append(cache.spec_umi(spec.name, machine="pentium4",
                                     sampling=True, with_cachegrind=True,
                                     consumers=("shadow-hwpf",)))
@@ -65,13 +73,14 @@ class BenchMeasurement:
 
 def measure(scale: float = DEFAULT_SCALE,
             cache: Optional[ResultCache] = None,
-            groups: Tuple[str, ...] = GROUP_ORDER
+            groups: Tuple[str, ...] = GROUP_ORDER,
+            workloads: Optional[List[str]] = None
             ) -> List[BenchMeasurement]:
     """Collect the per-benchmark miss ratios behind Table 4."""
     cache = cache or ResultCache(scale)
-    cache.prefill(required_runs(cache, groups))
+    cache.prefill(required_runs(cache, groups, workloads))
     measurements = []
-    for spec in all_workloads(list(groups)):
+    for spec in _specs(groups, workloads):
         p4 = cache.umi(spec.name, machine="pentium4", sampling=True,
                        with_cachegrind=True, consumers=("shadow-hwpf",))
         k7 = cache.umi(spec.name, machine="athlon-k7", sampling=True)
@@ -142,6 +151,8 @@ def detail(measurements: List[BenchMeasurement]) -> Table:
 
 
 def run(scale: float = DEFAULT_SCALE,
-        cache: Optional[ResultCache] = None) -> Table:
+        cache: Optional[ResultCache] = None,
+        workloads: Optional[List[str]] = None) -> Table:
     """Regenerate Table 4 (the correlation grid)."""
-    return correlations(measure(scale=scale, cache=cache))
+    return correlations(measure(scale=scale, cache=cache,
+                                workloads=workloads))

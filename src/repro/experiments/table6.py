@@ -138,7 +138,9 @@ def to_table(rows: List[DelinquencyRow],
 
 def run(scale: float = DEFAULT_SCALE,
         cache: Optional[ResultCache] = None,
-        miss_split: float = DEFAULT_MISS_SPLIT) -> Table:
+        miss_split: float = DEFAULT_MISS_SPLIT,
+        workloads: Optional[List[str]] = None) -> Table:
     """Regenerate Table 6."""
-    return to_table(measure(scale=scale, cache=cache),
+    return to_table(measure(scale=scale, cache=cache,
+                            workloads=workloads),
                     miss_split=miss_split)

@@ -8,7 +8,9 @@ instruments their memory operations.
 """
 
 from .builder import BlockBuilder, ProgramBuilder
-from .disasm import format_block, format_instruction, format_program
+from .disasm import (
+    format_block, format_instruction, format_program, program_digest,
+)
 from .instructions import (
     ADD, ALU_RI, ALU_RR, AND, CALL, CC_EQ, CC_GE, CC_GT, CC_LE, CC_LT,
     CC_NE, CMP_RI, CMP_RR, DIV, HALT, Instruction, JCC, JMP, LEA, LOAD,
@@ -29,6 +31,7 @@ __all__ = [
     # builder / rendering
     "BlockBuilder", "ProgramBuilder",
     "format_block", "format_instruction", "format_program",
+    "program_digest",
     # instructions
     "Instruction",
     "MOV_RI", "MOV_RR", "LOAD", "STORE", "ALU_RR", "ALU_RI", "LEA",

@@ -72,3 +72,28 @@ def format_program(program: Program) -> str:
     parts = [header]
     parts.extend(format_block(b) for b in program.blocks.values())
     return "\n\n".join(parts)
+
+
+def program_digest(program: Program) -> str:
+    """Content hash of a program: code, initial heap image, start state.
+
+    Covers everything that determines execution -- the disassembly
+    (block order, labels, every operand), the data segment's symbols and
+    initial word image, the entry label and the initial register file.
+    Two programs with equal digests behave identically under every
+    runner, so this is the byte-identity witness behind the generated
+    workloads' (name, seed, scale) determinism contract.
+    """
+    import hashlib
+    import json
+
+    payload = {
+        "code": format_program(program),
+        "entry": program.entry,
+        "regs": sorted(program.initial_regs.items()),
+        "data_base": program.data.base,
+        "symbols": sorted(program.data.symbols.items()),
+        "image": sorted(program.data.image.items()),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()

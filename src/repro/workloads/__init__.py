@@ -1,17 +1,24 @@
 """Synthetic benchmark suite standing in for the paper's workloads.
 
-47 programs written in the virtual ISA: 14 CFP2000, 12 CINT2000, 6
-Olden/Ptrdist (the paper's evaluation suite of 32), plus the 15-benchmark
-SPEC CPU2006 subset of Table 5.
+51 registered programs written in the virtual ISA: 14 CFP2000, 12
+CINT2000, 6 Olden/Ptrdist (the paper's evaluation suite of 32), the
+15-benchmark SPEC CPU2006 subset of Table 5, and 4 application
+workloads -- plus an open-ended population of *generated* workloads
+(``gen:...`` names; see :mod:`repro.workloads.generators`) and a named
+benchmark-set registry over all of them
+(:mod:`repro.workloads.sets`).
 """
 
 from .base import (
-    GROUPS, ProgramComposer, WorkloadSpec, all_workloads, get_workload,
-    prefetchable_workloads, register, scaled, workloads_in_group,
+    GEN_PREFIX, GROUPS, ProgramComposer, WorkloadSpec, all_workloads,
+    get_workload, prefetchable_workloads, register, scaled,
+    workloads_in_group,
 )
+from .sets import resolve_set, set_members, set_names
 
 __all__ = [
-    "WorkloadSpec", "ProgramComposer", "GROUPS",
+    "WorkloadSpec", "ProgramComposer", "GROUPS", "GEN_PREFIX",
     "register", "get_workload", "all_workloads", "workloads_in_group",
     "prefetchable_workloads", "scaled",
+    "resolve_set", "set_members", "set_names",
 ]

@@ -15,6 +15,8 @@ exercised by :mod:`repro.experiments.apps`.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.isa import Program
 
 from .base import GROUPS, ProgramComposer, WorkloadSpec, register, scaled
@@ -28,9 +30,9 @@ if "APPS" not in GROUPS:
     raise RuntimeError("APPS group must be declared in workloads.base")
 
 
-def build_webserver(scale: float = 1.0) -> Program:
+def build_webserver(scale: float = 1.0, c=None) -> Optional[Program]:
     """Apache-like request loop: parse, route, respond from hot caches."""
-    c = ProgramComposer("app.webserver")
+    c = c or ProgramComposer("app.webserver")
     routes = c.data.alloc_array("routes", 256, elem_size=8,
                                 init=lambda i: i)
     reqbuf = c.data.alloc("reqbuf", 2 * 1024)
@@ -44,9 +46,9 @@ def build_webserver(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_database(scale: float = 1.0) -> Program:
+def build_database(scale: float = 1.0, c=None) -> Optional[Program]:
     """MySQL-like point queries: resident index probes + log appends."""
-    c = ProgramComposer("app.database")
+    c = c or ProgramComposer("app.database")
     index = c.data.alloc_array("btree", 2048, elem_size=8,
                                init=lambda i: i)              # 16KB
     log = c.data.alloc_array("wal", 512, elem_size=8)
@@ -60,9 +62,9 @@ def build_database(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_encoder(scale: float = 1.0) -> Program:
+def build_encoder(scale: float = 1.0, c=None) -> Optional[Program]:
     """MEncoder-like pipeline: compute-heavy transforms on small tiles."""
-    c = ProgramComposer("app.encoder")
+    c = c or ProgramComposer("app.encoder")
     tile = c.data.alloc_array("tile", 512, elem_size=8, init=lambda i: i)
     out = c.data.alloc("obuf", 4 * 1024)
     src = c.data.alloc("ibuf", 4 * 1024)
@@ -75,9 +77,9 @@ def build_encoder(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_viewer(scale: float = 1.0) -> Program:
+def build_viewer(scale: float = 1.0, c=None) -> Optional[Program]:
     """Acrobat-like document viewer: branchy layout over resident pages."""
-    c = ProgramComposer("app.viewer")
+    c = c or ProgramComposer("app.viewer")
     page = c.data.alloc_array("page", 1024, elem_size=8, init=lambda i: i)
     c.add_phase("layout", state_machine, n_states=32,
                 steps=scaled(4000, scale), state_array_elems=32,

@@ -15,15 +15,86 @@ are sized against the *scaled* machine models).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.isa import EBP, Program, ProgramBuilder, STACK_BASE
+from repro.isa import EBP, Program, ProgramBuilder, ProgramError, STACK_BASE
 
 
 def scaled(count: int, scale: float) -> int:
     """Scale an iteration count, never below 1."""
     return max(1, int(round(count * scale)))
+
+
+class _TenantData:
+    """Namespaced, memoizing view of a :class:`DataSegment`.
+
+    Tenant recipes may run several times against the same composer (the
+    interference-pair generator interleaves each tenant's phases over
+    multiple rounds); re-allocating a symbol the tenant already owns
+    returns the existing address instead of raising, so every round
+    touches the *same* heap objects -- which is what makes the rounds
+    interfere through the cache rather than stream disjoint data.
+    """
+
+    def __init__(self, data, ns: str) -> None:
+        self._data = data
+        self._ns = ns
+        self._sizes: Dict[str, int] = {}
+
+    def _full(self, name: str) -> str:
+        return f"{self._ns}.{name}"
+
+    def alloc(self, name: str, nbytes: int, align: int = 8) -> int:
+        full = self._full(name)
+        if full in self._data.symbols:
+            if self._sizes.get(full) != nbytes:
+                raise ProgramError(
+                    f"tenant symbol {full!r} re-allocated with a "
+                    f"different size ({self._sizes.get(full)} vs "
+                    f"{nbytes}); tenant recipes must be deterministic")
+            return self._data.symbols[full]
+        self._sizes[full] = nbytes
+        return self._data.alloc(full, nbytes, align)
+
+    def alloc_array(self, name: str, count: int, elem_size: int = 8,
+                    init=None) -> int:
+        full = self._full(name)
+        if full in self._data.symbols:
+            if self._sizes.get(full) != count * elem_size:
+                raise ProgramError(
+                    f"tenant symbol {full!r} re-allocated with a "
+                    f"different size; tenant recipes must be "
+                    f"deterministic")
+            # Re-running the recipe would rewrite identical values.
+            return self._data.symbols[full]
+        self._sizes[full] = count * elem_size
+        return self._data.alloc_array(full, count, elem_size, init)
+
+    def write_word(self, addr: int, value: int) -> None:
+        self._data.write_word(addr, value)
+
+    def read_word(self, addr: int) -> int:
+        return self._data.read_word(addr)
+
+    @property
+    def size(self) -> int:
+        return self._data.size
+
+
+class _TenantBuilder:
+    """What a workload builder sees for ``c.builder`` inside a tenant.
+
+    Only the data segment is proxied (namespaced + memoized); workload
+    recipes touch the builder solely to allocate and initialize heap
+    data (directly or through :mod:`repro.workloads.datagen`).  Code
+    emission happens later, at build time, through the real builder.
+    """
+
+    def __init__(self, builder: ProgramBuilder, ns: str) -> None:
+        self._builder = builder
+        self.data = _TenantData(builder.data, ns)
 
 
 class ProgramComposer:
@@ -33,10 +104,38 @@ class ProgramComposer:
         self.builder = ProgramBuilder(name)
         self._phases: List[Callable[[str, str], None]] = []
         self._phase_names: List[str] = []
+        self._tenant: Optional[str] = None
+        self._tenant_builders: Dict[str, _TenantBuilder] = {}
 
     @property
     def data(self):
         return self.builder.data
+
+    @contextmanager
+    def tenant(self, ns: str):
+        """Compose a member workload into this program under ``ns``.
+
+        Inside the context, data symbols are namespaced (and memoized
+        across rounds) and phase labels carry the tenant prefix, so two
+        arbitrary workload recipes -- even two copies of the same one --
+        coexist in one program and one simulated hierarchy.  ``build()``
+        is deferred: a workload builder handed this composer adds its
+        phases but does not finalize the program.
+        """
+        if self._tenant is not None:
+            raise ProgramError("tenant contexts cannot nest")
+        if not ns or not ns.replace("_", "").isalnum():
+            raise ValueError(f"bad tenant namespace {ns!r}")
+        real = self.builder
+        if ns not in self._tenant_builders:
+            self._tenant_builders[ns] = _TenantBuilder(real, ns)
+        self._tenant = ns
+        self.builder = self._tenant_builders[ns]
+        try:
+            yield self
+        finally:
+            self.builder = real
+            self._tenant = None
 
     def add_phase(self, phase_name: str,
                   kernel: Callable[..., None], **params) -> None:
@@ -45,7 +144,8 @@ class ProgramComposer:
         ``kernel`` is called as ``kernel(builder, prefix, entry, exit,
         **params)`` at build time.
         """
-        prefix = f"{phase_name}{len(self._phases)}"
+        ns = f"{self._tenant}_" if self._tenant else ""
+        prefix = f"{ns}{phase_name}{len(self._phases)}"
 
         def emit(entry: str, exit_label: str,
                  _kernel=kernel, _prefix=prefix, _params=params) -> None:
@@ -54,8 +154,16 @@ class ProgramComposer:
         self._phases.append(emit)
         self._phase_names.append(prefix)
 
-    def build(self) -> Program:
-        """Emit the main driver and finalize the program."""
+    def build(self) -> Optional[Program]:
+        """Emit the main driver and finalize the program.
+
+        Inside a :meth:`tenant` context this is a deferred no-op (the
+        outer composer finalizes once every tenant has contributed), so
+        existing workload builders can be reused verbatim as tenant
+        recipes.
+        """
+        if self._tenant is not None:
+            return None
         if not self._phases:
             raise ValueError("no phases queued")
         b = self.builder
@@ -99,7 +207,16 @@ class WorkloadSpec:
 
 
 GROUPS = ("CFP2000", "CINT2000", "OLDEN", "CFP2006", "CINT2006",
-          "APPS")
+          "APPS", "GEN")
+
+#: Prefix shared by every generated workload name.  Names of the form
+#: ``gen:<family>:...`` resolve through the generator registry
+#: (:mod:`repro.workloads.generators`) instead of the static catalog;
+#: the whole program is a pure function of (name, scale), which is what
+#: lets RunSpec digests, the content-addressed store and the parallel
+#: executor's worker processes treat generated workloads exactly like
+#: hand-written ones.
+GEN_PREFIX = "gen:"
 
 #: Run-length normalizers (see ``WorkloadSpec.length_factor``): measured
 #: so that every benchmark runs roughly 1.5-2.5M model cycles at
@@ -130,6 +247,10 @@ def register(spec: WorkloadSpec) -> WorkloadSpec:
     """
     if spec.group not in GROUPS:
         raise ValueError(f"unknown group {spec.group!r}")
+    if spec.name.startswith(GEN_PREFIX):
+        raise ValueError(
+            f"the {GEN_PREFIX!r} name prefix is reserved for generated "
+            f"workloads; register a generator instead")
     if spec.name in _REGISTRY:
         raise ValueError(f"duplicate workload {spec.name!r}")
     factor = LENGTH_FACTORS.get(spec.name, 1.0)
@@ -145,9 +266,14 @@ def get_workload(name: str) -> WorkloadSpec:
     try:
         return _REGISTRY[name]
     except KeyError:
-        raise ValueError(
-            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}"
-        ) from None
+        pass
+    if name.startswith(GEN_PREFIX):
+        from . import generators
+        return generators.get_generated(name)
+    raise ValueError(
+        f"unknown workload {name!r}; known: {sorted(_REGISTRY)} "
+        f"plus generated '{GEN_PREFIX}...' names "
+        f"(see repro.workloads.generators)")
 
 
 def workloads_in_group(group: str) -> List[WorkloadSpec]:

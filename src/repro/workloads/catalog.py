@@ -2,10 +2,13 @@
 
 Console entry point ``umi-workloads``::
 
-    umi-workloads                 # list all workloads
-    umi-workloads --group OLDEN   # one group
-    umi-workloads --measure       # also run each briefly and report
-                                  # size/miss-ratio measurements
+    umi-workloads                     # list the static catalog
+    umi-workloads --group OLDEN       # one group
+    umi-workloads --set all           # a named set (includes generated
+                                      # workloads; see repro.workloads.sets)
+    umi-workloads --set thrash --measure --machine xeon
+                                      # run each briefly and report
+                                      # size/miss-ratio measurements
 """
 
 from __future__ import annotations
@@ -16,29 +19,44 @@ from typing import List, Optional
 
 from repro.stats import Table
 
-from .base import GROUPS, WorkloadSpec, all_workloads, workloads_in_group
+from .base import GROUPS, WorkloadSpec, all_workloads, get_workload, \
+    workloads_in_group
+from .sets import resolve_set
 
 
 def catalog_table(groups: Optional[List[str]] = None,
                   measure: bool = False,
                   scale: float = 0.25,
-                  machine_name: str = "pentium4") -> Table:
-    """Build the catalog table, optionally with measured columns."""
-    if groups:
-        specs: List[WorkloadSpec] = []
+                  machine_name: str = "pentium4",
+                  machine_scale: Optional[int] = None,
+                  workloads: Optional[List[str]] = None) -> Table:
+    """Build the catalog table, optionally with measured columns.
+
+    ``workloads`` (a list of names, e.g. from
+    :func:`repro.workloads.sets.resolve_set`) takes precedence over
+    ``groups``; measurement runs on ``machine_name`` scaled by
+    ``machine_scale`` (default: the model's standard
+    :data:`repro.memory.DEFAULT_MACHINE_SCALE`).
+    """
+    if workloads is not None:
+        specs: List[WorkloadSpec] = [get_workload(n) for n in workloads]
+    elif groups:
+        specs = []
         for group in groups:
             specs.extend(workloads_in_group(group))
     else:
         specs = all_workloads(list(GROUPS))
 
     if measure:
-        from repro.memory import get_machine
+        from repro.memory import DEFAULT_MACHINE_SCALE, get_machine
         from repro.runners import run_native
 
-        machine = get_machine(machine_name, scale=16)
+        if machine_scale is None:
+            machine_scale = DEFAULT_MACHINE_SCALE
+        machine = get_machine(machine_name, scale=machine_scale)
         table = Table(
             f"Workload catalog ({len(specs)} benchmarks, measured at "
-            f"scale {scale})",
+            f"scale {scale} on {machine_name}/{machine_scale})",
             ["name", "group", "prefetchable", "blocks", "static_mem_ops",
              "footprint_kb", "l2_miss_ratio", "description"],
             ["{}", "{}", "{}", "{}", "{}", "{:.1f}", "{:.4f}", "{}"],
@@ -73,14 +91,34 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--group", action="append", choices=GROUPS,
                         help="restrict to a group (repeatable)")
+    parser.add_argument("--set", dest="set_expr", metavar="EXPR",
+                        help="restrict to a benchmark-set expression "
+                             "(e.g. 'int', 'paper,thrash', 'all,!pairs'; "
+                             "see repro.workloads.sets)")
     parser.add_argument("--measure", action="store_true",
                         help="run each workload briefly and report "
                              "footprint and L2 miss ratio")
     parser.add_argument("--scale", type=float, default=0.25,
                         help="measurement scale (default %(default)s)")
+    parser.add_argument("--machine", default="pentium4",
+                        help="machine model for --measure "
+                             "(default %(default)s)")
+    parser.add_argument("--machine-scale", type=int, default=None,
+                        help="machine scale factor for --measure "
+                             "(default: the model default)")
     args = parser.parse_args(argv)
+    if args.set_expr and args.group:
+        parser.error("--set and --group are mutually exclusive")
+    workloads = None
+    if args.set_expr:
+        try:
+            workloads = resolve_set(args.set_expr)
+        except ValueError as exc:
+            parser.error(str(exc))
     table = catalog_table(groups=args.group, measure=args.measure,
-                          scale=args.scale)
+                          scale=args.scale, machine_name=args.machine,
+                          machine_scale=args.machine_scale,
+                          workloads=workloads)
     print(table.render())
     return 0
 

@@ -1,0 +1,508 @@
+"""Seeded, parameterized workload generators.
+
+Where the static catalog (:mod:`repro.workloads.base`) reproduces the
+paper's benchmark tables, this module *grows* the scenario space:
+workload families whose every instance is a pure function of its name
+-- ``gen:<family>:...:s<seed>`` -- and the run's iteration ``scale``.
+Purity is the load-bearing contract: a generated name rebuilds a
+byte-identical program in any process (checked by
+:func:`repro.isa.program_digest`), so RunSpec digests, the
+content-addressed result store, fusion groups and the parallel
+executor's worker processes all treat generated workloads exactly like
+hand-written ones.
+
+Families
+========
+
+``gen:kernel:<kernel>:s<seed>``
+    One archetypal kernel (:mod:`repro.workloads.kernels`) as a
+    standalone workload, with seeded footprints and iteration counts.
+``gen:ptrgraph:s<seed>``
+    Random pointer-graph chasers: shuffled linked lists and trees with
+    seeded node counts, node sizes and traversal mixes -- the
+    delinquent-load generator.
+``gen:phasemix:s<seed>``
+    Phase-shifting mixes: alternating cache-hot and cache-cold phases
+    drawn from the kernel menu, the pattern UMI's phase detection and
+    adaptive thresholds have to track.
+``gen:thrash:<machine>:s<seed>``
+    Cache-thrashing adversaries *tuned against a machine's geometry*
+    (line-stride sweeps over multiples of the L2, set-conflict hammers
+    spaced one way apart, random walks over out-of-cache footprints).
+    Geometry is taken from the named machine at the default machine
+    scale (:data:`repro.memory.DEFAULT_MACHINE_SCALE`).
+``gen:pair:<a>+<b>:s<seed>``
+    Multi-tenant interference pairs: two *registered* member workloads
+    interleaved round-robin through one program (hence one simulated
+    hierarchy).  Each tenant's heap is namespaced but shared across
+    rounds, so the rounds evict each other's working sets -- the
+    adversarial property the efficacy tests assert.
+
+Every random draw comes from a ``random.Random`` seeded with the
+instance name, never from global randomness, wall clocks or object
+ids.  Footprints are scale-independent (``scale`` stretches iteration
+counts only) and bounded by :data:`FOOTPRINT_LIMIT`.
+"""
+
+from __future__ import annotations
+
+import inspect
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.isa import Program
+
+from .base import GEN_PREFIX, ProgramComposer, WorkloadSpec, scaled
+from .datagen import make_binary_tree, make_index_array, make_linked_list
+from .kernels import (
+    byte_copy, compute_loop, hash_probe, indirect_gather, pointer_chase,
+    random_walk, saxpy, state_machine, stencil3, stream_sum, tree_sum,
+)
+
+KB = 1024
+
+#: Hard upper bound on a generated program's data footprint (bytes);
+#: property tests assert every instance at every (seed, scale) obeys it.
+FOOTPRINT_LIMIT = 1024 * KB
+
+#: Rounds of tenant interleaving in an interference pair.
+PAIR_ROUNDS = 4
+
+#: Machines a thrash adversary may be tuned against.
+THRASH_MACHINES = ("pentium4", "athlon-k7", "xeon")
+
+#: Default member combinations for the registered pair population
+#: (memory-bound members whose solo working sets are modest, so the
+#: interference -- not self-thrashing -- dominates the pair's misses).
+PAIR_ROSTER: Tuple[Tuple[str, str], ...] = (
+    ("treeadd", "tsp"), ("treeadd", "181.mcf"), ("treeadd", "ft"),
+    ("tsp", "181.mcf"), ("tsp", "179.art"), ("em3d", "ft"),
+    ("em3d", "181.mcf"), ("health", "179.art"), ("health", "ft"),
+    ("mst", "183.equake"), ("mst", "256.bzip2"), ("164.gzip", "ft"),
+    ("181.mcf", "179.art"), ("183.equake", "300.twolf"),
+    ("256.bzip2", "179.art"), ("300.twolf", "ft"),
+)
+
+#: Default seed counts per family (the registered population; any other
+#: seed still materializes on demand).
+DEFAULT_SEEDS = {
+    "kernel": 4,
+    "ptrgraph": 128,
+    "phasemix": 128,
+    "thrash": 16,
+    "pair": 8,
+}
+
+
+def _rng(name: str) -> random.Random:
+    """The instance's deterministic random stream (seeded by name)."""
+    return random.Random(name)
+
+
+# ---------------------------------------------------------------------------
+# gen:kernel -- one archetypal kernel per instance
+
+
+def _kernel_stream_sum(c, rng, scale):
+    n = rng.choice((1024, 2048, 4096))
+    base = c.data.alloc_array("arr", n, elem_size=8, init=lambda i: i)
+    c.add_phase("stream", stream_sum, base=base, n=n,
+                stride=rng.choice((1, 2, 8)),
+                reps=scaled(rng.randint(12, 24), scale))
+
+
+def _kernel_saxpy(c, rng, scale):
+    n = rng.choice((512, 1024, 2048))
+    x = c.data.alloc_array("x", n, elem_size=8, init=lambda i: i)
+    y = c.data.alloc_array("y", n, elem_size=8, init=lambda i: 2 * i)
+    out = c.data.alloc_array("out", n, elem_size=8)
+    c.add_phase("axpy", saxpy, x_base=x, y_base=y, out_base=out, n=n,
+                reps=scaled(rng.randint(10, 20), scale))
+
+
+def _kernel_stencil3(c, rng, scale):
+    rows, cols = rng.randint(16, 40), rng.choice((64, 80, 96))
+    grid = c.data.alloc_array("grid", rows * cols, elem_size=8,
+                              init=lambda i: i & 0xFF)
+    out = c.data.alloc_array("gout", rows * cols, elem_size=8)
+    c.add_phase("sweep", stencil3, in_base=grid, out_base=out,
+                rows=rows, cols=cols, reps=scaled(rng.randint(4, 8), scale))
+
+
+def _kernel_pointer_chase(c, rng, scale):
+    nodes = rng.choice((256, 512, 1024))
+    node_bytes = rng.choice((32, 64, 128))
+    head = make_linked_list(c.builder, "chain", nodes,
+                            node_bytes=node_bytes, shuffled=True,
+                            seed=rng.randrange(1 << 30),
+                            value_offset=node_bytes // 2)
+    c.add_phase("chase", pointer_chase, head=head,
+                reps=scaled(rng.randint(8, 16), scale),
+                value_offset=node_bytes // 2)
+
+
+def _kernel_random_walk(c, rng, scale):
+    n_elems = rng.choice((2048, 4096, 8192))
+    base = c.data.alloc_array("walk", n_elems, elem_size=8,
+                              init=lambda i: i)
+    c.add_phase("walk", random_walk, base=base, n_elems=n_elems,
+                steps=scaled(rng.randint(4000, 9000), scale),
+                seed=rng.randrange(1 << 30))
+
+
+def _kernel_indirect_gather(c, rng, scale):
+    n = rng.choice((512, 1024, 2048))
+    data_elems = rng.choice((4096, 8192))
+    idx = make_index_array(c.builder, "idx", n, data_elems,
+                           seed=rng.randrange(1 << 30),
+                           sequential_fraction=rng.choice((0.0, 0.25, 0.5)))
+    data = c.data.alloc_array("gdata", data_elems, elem_size=8,
+                              init=lambda i: i)
+    c.add_phase("gather", indirect_gather, idx_base=idx, data_base=data,
+                n=n, reps=scaled(rng.randint(6, 12), scale))
+
+
+def _kernel_byte_copy(c, rng, scale):
+    nbytes = rng.choice((2 * KB, 4 * KB, 8 * KB))
+    src = c.data.alloc("src", nbytes)
+    dst = c.data.alloc("dst", nbytes)
+    c.add_phase("copy", byte_copy, src=src, dst=dst, nbytes=nbytes,
+                reps=scaled(rng.randint(3, 6), scale))
+
+
+def _kernel_hash_probe(c, rng, scale):
+    elems = rng.choice((2048, 4096, 8192))
+    table = c.data.alloc_array("table", elems, elem_size=8,
+                               init=lambda i: i)
+    c.add_phase("probe", hash_probe, table_base=table, table_elems=elems,
+                probes=scaled(rng.randint(3000, 7000), scale),
+                seed=rng.randrange(1 << 30))
+
+
+def _kernel_tree_sum(c, rng, scale):
+    depth = rng.randint(7, 9)
+    root = make_binary_tree(c.builder, "tree", depth=depth, node_bytes=32,
+                            shuffled=rng.random() < 0.5,
+                            seed=rng.randrange(1 << 30))
+    stack = c.data.alloc("tstack", 8 * (1 << depth) * 2, align=64)
+    c.add_phase("sum", tree_sum, root=root, stack_base=stack,
+                reps=scaled(rng.randint(6, 12), scale))
+
+
+def _kernel_state_machine(c, rng, scale):
+    c.add_phase("fsm", state_machine, n_states=rng.choice((16, 32, 64)),
+                steps=scaled(rng.randint(2000, 5000), scale),
+                state_array_elems=32, seed=rng.randrange(1 << 30))
+
+
+def _kernel_compute_loop(c, rng, scale):
+    n = 256
+    base = c.data.alloc_array("hot", n, elem_size=8, init=lambda i: i)
+    c.add_phase("compute", compute_loop,
+                iters=scaled(rng.randint(2000, 5000), scale),
+                work=rng.randint(10, 30), array_base=base, array_elems=n)
+
+
+KERNEL_MENU: Dict[str, Callable] = {
+    "stream_sum": _kernel_stream_sum,
+    "saxpy": _kernel_saxpy,
+    "stencil3": _kernel_stencil3,
+    "pointer_chase": _kernel_pointer_chase,
+    "random_walk": _kernel_random_walk,
+    "indirect_gather": _kernel_indirect_gather,
+    "byte_copy": _kernel_byte_copy,
+    "hash_probe": _kernel_hash_probe,
+    "tree_sum": _kernel_tree_sum,
+    "state_machine": _kernel_state_machine,
+    "compute_loop": _kernel_compute_loop,
+}
+
+
+def _build_kernel(kernel: str, seed: int, name: str,
+                  scale: float) -> Program:
+    rng = _rng(name)
+    c = ProgramComposer(name)
+    KERNEL_MENU[kernel](c, rng, scale)
+    return c.build()
+
+
+# ---------------------------------------------------------------------------
+# gen:ptrgraph -- random pointer-graph chasers
+
+
+def _build_ptrgraph(seed: int, name: str, scale: float) -> Program:
+    rng = _rng(name)
+    c = ProgramComposer(name)
+    n_lists = rng.randint(2, 4)
+    for k in range(n_lists):
+        nodes = rng.randint(192, 640)
+        node_bytes = rng.choice((32, 64, 128))
+        fat = node_bytes >= 64 and rng.random() < 0.5
+        value_offset = node_bytes // 2 if fat else 8
+        head = make_linked_list(c.builder, f"graph{k}", nodes,
+                                node_bytes=node_bytes, shuffled=True,
+                                seed=rng.randrange(1 << 30),
+                                value_offset=value_offset)
+        c.add_phase(f"chase{k}", pointer_chase, head=head,
+                    reps=scaled(rng.randint(6, 14), scale),
+                    value_offset=value_offset,
+                    store_value=rng.random() < 0.3)
+    if rng.random() < 0.6:
+        depth = rng.randint(7, 9)
+        root = make_binary_tree(c.builder, "gtree", depth=depth,
+                                node_bytes=32,
+                                shuffled=rng.random() < 0.7,
+                                seed=rng.randrange(1 << 30))
+        stack = c.data.alloc("gstack", 8 * (1 << depth) * 2, align=64)
+        c.add_phase("tree", tree_sum, root=root, stack_base=stack,
+                    reps=scaled(rng.randint(4, 10), scale))
+    return c.build()
+
+
+# ---------------------------------------------------------------------------
+# gen:phasemix -- phase-shifting hot/cold kernel mixes
+
+
+def _build_phasemix(seed: int, name: str, scale: float) -> Program:
+    rng = _rng(name)
+    c = ProgramComposer(name)
+    hot = c.data.alloc_array("hot", 256, elem_size=8, init=lambda i: i)
+    cold_elems = rng.choice((8192, 16384))
+    cold = c.data.alloc_array("cold", cold_elems, elem_size=8,
+                              init=lambda i: i)
+    n_phases = rng.randint(4, 7)
+    for k in range(n_phases):
+        if k % 2 == 0:
+            # Cache-cold phase: streams or randomly walks the big array.
+            if rng.random() < 0.5:
+                c.add_phase(f"cold{k}", stream_sum, base=cold,
+                            n=cold_elems, stride=rng.choice((4, 8)),
+                            reps=scaled(rng.randint(3, 6), scale))
+            else:
+                c.add_phase(f"cold{k}", random_walk, base=cold,
+                            n_elems=cold_elems,
+                            steps=scaled(rng.randint(2500, 5000), scale),
+                            seed=rng.randrange(1 << 30))
+        else:
+            # Cache-hot phase: tight reuse in the small array.
+            if rng.random() < 0.5:
+                c.add_phase(f"hot{k}", stream_sum, base=hot, n=256,
+                            reps=scaled(rng.randint(20, 40), scale))
+            else:
+                c.add_phase(f"hot{k}", compute_loop,
+                            iters=scaled(rng.randint(2000, 4000), scale),
+                            work=rng.randint(8, 16), array_base=hot,
+                            array_elems=256)
+    return c.build()
+
+
+# ---------------------------------------------------------------------------
+# gen:thrash -- adversaries tuned against a machine's cache geometry
+
+
+def _build_thrash(machine_name: str, seed: int, name: str,
+                  scale: float) -> Program:
+    from repro.memory import DEFAULT_MACHINE_SCALE, get_machine
+
+    machine = get_machine(machine_name, scale=DEFAULT_MACHINE_SCALE)
+    l2_bytes = machine.l2.size
+    line = machine.l2.line_size
+    assoc = machine.l2.assoc
+    way_bytes = l2_bytes // assoc
+
+    rng = _rng(name)
+    c = ProgramComposer(name)
+
+    # (1) Line-stride sweep over several L2 capacities: every access a
+    # new line, sequentially evicting the whole cache each pass.
+    sweep_bytes = 4 * l2_bytes
+    sweep = c.data.alloc("sweep", sweep_bytes, align=line)
+    c.add_phase("sweep", stream_sum, base=sweep, n=sweep_bytes // 8,
+                stride=line // 8, reps=scaled(rng.randint(6, 10), scale),
+                spills=0)
+
+    # (2) Set-conflict hammer: touches lines spaced exactly one way
+    # apart, so 4*assoc lines fight over a single L2 set.
+    ways = c.data.alloc("ways", 4 * assoc * way_bytes, align=line)
+    c.add_phase("conflict", stream_sum, base=ways,
+                n=(4 * assoc * way_bytes) // 8, stride=way_bytes // 8,
+                reps=scaled(rng.randint(120, 200), scale), spills=0)
+
+    # (3) Random walk over an out-of-cache footprint.
+    walk_elems = 1
+    while walk_elems * 8 < 2 * l2_bytes:
+        walk_elems <<= 1
+    walk = c.data.alloc_array("walk", walk_elems, elem_size=8,
+                              init=lambda i: i)
+    c.add_phase("walk", random_walk, base=walk, n_elems=walk_elems,
+                steps=scaled(rng.randint(4000, 8000), scale),
+                seed=rng.randrange(1 << 30), spills=0)
+    return c.build()
+
+
+# ---------------------------------------------------------------------------
+# gen:pair -- multi-tenant interference pairs
+
+
+def _member_builder(member: str):
+    """The registered member's builder, checked for tenant support."""
+    from .base import get_workload
+
+    if member.startswith(GEN_PREFIX):
+        raise ValueError(
+            f"interference-pair members must be registered workloads, "
+            f"not generated ones: {member!r}")
+    spec = get_workload(member)
+    if "c" not in inspect.signature(spec.builder).parameters:
+        raise ValueError(
+            f"workload {member!r} cannot be composed as a tenant (its "
+            f"builder does not accept a composer)")
+    return spec
+
+
+def build_pair_program(name_a: str, name_b: Optional[str], seed: int,
+                       scale: float,
+                       rounds: int = PAIR_ROUNDS) -> Program:
+    """Interleave two member workloads into one program.
+
+    Each round adds one slice (``1/rounds`` of the member's iteration
+    budget) of every tenant's phase sequence; tenant heaps are
+    namespaced and *memoized*, so every round revisits the same data and
+    the tenants keep evicting each other between rounds.  With
+    ``name_b=None`` the same round structure runs tenant ``a`` alone --
+    the iso-work solo baseline the interference efficacy tests compare
+    against (identical ``scaled()`` flooring, so the pair and the solos
+    execute the same per-tenant work).
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    rng = _rng(f"{GEN_PREFIX}pair:{name_a}+{name_b}:s{seed}")
+    c = ProgramComposer(f"{GEN_PREFIX}pair:{name_a}+{name_b}:s{seed}")
+    tenants = [("a", _member_builder(name_a))]
+    if name_b is not None:
+        tenants.append(("b", _member_builder(name_b)))
+    for _ in range(rounds):
+        order = list(tenants)
+        if rng.random() < 0.5:
+            order.reverse()
+        for ns, spec in order:
+            with c.tenant(ns):
+                spec.builder(spec.length_factor * scale / rounds, c=c)
+    return c.build()
+
+
+# ---------------------------------------------------------------------------
+# Name grammar, materialization and the default population
+
+FAMILIES = ("kernel", "ptrgraph", "phasemix", "thrash", "pair")
+
+_GENERATED: Dict[str, WorkloadSpec] = {}
+
+
+def _parse_seed(token: str, name: str) -> int:
+    if not token.startswith("s") or not token[1:].isdigit():
+        raise ValueError(
+            f"malformed generated workload name {name!r}: expected a "
+            f"trailing ':s<seed>' token, got {token!r}")
+    return int(token[1:])
+
+
+def parse_generated_name(name: str) -> Tuple[str, Tuple, int]:
+    """Split ``gen:<family>:...:s<seed>`` into (family, params, seed)."""
+    if not name.startswith(GEN_PREFIX):
+        raise ValueError(f"not a generated workload name: {name!r}")
+    parts = name[len(GEN_PREFIX):].split(":")
+    family = parts[0] if parts else ""
+    if family not in FAMILIES:
+        raise ValueError(
+            f"unknown generator family {family!r} in {name!r}; "
+            f"known families: {FAMILIES}")
+    seed = _parse_seed(parts[-1], name)
+    params = tuple(parts[1:-1])
+    if family == "kernel":
+        if len(params) != 1 or params[0] not in KERNEL_MENU:
+            raise ValueError(
+                f"{name!r}: expected gen:kernel:<kernel>:s<seed> with "
+                f"kernel in {sorted(KERNEL_MENU)}")
+    elif family in ("ptrgraph", "phasemix"):
+        if params:
+            raise ValueError(
+                f"{name!r}: expected gen:{family}:s<seed>")
+    elif family == "thrash":
+        if len(params) != 1 or params[0] not in THRASH_MACHINES:
+            raise ValueError(
+                f"{name!r}: expected gen:thrash:<machine>:s<seed> with "
+                f"machine in {THRASH_MACHINES}")
+    elif family == "pair":
+        if len(params) != 1 or "+" not in params[0]:
+            raise ValueError(
+                f"{name!r}: expected gen:pair:<a>+<b>:s<seed>")
+    return family, params, seed
+
+
+def get_generated(name: str) -> WorkloadSpec:
+    """Materialize (and cache) the WorkloadSpec for a generated name."""
+    if name in _GENERATED:
+        return _GENERATED[name]
+    family, params, seed = parse_generated_name(name)
+    if family == "kernel":
+        kernel = params[0]
+        builder = lambda scale, _k=kernel, _s=seed, _n=name: \
+            _build_kernel(_k, _s, _n, scale)
+        description = f"generated {kernel} kernel (seed {seed})"
+    elif family == "ptrgraph":
+        builder = lambda scale, _s=seed, _n=name: \
+            _build_ptrgraph(_s, _n, scale)
+        description = f"random pointer-graph chaser (seed {seed})"
+    elif family == "phasemix":
+        builder = lambda scale, _s=seed, _n=name: \
+            _build_phasemix(_s, _n, scale)
+        description = f"phase-shifting hot/cold mix (seed {seed})"
+    elif family == "thrash":
+        machine = params[0]
+        builder = lambda scale, _m=machine, _s=seed, _n=name: \
+            _build_thrash(_m, _s, _n, scale)
+        description = f"cache-thrashing adversary vs {machine} " \
+                      f"(seed {seed})"
+    else:  # pair
+        name_a, _, name_b = params[0].partition("+")
+        # Validate members eagerly so unknown names fail at resolve
+        # time, not in a worker process mid-wavefront.
+        _member_builder(name_a)
+        _member_builder(name_b)
+        builder = lambda scale, _a=name_a, _b=name_b, _s=seed: \
+            build_pair_program(_a, _b, _s, scale)
+        description = f"interference pair {name_a} | {name_b} " \
+                      f"(seed {seed})"
+    spec = WorkloadSpec(name=name, group="GEN", builder=builder,
+                        description=description)
+    _GENERATED[name] = spec
+    return spec
+
+
+def family_names(family: str, seeds: Optional[int] = None) -> List[str]:
+    """The registered default population of one generator family."""
+    if family not in FAMILIES:
+        raise ValueError(
+            f"unknown generator family {family!r}; known: {FAMILIES}")
+    n = seeds if seeds is not None else DEFAULT_SEEDS[family]
+    if family == "kernel":
+        return [f"{GEN_PREFIX}kernel:{k}:s{s}"
+                for k in KERNEL_MENU for s in range(n)]
+    if family == "ptrgraph":
+        return [f"{GEN_PREFIX}ptrgraph:s{s}" for s in range(n)]
+    if family == "phasemix":
+        return [f"{GEN_PREFIX}phasemix:s{s}" for s in range(n)]
+    if family == "thrash":
+        return [f"{GEN_PREFIX}thrash:{m}:s{s}"
+                for m in THRASH_MACHINES for s in range(n)]
+    return [f"{GEN_PREFIX}pair:{a}+{b}:s{s}"
+            for a, b in PAIR_ROSTER for s in range(n)]
+
+
+def default_generated_names() -> List[str]:
+    """Every generated workload in the default population, all families."""
+    names: List[str] = []
+    for family in FAMILIES:
+        names.extend(family_names(family))
+    return names

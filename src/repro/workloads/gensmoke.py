@@ -1,0 +1,124 @@
+"""Generator drift guard: golden digests for the generated workloads.
+
+``python -m repro.workloads.gensmoke --check`` builds one small-scale
+instance of every generator family variant (each kernel-menu entry,
+each thrash target machine, one instance of every other family), runs
+it through :func:`repro.runners.run_native`, and compares program
+digests and simulated counters against the committed
+``GENERATORS.golden.json``.  Because both program construction and the
+simulation are pure Python and deterministic, the numbers are exact
+across hosts -- any diff means a generator's output drifted, which
+silently invalidates every stored result for its ``gen:...`` specs.
+``--update`` rewrites the golden file after an *intentional* change.
+
+CI runs the check as the ``generator-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+#: Small but non-degenerate: every phase still runs >= 1 iteration.
+SMOKE_SCALE = 0.05
+
+GOLDEN_FILE = "GENERATORS.golden.json"
+
+
+def smoke_names() -> List[str]:
+    """One representative instance per generator variant."""
+    from .generators import KERNEL_MENU, THRASH_MACHINES
+
+    names = [f"gen:kernel:{k}:s0" for k in sorted(KERNEL_MENU)]
+    names += ["gen:ptrgraph:s0", "gen:phasemix:s0"]
+    names += [f"gen:thrash:{m}:s0" for m in THRASH_MACHINES]
+    names += ["gen:pair:treeadd+tsp:s0"]
+    return names
+
+
+def smoke_record(name: str) -> Dict:
+    """Build + natively run one instance; return its identity record."""
+    from repro.isa import program_digest
+    from repro.memory import get_machine
+    from repro.runners import run_native
+
+    from .base import get_workload
+
+    program = get_workload(name).build(SMOKE_SCALE)
+    outcome = run_native(program, get_machine("pentium4"))
+    return {
+        "program_digest": program_digest(program),
+        "cycles": outcome.cycles,
+        "l2_misses": outcome.hw_counters["l2_misses"],
+        "footprint": program.data.size,
+    }
+
+
+def build_golden() -> Dict[str, Dict]:
+    return {name: smoke_record(name) for name in smoke_names()}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads.gensmoke",
+        description="Check generated workloads against golden digests.",
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--check", action="store_true",
+                      help="diff against the golden file (exit 1 on "
+                           "drift)")
+    mode.add_argument("--update", action="store_true",
+                      help="rewrite the golden file")
+    parser.add_argument("--golden", default=GOLDEN_FILE,
+                        help="golden file path (default %(default)s)")
+    args = parser.parse_args(argv)
+
+    current = build_golden()
+    if args.update:
+        with open(args.golden, "w") as handle:
+            json.dump(current, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[{len(current)} generator records written to "
+              f"{args.golden}]")
+        return 0
+
+    try:
+        with open(args.golden) as handle:
+            golden = json.load(handle)
+    except FileNotFoundError:
+        print(f"golden file {args.golden!r} not found; run with "
+              f"--update first")
+        return 1
+
+    problems = []
+    for name in sorted(set(golden) | set(current)):
+        if name not in golden:
+            problems.append(f"{name}: new generator variant not in "
+                            f"golden file")
+        elif name not in current:
+            problems.append(f"{name}: in golden file but no longer "
+                            f"generated")
+        elif golden[name] != current[name]:
+            changed = [k for k in current[name]
+                       if golden[name].get(k) != current[name][k]]
+            problems.append(
+                f"{name}: drift in {', '.join(changed)} "
+                f"(golden {[golden[name].get(k) for k in changed]} vs "
+                f"current {[current[name][k] for k in changed]})")
+    if problems:
+        print(f"generator smoke FAILED ({len(problems)} diffs vs "
+              f"{args.golden}):")
+        for problem in problems:
+            print(f"  {problem}")
+        print("[if the change is intentional, refresh with: python -m "
+              "repro.workloads.gensmoke --update]")
+        return 1
+    print(f"[generator smoke passed: {len(current)} variants match "
+          f"{args.golden}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,8 @@ case -- at 49.6% with a single instruction causing virtually all misses.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.isa import Program
 
 from .base import ProgramComposer, WorkloadSpec, register, scaled
@@ -18,9 +20,9 @@ from .kernels import (
 )
 
 
-def build_em3d(scale: float = 1.0) -> Program:
+def build_em3d(scale: float = 1.0, c=None) -> Optional[Program]:
     """Electromagnetic wave propagation: big scattered node lists."""
-    c = ProgramComposer("em3d")
+    c = c or ProgramComposer("em3d")
     e_head = make_linked_list(c.builder, "enodes", 768, node_bytes=128,
                               shuffled=True, seed=61,
                               value_offset=64)              # 96KB
@@ -34,9 +36,9 @@ def build_em3d(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_health(scale: float = 1.0) -> Program:
+def build_health(scale: float = 1.0, c=None) -> Optional[Program]:
     """Healthcare simulation: patient lists churned across villages."""
-    c = ProgramComposer("health")
+    c = c or ProgramComposer("health")
     heads = [
         make_linked_list(c.builder, f"village{k}", 384, node_bytes=128,
                          shuffled=True, seed=70 + k,
@@ -53,9 +55,9 @@ def build_health(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_mst(scale: float = 1.0) -> Program:
+def build_mst(scale: float = 1.0, c=None) -> Optional[Program]:
     """Minimum spanning tree: hash-table adjacency probes."""
-    c = ProgramComposer("mst")
+    c = c or ProgramComposer("mst")
     table = c.data.alloc_array("hashtab", 8192, elem_size=8,
                                init=lambda i: i)            # 64KB
     head = make_linked_list(c.builder, "vlist", 256, node_bytes=32,
@@ -66,9 +68,9 @@ def build_mst(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_treeadd(scale: float = 1.0) -> Program:
+def build_treeadd(scale: float = 1.0, c=None) -> Optional[Program]:
     """Recursive tree sum: mostly resident tree, modest miss ratio."""
-    c = ProgramComposer("treeadd")
+    c = c or ProgramComposer("treeadd")
     root = make_binary_tree(c.builder, "tree", depth=9, node_bytes=32)
     stack = c.data.alloc("wstack", 8 * 4096, align=64)
     c.add_phase("sum", tree_sum, root=root, stack_base=stack,
@@ -76,9 +78,9 @@ def build_treeadd(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_tsp(scale: float = 1.0) -> Program:
+def build_tsp(scale: float = 1.0, c=None) -> Optional[Program]:
     """Travelling salesman: tree partitioning plus tour list walks."""
-    c = ProgramComposer("tsp")
+    c = c or ProgramComposer("tsp")
     root = make_binary_tree(c.builder, "cities", depth=9, node_bytes=32)
     stack = c.data.alloc("tstack", 8 * 2048, align=64)
     tour = make_linked_list(c.builder, "tour", 384, node_bytes=32,
@@ -90,14 +92,14 @@ def build_tsp(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_ft(scale: float = 1.0) -> Program:
+def build_ft(scale: float = 1.0, c=None) -> Optional[Program]:
     """Fibonacci-heap shortest paths: one giant line-stride scan.
 
     The paper's best prefetching case: a single load accounts for
     ~99.8% of all misses and a ~50% overall L2 miss ratio; UMI's chosen
     prefetch distance beats the hardware prefetcher here.
     """
-    c = ProgramComposer("ft")
+    c = c or ProgramComposer("ft")
     edges = c.data.alloc_array("edges", 32768, elem_size=8,
                                init=lambda i: i)            # 256KB
     small = c.data.alloc_array("heap", 256, elem_size=8, init=lambda i: i)

@@ -1,0 +1,158 @@
+"""Named, overlapping benchmark-set registry.
+
+Modeled on SPEC's set scheme: experiments run *sets* (``int``, ``fp``,
+``olden``, ``all``) rather than cherry-picked workloads.  Sets come in
+two kinds:
+
+* **Leaf sets** partition the catalog: every registered or
+  default-generated workload belongs to exactly the leaf sets listed
+  for it, and ``all`` is *defined* as the union of the leaves -- the
+  test suite guards that no workload is orphaned outside them.
+* **Derived sets** overlap freely (``spec2006`` = ``fp2006`` ∪
+  ``int2006``, ``prefetchable`` cuts across ``fp``/``int``/``olden``,
+  ``adversarial`` = ``thrash`` ∪ ``pairs``).
+
+Users compose further sets on the command line with *set expressions*:
+comma-separated terms unioned left to right, a ``!`` prefix excluding a
+term (``"paper,kernels,!olden"``).  ``+``/``-`` operators are
+deliberately not used because ``+`` appears inside interference-pair
+workload names (``gen:pair:em3d+ft:s0``).  A term that is not a set
+name is treated as a single workload name (including generated
+``gen:...`` names), so ``--set "olden,181.mcf"`` works.
+
+Membership is resolved lazily (the static registry and the generated
+population are only imported on first use), deduplicated, and returned
+in stable catalog order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import GEN_PREFIX, all_workloads, get_workload, workloads_in_group
+
+
+def _group(group: str) -> Callable[[], List[str]]:
+    return lambda: [w.name for w in workloads_in_group(group)]
+
+
+def _family(family: str) -> Callable[[], List[str]]:
+    def members() -> List[str]:
+        from . import generators
+        return generators.family_names(family)
+    return members
+
+
+def _prefetchable() -> List[str]:
+    return [w.name for w in all_workloads() if w.prefetchable]
+
+
+#: Leaf sets: a partition of the full catalog.  ``all`` is the union of
+#: exactly these (guarded by tests/test_workload_sets.py).
+LEAF_SETS: Dict[str, Callable[[], List[str]]] = {
+    "fp": _group("CFP2000"),
+    "int": _group("CINT2000"),
+    "olden": _group("OLDEN"),
+    "fp2006": _group("CFP2006"),
+    "int2006": _group("CINT2006"),
+    "apps": _group("APPS"),
+    "kernels": _family("kernel"),
+    "ptrgraph": _family("ptrgraph"),
+    "phasemix": _family("phasemix"),
+    "thrash": _family("thrash"),
+    "pairs": _family("pair"),
+}
+
+#: Derived sets: named unions/slices over the leaves; free to overlap.
+DERIVED_SETS: Dict[str, Callable[[], List[str]]] = {
+    # The paper's Table 2 suite (CFP2000 + CINT2000 + Olden/Ptrdist).
+    "paper": lambda: _members_of(["fp", "int", "olden"]),
+    "spec2006": lambda: _members_of(["fp2006", "int2006"]),
+    "static": lambda: _members_of(
+        ["fp", "int", "olden", "fp2006", "int2006", "apps"]),
+    "generated": lambda: _members_of(
+        ["kernels", "ptrgraph", "phasemix", "thrash", "pairs"]),
+    "adversarial": lambda: _members_of(["thrash", "pairs"]),
+    "prefetchable": _prefetchable,
+    "all": lambda: _members_of(list(LEAF_SETS)),
+}
+
+
+def set_names() -> List[str]:
+    """Every named set, leaves first."""
+    return list(LEAF_SETS) + list(DERIVED_SETS)
+
+
+def _dedup(names: List[str]) -> List[str]:
+    seen = set()
+    out: List[str] = []
+    for name in names:
+        if name not in seen:
+            seen.add(name)
+            out.append(name)
+    return out
+
+
+def _members_of(sets: List[str]) -> List[str]:
+    out: List[str] = []
+    for name in sets:
+        out.extend(set_members(name))
+    return _dedup(out)
+
+
+def set_members(name: str) -> List[str]:
+    """Workload names in one named set (deduplicated, catalog order)."""
+    if name in LEAF_SETS:
+        return _dedup(LEAF_SETS[name]())
+    if name in DERIVED_SETS:
+        return _dedup(DERIVED_SETS[name]())
+    raise ValueError(
+        f"unknown benchmark set {name!r}; known sets: {set_names()}")
+
+
+def resolve_set(expr: str) -> List[str]:
+    """Resolve a set expression to a deduplicated workload-name list.
+
+    ``expr`` is a comma-separated union of terms; a term prefixed with
+    ``!`` *removes* that term's members from the result so far.  Each
+    term is a set name, or failing that a single workload name
+    (validated against the registry / generator grammar).  Examples::
+
+        "int"                   the CINT2000 suite
+        "paper,thrash"          the paper suite plus the thrash family
+        "all,!pairs"            everything except interference pairs
+        "olden,181.mcf"         a set plus one extra workload
+    """
+    out: List[str] = []
+    excluded: set = set()
+    saw_term = False
+    for raw in expr.split(","):
+        term = raw.strip()
+        if not term:
+            continue
+        saw_term = True
+        negate = term.startswith("!")
+        if negate:
+            term = term[1:].strip()
+            if not term:
+                raise ValueError(
+                    f"empty '!' exclusion in set expression {expr!r}")
+        try:
+            members = set_members(term)
+        except ValueError:
+            # Not a set name -- try it as a single workload name; this
+            # raises the registry's unknown-workload error if bogus.
+            try:
+                members = [get_workload(term).name]
+            except ValueError:
+                raise ValueError(
+                    f"unknown set or workload {term!r} in set "
+                    f"expression {expr!r}; known sets: {set_names()}")
+        if negate:
+            excluded.update(members)
+            out = [n for n in out if n not in excluded]
+        else:
+            out.extend(n for n in members if n not in excluded)
+    if not saw_term:
+        raise ValueError(f"empty set expression {expr!r}")
+    return _dedup(out)

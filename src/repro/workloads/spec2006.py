@@ -9,6 +9,8 @@ match the benchmark's qualitative memory character.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.isa import Program
 
 from .base import ProgramComposer, WorkloadSpec, register, scaled
@@ -19,9 +21,9 @@ from .kernels import (
 )
 
 
-def build_milc(scale: float = 1.0) -> Program:
+def build_milc(scale: float = 1.0, c=None) -> Optional[Program]:
     """Lattice QCD: big lattice sweeps."""
-    c = ProgramComposer("433.milc")
+    c = c or ProgramComposer("433.milc")
     lat = c.data.alloc_array("lattice", 12288, elem_size=8,
                              init=lambda i: i)               # 96KB
     c.add_phase("mult", stream_sum, base=lat, n=12288, stride=8,
@@ -31,9 +33,9 @@ def build_milc(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_gromacs(scale: float = 1.0) -> Program:
+def build_gromacs(scale: float = 1.0, c=None) -> Optional[Program]:
     """Molecular dynamics: neighbour gathers + bonded compute."""
-    c = ProgramComposer("435.gromacs")
+    c = c or ProgramComposer("435.gromacs")
     pos = c.data.alloc_array("pos", 4096, elem_size=8, init=lambda i: i)
     idx = make_index_array(c.builder, "nbr", 1024, 4096, seed=101,
                            sequential_fraction=0.5)
@@ -44,9 +46,9 @@ def build_gromacs(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_namd(scale: float = 1.0) -> Program:
+def build_namd(scale: float = 1.0, c=None) -> Optional[Program]:
     """Biomolecular simulation: compute with medium tiles."""
-    c = ProgramComposer("444.namd")
+    c = c or ProgramComposer("444.namd")
     a = c.data.alloc_array("fa", 1024, elem_size=8, init=lambda i: i)
     bb = c.data.alloc_array("fb", 1024, elem_size=8, init=lambda i: i)
     out = c.data.alloc_array("fo", 1024, elem_size=8)
@@ -57,9 +59,9 @@ def build_namd(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_soplex(scale: float = 1.0) -> Program:
+def build_soplex(scale: float = 1.0, c=None) -> Optional[Program]:
     """LP solver: sparse gathers over a big constraint matrix."""
-    c = ProgramComposer("450.soplex")
+    c = c or ProgramComposer("450.soplex")
     mat = c.data.alloc_array("lp", 16384, elem_size=8,
                              init=lambda i: i)               # 128KB
     idx = make_index_array(c.builder, "cols", 2048, 16384, seed=111,
@@ -71,9 +73,9 @@ def build_soplex(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_povray(scale: float = 1.0) -> Program:
+def build_povray(scale: float = 1.0, c=None) -> Optional[Program]:
     """Ray tracer: computation with small scene tables."""
-    c = ProgramComposer("453.povray")
+    c = c or ProgramComposer("453.povray")
     tbl = c.data.alloc_array("prims", 1024, elem_size=8, init=lambda i: i)
     c.add_phase("trace", compute_loop, iters=scaled(10000, scale), work=16,
                 array_base=tbl, array_elems=1024)
@@ -84,9 +86,9 @@ def build_povray(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_lbm(scale: float = 1.0) -> Program:
+def build_lbm(scale: float = 1.0, c=None) -> Optional[Program]:
     """Lattice Boltzmann: streaming stencils over a big fluid grid."""
-    c = ProgramComposer("470.lbm")
+    c = c or ProgramComposer("470.lbm")
     rows, cols = 48, 96                                      # 36KB per grid
     g = c.data.alloc_array("fluid", rows * cols, elem_size=8,
                            init=lambda i: i)
@@ -98,9 +100,9 @@ def build_lbm(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_sphinx3(scale: float = 1.0) -> Program:
+def build_sphinx3(scale: float = 1.0, c=None) -> Optional[Program]:
     """Speech recognition: big acoustic-model scans + random senones."""
-    c = ProgramComposer("482.sphinx3")
+    c = c or ProgramComposer("482.sphinx3")
     am = c.data.alloc_array("gauden", 8192, elem_size=8,
                             init=lambda i: i)                # 64KB
     c.add_phase("gauden", stream_sum, base=am, n=8192, reps=scaled(5, scale))
@@ -109,9 +111,9 @@ def build_sphinx3(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_gobmk(scale: float = 1.0) -> Program:
+def build_gobmk(scale: float = 1.0, c=None) -> Optional[Program]:
     """Go engine: branchy board evaluation over small boards."""
-    c = ProgramComposer("445.gobmk")
+    c = c or ProgramComposer("445.gobmk")
     c.add_phase("read", state_machine, n_states=64,
                 steps=scaled(6000, scale), state_array_elems=32, seed=121,
                 inner_loop_states=0.3)
@@ -119,9 +121,9 @@ def build_gobmk(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_hmmer(scale: float = 1.0) -> Program:
+def build_hmmer(scale: float = 1.0, c=None) -> Optional[Program]:
     """Profile HMM search: regular dynamic-programming sweeps."""
-    c = ProgramComposer("456.hmmer")
+    c = c or ProgramComposer("456.hmmer")
     dp = c.data.alloc_array("dp", 1024, elem_size=8, init=lambda i: i)
     dp2 = c.data.alloc_array("dp2", 1024, elem_size=8, init=lambda i: i)
     out = c.data.alloc_array("dpo", 1024, elem_size=8)
@@ -130,9 +132,9 @@ def build_hmmer(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_sjeng(scale: float = 1.0) -> Program:
+def build_sjeng(scale: float = 1.0, c=None) -> Optional[Program]:
     """Chess engine: hash probes + branchy search."""
-    c = ProgramComposer("458.sjeng")
+    c = c or ProgramComposer("458.sjeng")
     tt = c.data.alloc_array("tt", 512, elem_size=8, init=lambda i: i)
     c.add_phase("tt", hash_probe, table_base=tt, table_elems=512,
                 probes=scaled(6000, scale), seed=131)
@@ -141,9 +143,9 @@ def build_sjeng(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_libquantum(scale: float = 1.0) -> Program:
+def build_libquantum(scale: float = 1.0, c=None) -> Optional[Program]:
     """Quantum simulation: perfectly strided giant vector sweeps."""
-    c = ProgramComposer("462.libquantum")
+    c = c or ProgramComposer("462.libquantum")
     reg = c.data.alloc_array("qreg", 24576, elem_size=8,
                              init=lambda i: i)               # 192KB
     c.add_phase("gate", stream_sum, base=reg, n=24576, stride=8,
@@ -153,9 +155,9 @@ def build_libquantum(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_h264ref(scale: float = 1.0) -> Program:
+def build_h264ref(scale: float = 1.0, c=None) -> Optional[Program]:
     """Video encoder: block copies + medium motion search."""
-    c = ProgramComposer("464.h264ref")
+    c = c or ProgramComposer("464.h264ref")
     frame = c.data.alloc("frame", 8 * 1024)
     ref = c.data.alloc("reff", 8 * 1024)
     mv = c.data.alloc_array("mv", 2048, elem_size=8, init=lambda i: i)
@@ -166,9 +168,9 @@ def build_h264ref(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_omnetpp(scale: float = 1.0) -> Program:
+def build_omnetpp(scale: float = 1.0, c=None) -> Optional[Program]:
     """Discrete event simulation: big scattered event lists."""
-    c = ProgramComposer("471.omnetpp")
+    c = c or ProgramComposer("471.omnetpp")
     head = make_linked_list(c.builder, "events", 896, node_bytes=128,
                             shuffled=True, seed=141,
                             value_offset=64)                 # 112KB
@@ -177,9 +179,9 @@ def build_omnetpp(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_astar(scale: float = 1.0) -> Program:
+def build_astar(scale: float = 1.0, c=None) -> Optional[Program]:
     """Path finding: random map lookups plus open-list walks."""
-    c = ProgramComposer("473.astar")
+    c = c or ProgramComposer("473.astar")
     grid = c.data.alloc_array("map", 16384, elem_size=8,
                               init=lambda i: i)              # 128KB
     open_list = make_linked_list(c.builder, "open", 512, node_bytes=32,
@@ -190,9 +192,9 @@ def build_astar(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_xalancbmk(scale: float = 1.0) -> Program:
+def build_xalancbmk(scale: float = 1.0, c=None) -> Optional[Program]:
     """XSLT processor: DOM-walking state machine + node lists."""
-    c = ProgramComposer("483.xalancbmk")
+    c = c or ProgramComposer("483.xalancbmk")
     dom = c.data.alloc_array("dom", 2048, elem_size=8, init=lambda i: i)
     nodes = make_linked_list(c.builder, "nodes", 640, node_bytes=32,
                              shuffled=True, seed=161)

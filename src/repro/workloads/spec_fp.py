@@ -18,6 +18,8 @@ Footprint vocabulary (bytes), relative to the default scaled machines
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.isa import Program
 
 from .base import ProgramComposer, WorkloadSpec, register, scaled
@@ -30,9 +32,9 @@ from .kernels import (
 KB = 1024
 
 
-def build_wupwise(scale: float = 1.0) -> Program:
+def build_wupwise(scale: float = 1.0, c=None) -> Optional[Program]:
     """Blocked linear algebra: medium resident arrays, low miss ratio."""
-    c = ProgramComposer("168.wupwise")
+    c = c or ProgramComposer("168.wupwise")
     x = c.data.alloc_array("x", 512, elem_size=8, init=lambda i: i)
     y = c.data.alloc_array("y", 512, elem_size=8, init=lambda i: 2 * i)
     out = c.data.alloc_array("out", 512, elem_size=8)
@@ -44,9 +46,9 @@ def build_wupwise(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_swim(scale: float = 1.0) -> Program:
+def build_swim(scale: float = 1.0, c=None) -> Optional[Program]:
     """Shallow-water grid sweeps: streaming stencils over a big grid."""
-    c = ProgramComposer("171.swim")
+    c = c or ProgramComposer("171.swim")
     rows, cols = 32, 80                       # 20KB per grid
     grid = c.data.alloc_array("grid", rows * cols, elem_size=8,
                               init=lambda i: i & 0xFF)
@@ -59,9 +61,9 @@ def build_swim(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_mgrid(scale: float = 1.0) -> Program:
+def build_mgrid(scale: float = 1.0, c=None) -> Optional[Program]:
     """Multigrid: stencils at several grid sizes, medium residency."""
-    c = ProgramComposer("172.mgrid")
+    c = c or ProgramComposer("172.mgrid")
     fine = c.data.alloc_array("fine", 24 * 64, elem_size=8,
                               init=lambda i: i)
     fout = c.data.alloc_array("fout", 24 * 64, elem_size=8)
@@ -75,9 +77,9 @@ def build_mgrid(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_applu(scale: float = 1.0) -> Program:
+def build_applu(scale: float = 1.0, c=None) -> Optional[Program]:
     """SSOR solver: several medium arrays swept repeatedly."""
-    c = ProgramComposer("173.applu")
+    c = c or ProgramComposer("173.applu")
     a = c.data.alloc_array("a", 1024, elem_size=8, init=lambda i: i)
     bb = c.data.alloc_array("b", 1024, elem_size=8, init=lambda i: i * 3)
     out = c.data.alloc_array("o", 1024, elem_size=8)
@@ -91,9 +93,9 @@ def build_applu(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_mesa(scale: float = 1.0) -> Program:
+def build_mesa(scale: float = 1.0, c=None) -> Optional[Program]:
     """3-D graphics library: computation-dominant, tiny working set."""
-    c = ProgramComposer("177.mesa")
+    c = c or ProgramComposer("177.mesa")
     tiny = c.data.alloc_array("vtx", 1024, elem_size=8, init=lambda i: i)
     c.add_phase("xform", compute_loop, iters=scaled(9000, scale),
                 work=12, array_base=tiny, array_elems=1024)
@@ -102,9 +104,9 @@ def build_mesa(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_galgel(scale: float = 1.0) -> Program:
+def build_galgel(scale: float = 1.0, c=None) -> Optional[Program]:
     """Galerkin FEM: many distinct small loops over medium arrays."""
-    c = ProgramComposer("178.galgel")
+    c = c or ProgramComposer("178.galgel")
     arrays = [
         c.data.alloc_array(f"m{k}", 768, elem_size=8, init=lambda i: i)
         for k in range(4)
@@ -118,9 +120,9 @@ def build_galgel(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_art(scale: float = 1.0) -> Program:
+def build_art(scale: float = 1.0, c=None) -> Optional[Program]:
     """Neural-net image recognition: huge scans, very high miss ratio."""
-    c = ProgramComposer("179.art")
+    c = c or ProgramComposer("179.art")
     f1 = c.data.alloc_array("f1", 16384, elem_size=8,
                             init=lambda i: i & 0xFFFF)      # 128KB
     med = c.data.alloc_array("weights", 1024, elem_size=8,
@@ -134,9 +136,9 @@ def build_art(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_equake(scale: float = 1.0) -> Program:
+def build_equake(scale: float = 1.0, c=None) -> Optional[Program]:
     """Seismic simulation: sparse matrix-vector gathers."""
-    c = ProgramComposer("183.equake")
+    c = c or ProgramComposer("183.equake")
     data = c.data.alloc_array("K", 8192, elem_size=8,
                               init=lambda i: i)             # 64KB
     idx = make_index_array(c.builder, "col", 2048, 8192, seed=3,
@@ -148,9 +150,9 @@ def build_equake(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_facerec(scale: float = 1.0) -> Program:
+def build_facerec(scale: float = 1.0, c=None) -> Optional[Program]:
     """Face recognition: medium image sweeps plus small gabor banks."""
-    c = ProgramComposer("187.facerec")
+    c = c or ProgramComposer("187.facerec")
     img = c.data.alloc_array("img", 12 * 80, elem_size=8,
                              init=lambda i: i & 0xFF)
     iout = c.data.alloc_array("iout", 12 * 80, elem_size=8)
@@ -161,9 +163,9 @@ def build_facerec(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_ammp(scale: float = 1.0) -> Program:
+def build_ammp(scale: float = 1.0, c=None) -> Optional[Program]:
     """Molecular dynamics: neighbour-list chases plus array sweeps."""
-    c = ProgramComposer("188.ammp")
+    c = c or ProgramComposer("188.ammp")
     head = make_linked_list(c.builder, "atoms", 384, node_bytes=64,
                             shuffled=True, seed=5)          # 24KB arena
     coords = c.data.alloc_array("xyz", 1024, elem_size=8, init=lambda i: i)
@@ -173,9 +175,9 @@ def build_ammp(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_lucas(scale: float = 1.0) -> Program:
+def build_lucas(scale: float = 1.0, c=None) -> Optional[Program]:
     """Lucas-Lehmer FFT: large power-of-two strides over a big array."""
-    c = ProgramComposer("189.lucas")
+    c = c or ProgramComposer("189.lucas")
     fft = c.data.alloc_array("fft", 8192, elem_size=8,
                              init=lambda i: i)               # 64KB
     tw = c.data.alloc_array("tw", 768, elem_size=8, init=lambda i: i)
@@ -187,9 +189,9 @@ def build_lucas(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_fma3d(scale: float = 1.0) -> Program:
+def build_fma3d(scale: float = 1.0, c=None) -> Optional[Program]:
     """Crash simulation: mixed element sweeps and medium stencils."""
-    c = ProgramComposer("191.fma3d")
+    c = c or ProgramComposer("191.fma3d")
     el = c.data.alloc_array("elem", 1024, elem_size=8, init=lambda i: i)
     nd = c.data.alloc_array("node", 1024, elem_size=8, init=lambda i: 2 * i)
     out = c.data.alloc_array("res", 1024, elem_size=8)
@@ -202,9 +204,9 @@ def build_fma3d(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_sixtrack(scale: float = 1.0) -> Program:
+def build_sixtrack(scale: float = 1.0, c=None) -> Optional[Program]:
     """Particle tracking: tight computation, small resident tables."""
-    c = ProgramComposer("200.sixtrack")
+    c = c or ProgramComposer("200.sixtrack")
     tbl = c.data.alloc_array("lat", 1024, elem_size=8, init=lambda i: i)
     c.add_phase("track", compute_loop, iters=scaled(12000, scale),
                 work=14, array_base=tbl, array_elems=1024)
@@ -213,9 +215,9 @@ def build_sixtrack(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_apsi(scale: float = 1.0) -> Program:
+def build_apsi(scale: float = 1.0, c=None) -> Optional[Program]:
     """Meteorology: several medium fields with mixed patterns."""
-    c = ProgramComposer("301.apsi")
+    c = c or ProgramComposer("301.apsi")
     t = c.data.alloc_array("temp", 1024, elem_size=8, init=lambda i: i)
     w = c.data.alloc_array("wind", 1024, elem_size=8, init=lambda i: i)
     out = c.data.alloc_array("aout", 1024, elem_size=8)

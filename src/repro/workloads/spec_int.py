@@ -54,9 +54,9 @@ def _cold_loop_tail(b, prefix: str, entry: str, exit: str, *,
         body.jcc(CC_LT, f"{prefix}_l{i}_body", nxt)
 
 
-def build_gzip(scale: float = 1.0) -> Program:
+def build_gzip(scale: float = 1.0, c=None) -> Optional[Program]:
     """Compression: one byte-copy instruction causes ~all L2 misses."""
-    c = ProgramComposer("164.gzip")
+    c = c or ProgramComposer("164.gzip")
     src = c.data.alloc("window", 8 * 1024)
     dst = c.data.alloc("outbuf", 8 * 1024)
     tbl = c.data.alloc_array("huff", 256, elem_size=8, init=lambda i: i)
@@ -67,9 +67,9 @@ def build_gzip(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_vpr(scale: float = 1.0) -> Program:
+def build_vpr(scale: float = 1.0, c=None) -> Optional[Program]:
     """FPGA place & route: irregular control plus medium random access."""
-    c = ProgramComposer("175.vpr")
+    c = c or ProgramComposer("175.vpr")
     shared = c.data.alloc_array("rr_graph", 1024, elem_size=8,
                                 init=lambda i: i)
     c.add_phase("route", state_machine, n_states=16,
@@ -80,9 +80,9 @@ def build_vpr(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_gcc(scale: float = 1.0) -> Program:
+def build_gcc(scale: float = 1.0, c=None) -> Optional[Program]:
     """Compiler: sprawling code, flat miss distribution, low residency."""
-    c = ProgramComposer("176.gcc")
+    c = c or ProgramComposer("176.gcc")
     shared = c.data.alloc_array("rtl", 2048, elem_size=8, init=lambda i: i)
     c.add_phase("parse", state_machine, n_states=64,
                 steps=scaled(4000, scale), state_array_elems=32,
@@ -95,9 +95,9 @@ def build_gcc(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_mcf(scale: float = 1.0) -> Program:
+def build_mcf(scale: float = 1.0, c=None) -> Optional[Program]:
     """Network simplex: arena-wide pointer chasing, ~20% L2 miss ratio."""
-    c = ProgramComposer("181.mcf")
+    c = c or ProgramComposer("181.mcf")
     arena = c.data.alloc("arc_arena_pad", 0, align=4096)
     head = make_linked_list(c.builder, "arcs", 1024, node_bytes=128,
                             shuffled=True, seed=8,
@@ -114,9 +114,9 @@ def build_mcf(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_crafty(scale: float = 1.0) -> Program:
+def build_crafty(scale: float = 1.0, c=None) -> Optional[Program]:
     """Chess: hash probes into a resident table, heavy computation."""
-    c = ProgramComposer("186.crafty")
+    c = c or ProgramComposer("186.crafty")
     table = c.data.alloc_array("hash", 512, elem_size=8, init=lambda i: i)
     c.add_phase("search", hash_probe, table_base=table, table_elems=512,
                 probes=scaled(7000, scale), hit_work=6)
@@ -125,9 +125,9 @@ def build_crafty(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_parser(scale: float = 1.0) -> Program:
+def build_parser(scale: float = 1.0, c=None) -> Optional[Program]:
     """NL parser: dynamic control flow, many short-lived loops."""
-    c = ProgramComposer("197.parser")
+    c = c or ProgramComposer("197.parser")
     dictionary = c.data.alloc_array("dict", 1024, elem_size=8,
                                     init=lambda i: i)
     head = make_linked_list(c.builder, "links", 384, node_bytes=32,
@@ -139,9 +139,9 @@ def build_parser(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_eon(scale: float = 1.0) -> Program:
+def build_eon(scale: float = 1.0, c=None) -> Optional[Program]:
     """Ray tracer: computation with excellent locality (~0% misses)."""
-    c = ProgramComposer("252.eon")
+    c = c or ProgramComposer("252.eon")
     scene = c.data.alloc_array("bvh", 1024, elem_size=8, init=lambda i: i)
     c.add_phase("trace", compute_loop, iters=scaled(11000, scale),
                 work=18, array_base=scene, array_elems=1024)
@@ -150,9 +150,9 @@ def build_eon(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_perlbmk(scale: float = 1.0) -> Program:
+def build_perlbmk(scale: float = 1.0, c=None) -> Optional[Program]:
     """Perl interpreter: branchy dispatch over small operator tables."""
-    c = ProgramComposer("253.perlbmk")
+    c = c or ProgramComposer("253.perlbmk")
     c.add_phase("interp", state_machine, n_states=32,
                 steps=scaled(7000, scale), state_array_elems=32, seed=31,
                 inner_loop_states=0.2)
@@ -160,9 +160,9 @@ def build_perlbmk(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_gap(scale: float = 1.0) -> Program:
+def build_gap(scale: float = 1.0, c=None) -> Optional[Program]:
     """Group theory: medium streams with occasional table probes."""
-    c = ProgramComposer("254.gap")
+    c = c or ProgramComposer("254.gap")
     bag = c.data.alloc_array("bags", 1536, elem_size=8, init=lambda i: i)
     table = c.data.alloc_array("ops", 1024, elem_size=8, init=lambda i: i)
     c.add_phase("mul", stream_sum, base=bag, n=1536, reps=scaled(9, scale),
@@ -172,9 +172,9 @@ def build_gap(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_vortex(scale: float = 1.0) -> Program:
+def build_vortex(scale: float = 1.0, c=None) -> Optional[Program]:
     """OO database: store-heavy state machine over object pools."""
-    c = ProgramComposer("255.vortex")
+    c = c or ProgramComposer("255.vortex")
     pool = c.data.alloc_array("objs", 1024, elem_size=8, init=lambda i: i)
     c.add_phase("txn", state_machine, n_states=64,
                 steps=scaled(6000, scale), state_array_elems=48,
@@ -185,9 +185,9 @@ def build_vortex(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_bzip2(scale: float = 1.0) -> Program:
+def build_bzip2(scale: float = 1.0, c=None) -> Optional[Program]:
     """Block compressor: byte moves plus medium random sorting."""
-    c = ProgramComposer("256.bzip2")
+    c = c or ProgramComposer("256.bzip2")
     block = c.data.alloc("block", 8 * 1024)
     out = c.data.alloc("bout", 8 * 1024)
     ptr = c.data.alloc_array("ptr", 4096, elem_size=8, init=lambda i: i)
@@ -198,9 +198,9 @@ def build_bzip2(scale: float = 1.0) -> Program:
     return c.build()
 
 
-def build_twolf(scale: float = 1.0) -> Program:
+def build_twolf(scale: float = 1.0, c=None) -> Optional[Program]:
     """Place & route annealer: random cell lookups over medium arrays."""
-    c = ProgramComposer("300.twolf")
+    c = c or ProgramComposer("300.twolf")
     cells = c.data.alloc_array("cells", 8192, elem_size=8,
                                init=lambda i: i)             # 64KB
     nets = c.data.alloc_array("nets", 768, elem_size=8, init=lambda i: i)

@@ -1,0 +1,208 @@
+"""Benchmark-set registry: membership, expressions, CLI, wavefront.
+
+Guards the invariants the scenario explosion leans on: ``all`` is
+exactly the union of the leaf sets (no workload is orphaned outside
+them), derived sets overlap the way they claim to, set expressions
+round-trip through both CLIs, and resolving every set-aware experiment
+over ``--set all`` yields the promised order-of-magnitude-larger
+deduplicated wavefront.  Also the regression test for
+``catalog_table`` ignoring its machine parameters.
+"""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS
+from repro.experiments.common import ResultCache
+from repro.workloads import (
+    all_workloads, get_workload, resolve_set, set_members, set_names,
+)
+from repro.workloads.sets import DERIVED_SETS, LEAF_SETS
+
+
+class TestSetMembership:
+
+    def test_paper_groups_have_paper_sizes(self):
+        assert len(set_members("fp")) == 14
+        assert len(set_members("int")) == 12
+        assert len(set_members("olden")) == 6
+        assert len(set_members("paper")) == 32
+
+    def test_all_is_exactly_the_union_of_leaf_sets(self):
+        union = set()
+        for leaf in LEAF_SETS:
+            union.update(set_members(leaf))
+        assert set(set_members("all")) == union
+
+    def test_no_registered_workload_is_orphaned(self):
+        """Every statically registered workload sits in some leaf set."""
+        leaves = set()
+        for leaf in LEAF_SETS:
+            leaves.update(set_members(leaf))
+        registered = {w.name for w in all_workloads(
+            ["CFP2000", "CINT2000", "OLDEN", "CFP2006", "CINT2006",
+             "APPS"])}
+        orphans = registered - leaves
+        assert not orphans
+
+    def test_derived_sets_overlap_leaves(self):
+        spec2006 = set(set_members("spec2006"))
+        assert spec2006 == set(set_members("fp2006")) \
+            | set(set_members("int2006"))
+        prefetchable = set(set_members("prefetchable"))
+        assert prefetchable & set(set_members("fp"))
+        assert prefetchable & set(set_members("olden"))
+        assert prefetchable <= set(set_members("static"))
+        adversarial = set(set_members("adversarial"))
+        assert adversarial == set(set_members("thrash")) \
+            | set(set_members("pairs"))
+
+    def test_every_member_resolves_through_the_registry(self):
+        for name in set_members("all"):
+            assert get_workload(name).name == name
+
+    def test_set_names_cover_both_kinds(self):
+        names = set_names()
+        assert set(LEAF_SETS) <= set(names)
+        assert set(DERIVED_SETS) <= set(names)
+
+    def test_unknown_set_raises(self):
+        with pytest.raises(ValueError, match="unknown benchmark set"):
+            set_members("cfp1995")
+
+
+class TestSetExpressions:
+
+    def test_union_dedups_and_keeps_order(self):
+        combined = resolve_set("olden,paper")
+        assert len(combined) == 32
+        assert combined[:6] == set_members("olden")
+
+    def test_exclusion(self):
+        no_pairs = resolve_set("all,!pairs")
+        assert len(no_pairs) == len(set_members("all")) \
+            - len(set_members("pairs"))
+        assert not any(n.startswith("gen:pair:") for n in no_pairs)
+
+    def test_exclusion_blocks_later_additions(self):
+        assert "treeadd" not in resolve_set("!olden,paper,olden")
+
+    def test_single_workload_term(self):
+        assert resolve_set("olden,181.mcf")[-1] == "181.mcf"
+        assert resolve_set("gen:ptrgraph:s3") == ["gen:ptrgraph:s3"]
+
+    def test_unknown_term_raises_with_expression_context(self):
+        with pytest.raises(ValueError, match="unknown set or workload"):
+            resolve_set("olden,bogus")
+
+    @pytest.mark.parametrize("expr", ["", " , ", "olden,!"])
+    def test_degenerate_expressions_raise(self, expr):
+        with pytest.raises(ValueError):
+            resolve_set(expr)
+
+
+class TestCatalogCLI:
+
+    def test_set_round_trip(self, capsys):
+        from repro.workloads.catalog import main
+        assert main(["--set", "olden,gen:thrash:pentium4:s0"]) == 0
+        out = capsys.readouterr().out
+        assert "7 benchmarks" in out
+        assert "treeadd" in out
+        assert "gen:thrash:pentium4:s0" in out
+
+    def test_unknown_set_is_a_usage_error(self, capsys):
+        from repro.workloads.catalog import main
+        with pytest.raises(SystemExit):
+            main(["--set", "nope"])
+
+    def test_set_and_group_are_exclusive(self):
+        from repro.workloads.catalog import main
+        with pytest.raises(SystemExit):
+            main(["--set", "olden", "--group", "OLDEN"])
+
+
+class TestExperimentsCLI:
+
+    def test_unknown_set_is_a_usage_error(self):
+        from repro.experiments.cli import main
+        with pytest.raises(SystemExit):
+            main(["table3", "--set", "not-a-set"])
+
+    def test_set_on_fixed_suite_experiment_is_an_error(self):
+        from repro.experiments.cli import main
+        with pytest.raises(SystemExit):
+            main(["table1", "--set", "olden"])
+
+    def test_set_round_trip_runs_the_sets_report(self, capsys):
+        from repro.experiments.cli import main
+        assert main(["sets", "--set", "gen:kernel:compute_loop:s0",
+                     "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-set delinquent load prediction quality" in out
+        assert "kernels" in out
+
+
+class TestWavefrontExplosion:
+    """The acceptance criterion: ``all --set all`` resolves >= 10x the
+    default wavefront, as one deduplicated spec set."""
+
+    @staticmethod
+    def _wavefront(workloads):
+        cache = ResultCache(0.5)
+        specs = []
+        for exp in EXPERIMENTS.values():
+            if exp.required_runs is None:
+                continue
+            if exp.takes_workloads and workloads is not None:
+                specs.extend(exp.required_runs(cache,
+                                               workloads=workloads))
+            else:
+                specs.extend(exp.required_runs(cache))
+        return set(specs)
+
+    def test_set_all_wavefront_is_10x_default(self):
+        baseline = self._wavefront(None)
+        exploded = self._wavefront(resolve_set("all"))
+        assert len(resolve_set("all")) >= 10 * 32
+        assert len(exploded) >= 10 * len(baseline)
+        # Still one deduplicated wavefront: the shared table4/table6
+        # spec appears once however many experiments require it.
+        assert baseline <= exploded
+
+
+class TestCatalogMachineRegression:
+    """`catalog_table(measure=...)` must honour machine_name and
+    machine_scale (it used to hardcode ``get_machine(name, scale=16)``)."""
+
+    def test_measure_uses_requested_machine_and_scale(self, monkeypatch):
+        import repro.memory as memory
+        calls = []
+        real = memory.get_machine
+
+        def spy(name, scale=1):
+            calls.append((name, scale))
+            return real(name, scale=scale)
+
+        monkeypatch.setattr(memory, "get_machine", spy)
+        from repro.workloads.catalog import catalog_table
+        table = catalog_table(measure=True, scale=0.05,
+                              machine_name="athlon-k7", machine_scale=4,
+                              workloads=["treeadd"])
+        assert ("athlon-k7", 4) in calls
+        assert len(table.rows) == 1
+
+    def test_measure_defaults_to_the_model_machine_scale(self,
+                                                         monkeypatch):
+        import repro.memory as memory
+        calls = []
+        real = memory.get_machine
+
+        def spy(name, scale=1):
+            calls.append((name, scale))
+            return real(name, scale=scale)
+
+        monkeypatch.setattr(memory, "get_machine", spy)
+        from repro.memory import DEFAULT_MACHINE_SCALE
+        from repro.workloads.catalog import catalog_table
+        catalog_table(measure=True, scale=0.05, workloads=["treeadd"])
+        assert ("pentium4", DEFAULT_MACHINE_SCALE) in calls
