@@ -10,15 +10,16 @@ baseline and the kernel speedup floors.
 from .harness import BenchResult, run_benchmark
 from .kernels import KERNELS, run_kernel, run_kernels
 from .report import (
-    REGRESSION_THRESHOLD, SCHEMA_VERSION, SPEEDUP_FLOORS, build_report,
-    check_floors, compare_reports, context_fingerprint, load_report,
-    render_report, report_results, write_report,
+    DEFAULT_EXECUTION, REGRESSION_THRESHOLD, SCHEMA_VERSION,
+    SPEEDUP_FLOORS, build_report, check_floors, compare_reports,
+    context_fingerprint, load_report, render_report, report_results,
+    write_report,
 )
 
 __all__ = [
     "BenchResult", "run_benchmark", "KERNELS", "run_kernel",
-    "run_kernels", "SCHEMA_VERSION", "REGRESSION_THRESHOLD",
-    "SPEEDUP_FLOORS", "build_report", "report_results", "write_report",
-    "load_report", "check_floors", "compare_reports",
-    "context_fingerprint", "render_report",
+    "run_kernels", "DEFAULT_EXECUTION", "SCHEMA_VERSION",
+    "REGRESSION_THRESHOLD", "SPEEDUP_FLOORS", "build_report",
+    "report_results", "write_report", "load_report", "check_floors",
+    "compare_reports", "context_fingerprint", "render_report",
 ]

@@ -7,9 +7,18 @@ A report is a JSON document::
       "quick": false,
       "context": {"python": "...", "implementation": "...",
                   "platform": "...", "machine": "..."},
+      "execution": {"pool": "serial", "workers": 1},
       "kernels": {"minisim": {"name": ..., "times_s": [...],
                               "median_s": ..., "meta": {...}}, ...}
     }
+
+``execution`` records which execution backend produced the timings --
+the worker-pool kind (``serial``, ``inprocess``, ``local``,
+``socket``) and the worker count -- so baselines taken under
+different backends are never median-compared as if they were the same
+configuration.  (The kernel micro-benchmarks themselves always run
+in-process; the field exists so reports stay comparable as sweeps
+move across execution backends.)
 
 Two kinds of guard run over a report:
 
@@ -51,6 +60,10 @@ SPEEDUP_FLOORS: Dict[str, float] = {
     "pipeline": 2.0,
 }
 
+#: The execution record assumed for reports written before the field
+#: existed (and the default for in-process kernel benchmarking).
+DEFAULT_EXECUTION: Dict[str, Any] = {"pool": "serial", "workers": 1}
+
 
 def context_fingerprint() -> Dict[str, str]:
     """Where these timings were taken (absolute times only compare
@@ -64,11 +77,15 @@ def context_fingerprint() -> Dict[str, str]:
 
 
 def build_report(results: Dict[str, BenchResult],
-                 quick: bool = False) -> Dict[str, Any]:
+                 quick: bool = False,
+                 execution: Optional[Dict[str, Any]] = None
+                 ) -> Dict[str, Any]:
     return {
         "schema_version": SCHEMA_VERSION,
         "quick": quick,
         "context": context_fingerprint(),
+        "execution": dict(DEFAULT_EXECUTION if execution is None
+                          else execution),
         "kernels": {name: result.to_dict()
                     for name, result in results.items()},
     }
@@ -131,9 +148,12 @@ def compare_reports(current: Dict[str, Any],
     if baseline is None:
         return failures
     if baseline.get("context") != current.get("context") \
-            or baseline.get("quick") != current.get("quick"):
-        # Different host/interpreter (or different kernel input sizes):
-        # absolute medians don't transfer.  Speedup floors still apply.
+            or baseline.get("quick") != current.get("quick") \
+            or baseline.get("execution", DEFAULT_EXECUTION) \
+            != current.get("execution", DEFAULT_EXECUTION):
+        # Different host/interpreter, kernel input sizes, or execution
+        # backend (pool kind / worker count): absolute medians don't
+        # transfer.  Speedup floors still apply.
         return failures
     base_kernels = baseline.get("kernels", {})
     for name, payload in current.get("kernels", {}).items():

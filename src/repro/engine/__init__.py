@@ -3,26 +3,43 @@
 The run-spec layer (:class:`RunSpec`) is the single currency between
 experiments, runners, serialization and benchmarks; the engine
 (:class:`ExecutionEngine`) resolves specs through an in-process memo, a
-persistent content-addressed :class:`ResultStore`, and a serial or
-``multiprocessing``-parallel executor.  See the "Execution engine"
-section of ``docs/ARCHITECTURE.md``.
+persistent content-addressed :class:`ResultStore`, and an executor.
+Executors are layered as a coordinator/worker lease protocol: a
+:class:`LeaseExecutor` coordinator hands :class:`Lease` messages to a
+pluggable worker pool (in-process, dedicated local processes, or
+socket-connected standalone agents).  See the "Execution engine" and
+"Distributed execution" sections of ``docs/ARCHITECTURE.md``.
 """
 
+from .attempt import attempt_group, run_lease
 from .engine import ExecutionEngine
 from .executor import (
-    FailedRun, InterruptReport, ParallelExecutor, RetryPolicy,
-    SerialExecutor, SpecExecutionError, execute_spec,
+    FailedRun, InterruptReport, LeaseExecutor, ParallelExecutor,
+    RetryPolicy, SerialExecutor, SpecExecutionError, execute_spec,
     execute_group_payloads, execute_spec_payload, is_failed_payload,
     make_executor,
 )
 from .fusion import fusion_key, plan_groups
+from .pools import (
+    InProcessPool, LocalProcessPool, PoolEvent, SocketPool, WorkerPool,
+    make_pool,
+)
+from .protocol import (
+    PROTOCOL_VERSION, ConnectionClosed, Lease, LeaseResult,
+    ProtocolError, Shutdown, WorkerHello, WorkerWelcome,
+)
 from .spec import RunSpec, SPEC_MODES
 from .store import FsckReport, ResultStore
 
 __all__ = [
-    "ExecutionEngine", "FailedRun", "FsckReport", "InterruptReport",
-    "ParallelExecutor", "ResultStore", "RetryPolicy", "RunSpec",
-    "SPEC_MODES", "SerialExecutor", "SpecExecutionError", "execute_spec",
-    "execute_group_payloads", "execute_spec_payload", "fusion_key",
-    "is_failed_payload", "make_executor", "plan_groups",
+    "ConnectionClosed", "ExecutionEngine", "FailedRun", "FsckReport",
+    "InProcessPool", "InterruptReport", "Lease", "LeaseExecutor",
+    "LeaseResult", "LocalProcessPool", "PROTOCOL_VERSION",
+    "ParallelExecutor", "PoolEvent", "ProtocolError", "ResultStore",
+    "RetryPolicy", "RunSpec", "SPEC_MODES", "SerialExecutor",
+    "Shutdown", "SocketPool", "SpecExecutionError", "WorkerHello",
+    "WorkerPool", "WorkerWelcome", "attempt_group",
+    "execute_group_payloads", "execute_spec", "execute_spec_payload",
+    "fusion_key", "is_failed_payload", "make_executor", "make_pool",
+    "plan_groups", "run_lease",
 ]

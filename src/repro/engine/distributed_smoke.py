@@ -1,0 +1,218 @@
+"""Distributed smoke test: a socket-pool sweep with a worker killed.
+
+CI's distributed-execution gate
+(``python -m repro.engine.distributed_smoke``).  It runs the same
+small native wavefront twice:
+
+1. **serial baseline** -- one process, one store;
+2. **distributed** -- a :class:`~repro.engine.SocketPool` coordinator
+   with two standalone ``umi-worker`` agents on localhost, under a
+   fault plan that makes the first workload *hang* on attempt 1.  The
+   hang pins one agent mid-lease, and the smoke kills that agent with
+   ``SIGKILL`` while it holds the lease.
+
+The acceptance contract (ISSUE 9 / ROADMAP item 2):
+
+* the kill is observed as a **lost lease** on the dead worker (a
+  crash fault, visible in ``pool.lost`` and ``executor.retries``);
+* the lease **requeues** on the surviving agent and the sweep
+  completes with zero failed runs;
+* every spec is executed exactly once at the result level -- nothing
+  lost, nothing duplicated;
+* the distributed store is **byte-identical** to the serial store,
+  file for file.
+
+The hang fault only sleeps -- it never alters a payload -- so the
+byte-equality assertion is meaningful even though the fault plan is
+active only in the distributed run.  Exit status 0 when every
+assertion holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import repro
+from repro.engine import (
+    ExecutionEngine, LeaseExecutor, ResultStore, RetryPolicy, RunSpec,
+    SocketPool,
+)
+from repro.faults import FaultPlan, FaultRule, fault_injection
+from repro.telemetry import get_telemetry
+
+#: Smoke wavefront: eight native runs at a tiny scale.  The *first*
+#: workload is the hang target: group 0 is submitted first, and the
+#: pool leases to the alphabetically-first idle worker, so agent "a"
+#: deterministically holds the hanging lease when the smoke kills it.
+WORKLOADS = (
+    "171.swim", "168.wupwise", "172.mgrid", "173.applu", "177.mesa",
+    "179.art", "183.equake", "187.facerec",
+)
+HANG_WORKLOAD = WORKLOADS[0]
+SCALE = 0.05
+MACHINE_SCALE = 16
+RETRIES = 2
+HANG_SECONDS = 60.0
+AGENT_NAMES = ("a", "b")
+
+
+def _wavefront() -> List[RunSpec]:
+    return [RunSpec.native(name, SCALE, "pentium4", MACHINE_SCALE)
+            for name in WORKLOADS]
+
+
+def _plan() -> FaultPlan:
+    # attempts=1: only the first try hangs, so the requeued lease
+    # (attempt 2, on the surviving worker) runs clean.
+    return FaultPlan(seed=9, rules=(
+        FaultRule(kind="hang", match=HANG_WORKLOAD, attempts=1,
+                  hang_seconds=HANG_SECONDS),
+    ))
+
+
+def _retry() -> RetryPolicy:
+    return RetryPolicy(max_attempts=RETRIES, sleep=lambda _s: None)
+
+
+def _spawn_agent(port: int, name: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_root, env.get("PYTHONPATH")) if p)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.engine.worker",
+         "--connect", f"127.0.0.1:{port}", "--name", name, "--quiet"],
+        env=env)
+
+
+def _kill_when_leased(pool: SocketPool, name: str,
+                      agent: subprocess.Popen,
+                      timeout_s: float = 30.0) -> bool:
+    """Watchdog: SIGKILL ``agent`` once worker ``name`` holds a lease."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        worker = pool.workers.get(name)
+        if worker is not None and worker.lease is not None:
+            time.sleep(0.3)  # let the leased attempt actually start
+            agent.kill()
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def _store_files(root: Path) -> Dict[str, bytes]:
+    return {path.name: path.read_bytes()
+            for path in sorted(root.glob("*.json"))}
+
+
+def main() -> int:
+    failures: List[str] = []
+
+    def check(ok: bool, label: str) -> None:
+        print(f"  {'ok' if ok else 'FAIL'}: {label}")
+        if not ok:
+            failures.append(label)
+
+    telemetry = get_telemetry()
+    telemetry.reset()
+    telemetry.enable()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        serial_root = Path(tmp) / "serial"
+        dist_root = Path(tmp) / "distributed"
+        specs = _wavefront()
+
+        print("[distributed-smoke] serial baseline sweep")
+        serial_engine = ExecutionEngine(
+            jobs=1, store=ResultStore(serial_root), retry=_retry())
+        serial_engine.run_many(specs)
+
+        print("[distributed-smoke] distributed sweep "
+              "(2 agents, one killed mid-lease)")
+        pool = SocketPool(min_workers=len(AGENT_NAMES), wait_s=60.0)
+        _host, port = pool.bind()
+        agents = {name: _spawn_agent(port, name)
+                  for name in AGENT_NAMES}
+        victim = AGENT_NAMES[0]
+        killed: Dict[str, bool] = {}
+        watchdog = threading.Thread(
+            target=lambda: killed.__setitem__(
+                "done", _kill_when_leased(pool, victim, agents[victim])),
+            daemon=True)
+        watchdog.start()
+        executor = LeaseExecutor(pool, retry=_retry())
+        engine = ExecutionEngine(
+            executor=executor, store=ResultStore(dist_root))
+        interrupted: Optional[BaseException] = None
+        try:
+            with fault_injection(_plan()):
+                engine.run_many(specs)
+        except BaseException as exc:  # noqa: BLE001 -- report, then assert
+            interrupted = exc
+        finally:
+            watchdog.join(timeout=5.0)
+            engine.close()
+            for name, agent in agents.items():
+                try:
+                    agent.wait(timeout=10.0)
+                except subprocess.TimeoutExpired:
+                    agent.kill()
+                    agent.wait()
+
+        check(interrupted is None,
+              f"distributed sweep completed "
+              f"({'ok' if interrupted is None else interrupted!r})")
+        check(killed.get("done") is True,
+              f"agent {victim!r} was killed while holding a lease")
+        stats = executor.worker_stats
+        check(stats.get(victim, {}).get("lost", 0) == 1,
+              f"kill classified as exactly one lost lease on "
+              f"{victim!r} (stats: {stats})")
+        counter = telemetry.registry.counter
+        check(counter("executor.retries").value >= 1,
+              "lost lease consumed a retry (executor.retries)")
+        survivor = AGENT_NAMES[1]
+        check(stats.get(survivor, {}).get("retries", 0) >= 1,
+              f"requeued lease landed on surviving agent {survivor!r}")
+        check(engine.runs_executed == len(specs)
+              and engine.runs_failed == 0,
+              f"all {len(specs)} groups executed, none failed")
+        executed = sum(s.get("specs", 0) for s in stats.values())
+        check(executed == len(specs),
+              f"every spec executed exactly once at the result level "
+              f"({executed}/{len(specs)})")
+
+        serial_files = _store_files(serial_root)
+        dist_files = _store_files(dist_root)
+        check(set(serial_files) == set(dist_files),
+              f"stores hold the same record set "
+              f"({len(dist_files)}/{len(serial_files)})")
+        identical = sum(1 for name, blob in serial_files.items()
+                        if dist_files.get(name) == blob)
+        check(identical == len(serial_files),
+              f"distributed store byte-identical to serial store "
+              f"({identical}/{len(serial_files)})")
+        check(json.dumps(sorted(dist_files)) == json.dumps(
+            sorted(serial_files)),
+              "no record lost or duplicated in the shared store")
+
+    telemetry.disable()
+    if failures:
+        print(f"[distributed-smoke] FAILED "
+              f"({len(failures)} assertion(s))")
+        return 1
+    print("[distributed-smoke] all distributed-execution assertions "
+          "hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

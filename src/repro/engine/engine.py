@@ -52,9 +52,11 @@ class ExecutionEngine:
 
     def __init__(self, executor=None, store: Optional[ResultStore] = None,
                  jobs: int = 1, strict: bool = True,
-                 retry: Optional[RetryPolicy] = None) -> None:
+                 retry: Optional[RetryPolicy] = None,
+                 workers: Optional[str] = None) -> None:
         self.executor = executor if executor is not None \
-            else make_executor(jobs, retry=retry, strict=strict)
+            else make_executor(jobs, retry=retry, strict=strict,
+                               workers=workers)
         self.store = store
         #: Specs handed to the executor this session (memo/store hits
         #: excluded, failed specs included) -- the spec-level
@@ -166,6 +168,13 @@ class ExecutionEngine:
     def _admit(self, spec: RunSpec, payload: dict) -> None:
         self._payloads[spec] = payload
         self._memo[spec] = outcome_from_dict(payload)
+
+    def close(self) -> None:
+        """Release the executor's worker pool (idle agents get a
+        clean shutdown; sockets and listeners close)."""
+        closer = getattr(self.executor, "close", None)
+        if closer is not None:
+            closer()
 
     # -- archiving -------------------------------------------------------------
 

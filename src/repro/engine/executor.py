@@ -1,80 +1,107 @@
 """Executors: turn RunSpecs into serialized outcome payloads.
 
+The execution stack is layered in three pieces (see the "Distributed
+execution" section of ``docs/ARCHITECTURE.md``):
+
+1. the **lease protocol** (:mod:`repro.engine.protocol`) -- versioned,
+   JSON-line-framed ``Lease``/``LeaseResult`` messages that carry a
+   fusion group, its retry attempt, its deadline and the fault plan to
+   a worker, and bring payloads plus a telemetry snapshot back;
+2. the **coordinator** (:class:`LeaseExecutor`, here) -- plans the
+   wavefront, leases pending groups to a pluggable
+   :class:`~repro.engine.pools.WorkerPool`, classifies a dead or
+   expired worker as a crash fault (the lease requeues through the
+   ordinary :class:`RetryPolicy`), and merges results and telemetry in
+   submission order;
+3. the **worker backends** (:mod:`repro.engine.pools`) -- in-process,
+   dedicated local processes, or socket-connected standalone agents
+   (:mod:`repro.engine.worker`), all indistinguishable to the
+   coordinator.
+
 The unit of work is deliberately the *payload dict* (the JSON-safe
 summary from :func:`repro.serialize.outcome_to_dict`), not the live
-:class:`~repro.runners.RunOutcome`: payloads are cheap to pickle across
-process boundaries, are exactly what the persistent store writes, and
-guarantee the serial path, the parallel path and a store hit all hand
-the experiment layer byte-identical data.
+:class:`~repro.runners.RunOutcome`: payloads are cheap to ship across
+process and socket boundaries, are exactly what the persistent store
+writes, and guarantee the serial path, every pool backend and a store
+hit all hand the experiment layer byte-identical data.
 
-Workloads and machine models are rebuilt inside the worker from the
-spec alone -- a spec is self-contained -- so the parallel executor fans
-independent specs across cores with no shared state; results are
-reported in submission order, keeping them deterministic regardless of
-completion order.
-
-Resilience: both executors run every fusion group through a
-:class:`RetryPolicy` -- bounded attempts, exponential backoff with an
-injectable sleep, and an optional per-group wall-clock deadline.  The
-parallel executor runs every attempt in a dedicated, killable worker
-process (at most ``jobs`` in flight); the deadline clock starts when
-the group's process starts -- time spent waiting for a free slot never
-counts against it -- and a process that overruns the deadline is
-terminated on the spot, so a hung worker neither stalls the wavefront
-nor starves retries of a slot.  The serial executor enforces the same
-deadline post-hoc on the attempt's elapsed time, which keeps failure
-classification identical between the two paths.  A group that still
-fails after its attempts are exhausted becomes one structured
-:class:`FailedRun` payload per member spec --
-the wavefront *completes* and reports partial results -- unless the
-executor is ``strict``, in which case the final failure raises
+Resilience: every fusion group runs under a :class:`RetryPolicy` --
+bounded attempts, exponential backoff with an injectable sleep, and an
+optional per-group wall-clock deadline.  Each lease's deadline clock
+starts when its worker starts executing -- time spent waiting for a
+free slot never counts against it -- and an attempt that overruns is
+classified as a timeout even if a result eventually arrives, which
+keeps failure classification identical across backends (the serial
+executor enforces the same rule post-hoc on elapsed time).  A worker
+that dies while holding a lease (killed process, dropped connection)
+surfaces as a :func:`repro.faults.worker_loss_failure` crash fault and
+the lease requeues on the next wave, on whatever worker is free.  A
+group that still fails after its attempts are exhausted becomes one
+structured :class:`FailedRun` payload per member spec -- the wavefront
+*completes* and reports partial results -- unless the executor is
+``strict``, in which case the final failure raises
 :class:`SpecExecutionError` naming the member spec (or the shared
 fused execution) that actually failed.  ``KeyboardInterrupt`` is
-handled gracefully: outstanding workers are terminated, telemetry for
+handled gracefully: in-flight leases are aborted, telemetry for
 completed groups stays merged, and ``last_interrupt`` reports how many
 groups finished before the interrupt.
 
-Telemetry: every executed spec is timed under an ``executor.spec`` span
-(labelled by workload, carrying the spec digest).  Workers record
-into their own process-local telemetry and ship a snapshot back with
-the payload; the parent merges snapshots in spec submission order, so
-the combined registry is identical to a serial run's.  Retries and
-deadline expiries are counted under ``executor.retries`` and
-``executor.timeouts`` in the parent, so serial and parallel runs of
-the same fault plan report identical counts.
+Telemetry: every executed spec is timed under an ``executor.spec``
+span (labelled by workload, carrying the spec digest).  Workers record
+into their own process-local telemetry and ship a snapshot back inside
+the :class:`~repro.engine.protocol.LeaseResult`; the coordinator
+merges snapshots in spec *submission* order, so the combined registry
+is identical to a serial run's regardless of completion order or
+worker placement.  Retries and deadline expiries are counted under
+``executor.retries`` and ``executor.timeouts``, identically across
+backends; per-worker attribution lands separately under the
+``pool.*`` labelled counters (``pool.specs``, ``pool.leases``,
+``pool.retries``, ``pool.timeouts``, ``pool.lost``, labelled by pool
+kind and worker id) and in :attr:`LeaseExecutor.worker_stats`.
 
 Fault injection (:mod:`repro.faults`) hooks in at exactly one seam:
-:func:`_attempt_group` consults the installed plan before executing,
-so injected crashes and hangs take the same code path -- and produce
-byte-identical failure payloads -- whether the attempt runs in-process
-or in a worker process.
+:func:`repro.engine.attempt.attempt_group` consults the installed plan
+before executing, so injected crashes and hangs take the same code
+path -- and produce byte-identical failure payloads -- whether the
+attempt runs in-process, in a local worker process, or on a remote
+agent.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import multiprocessing.connection
 import time
-import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Any, Callable, Dict, List, Optional, Sequence, Tuple,
 )
 
-from repro.faults import InjectedCrash, active_fault_plan, install_fault_plan
-from repro.memory import get_machine
-from repro.runners import run_mode, run_native_fused
-from repro.serialize import outcome_to_dict
+from repro.faults import active_fault_plan, worker_loss_failure
 from repro.telemetry import get_telemetry
-from repro.workloads import get_workload
 
+# Re-exported for compatibility: the execution seam lives in
+# repro.engine.attempt so pool backends and the standalone worker can
+# import it without circular imports.
+from .attempt import (  # noqa: F401  (re-exports)
+    attempt_group, execute_group_payloads, execute_spec,
+    execute_spec_payload,
+)
+from .pools import LocalProcessPool, PoolEvent, WorkerPool, make_pool
+from .protocol import Lease
 from .spec import RunSpec
+
+#: Compatibility alias -- the seam's historical private name.
+_attempt_group = attempt_group
 
 #: Signature of the streaming-results callback ``execute_groups``
 #: accepts: ``(group_index, group, payloads)``, invoked as each group
 #: reaches its final state (success or exhausted failure).  The engine
 #: uses it to checkpoint wavefront progress to the store as it goes.
 OnResult = Callable[[int, Sequence[RunSpec], List[Dict[str, Any]]], None]
+
+#: Per-worker tallies tracked by the coordinator (and mirrored into
+#: the ``pool.*`` labelled telemetry counters).
+WORKER_STAT_FIELDS = ("leases", "specs", "retries", "timeouts", "lost")
 
 
 class SpecExecutionError(RuntimeError):
@@ -185,123 +212,6 @@ def is_failed_payload(payload: Dict[str, Any]) -> bool:
     return isinstance(payload, dict) and payload.get("kind") == "failed_run"
 
 
-def execute_spec(spec: RunSpec):
-    """Run one spec to a live :class:`RunOutcome` (current process)."""
-    program = get_workload(spec.workload).build(spec.scale)
-    machine = get_machine(spec.machine, scale=spec.machine_scale)
-    kwargs: Dict[str, Any] = {"hw_prefetch": spec.hw_prefetch,
-                              "consumers": spec.consumers}
-    if spec.mode == "native":
-        kwargs["with_cachegrind"] = spec.with_cachegrind
-        kwargs["counter_sample_size"] = spec.counter_sample_size
-    elif spec.mode == "umi":
-        kwargs["with_cachegrind"] = spec.with_cachegrind
-        kwargs["umi_config"] = spec.umi_config()
-    return run_mode(spec.mode, program, machine, **kwargs)
-
-
-def execute_spec_payload(spec: RunSpec) -> Dict[str, Any]:
-    """Run one spec and serialize the outcome (the executor unit)."""
-    return outcome_to_dict(execute_spec(spec))
-
-
-def execute_group_payloads(group: Sequence[RunSpec]) -> List[Dict[str, Any]]:
-    """Run one fusion group; one payload per member spec, in order.
-
-    A multi-member group (see :mod:`repro.engine.fusion`) executes the
-    shared workload once via :func:`repro.runners.run_native_fused`;
-    singletons take the ordinary per-spec path.  A failure while
-    serializing one member's outcome is tagged with that member's index
-    (``umi_member_index``) so the executor can blame the right spec; a
-    failure in the shared execution itself stays untagged.
-    """
-    if len(group) == 1:
-        return [execute_spec_payload(group[0])]
-    first = group[0]
-    program = get_workload(first.workload).build(first.scale)
-    machine = get_machine(first.machine, scale=first.machine_scale)
-    variants = [
-        {
-            "counter_sample_size": spec.counter_sample_size,
-            "with_cachegrind": spec.with_cachegrind,
-            "consumers": spec.consumers,
-        }
-        for spec in group
-    ]
-    outcomes = run_native_fused(program, machine, variants,
-                                hw_prefetch=first.hw_prefetch)
-    payloads = []
-    for index, outcome in enumerate(outcomes):
-        try:
-            payloads.append(outcome_to_dict(outcome))
-        except Exception as exc:
-            exc.umi_member_index = index
-            raise
-    return payloads
-
-
-def _execute_timed(spec: RunSpec) -> Dict[str, Any]:
-    """One spec under an ``executor.spec`` span (if telemetry is on)."""
-    telemetry = get_telemetry()
-    if not telemetry.enabled:
-        return execute_spec_payload(spec)
-    with telemetry.span("executor.spec",
-                        labels={"workload": spec.workload},
-                        digest=spec.digest()[:12], spec=spec.describe()):
-        return execute_spec_payload(spec)
-
-
-def _execute_group_timed(group: Sequence[RunSpec]) -> List[Dict[str, Any]]:
-    """One fusion group under an ``executor.spec`` span."""
-    if len(group) == 1:
-        return [_execute_timed(group[0])]
-    telemetry = get_telemetry()
-    if not telemetry.enabled:
-        return execute_group_payloads(group)
-    spec = group[0]
-    with telemetry.span("executor.spec",
-                        labels={"workload": spec.workload},
-                        digest=spec.digest()[:12], spec=spec.describe(),
-                        fused=len(group)):
-        return execute_group_payloads(group)
-
-
-def _attempt_group(group: Sequence[RunSpec], attempt: int
-                   ) -> Tuple[str, Any]:
-    """One execution attempt: ``("ok", payloads)`` or ``("error", info)``.
-
-    The single seam both executors funnel through, in-process or in a
-    worker process: fault-plan hooks fire here, and exceptions are caught
-    here, so the failure info dict (error text, traceback, blamed
-    member index) is byte-identical regardless of which executor ran
-    the attempt.  Exceptions are flattened to strings so unpicklable
-    exception types can still cross the process boundary.
-    """
-    member: Optional[int] = 0 if len(group) == 1 else None
-    try:
-        plan = active_fault_plan()
-        if plan is not None:
-            for spec in group:
-                hang = plan.hang_for(spec, attempt)
-                if hang > 0.0:
-                    time.sleep(hang)
-            for index, spec in enumerate(group):
-                if plan.crash_for(spec, attempt):
-                    member = index
-                    raise InjectedCrash(
-                        f"injected crash ({spec.describe()}, "
-                        f"attempt {attempt})")
-        return "ok", _execute_group_timed(group)
-    except Exception as exc:  # noqa: BLE001 -- reported, not swallowed
-        member = getattr(exc, "umi_member_index", member)
-        return "error", {
-            "reason": "error",
-            "error": f"{type(exc).__name__}: {exc}",
-            "traceback": traceback.format_exc(),
-            "member": member,
-        }
-
-
 def _timeout_failure(group: Sequence[RunSpec],
                      policy: RetryPolicy) -> Dict[str, Any]:
     """The failure info for a group that overran its deadline."""
@@ -357,13 +267,13 @@ def _resolve_group_serially(group: Sequence[RunSpec], policy: RetryPolicy,
     Returns ``(status, value, attempts_used)``.  An attempt whose
     elapsed wall time overran ``policy.timeout`` is reclassified as a
     timeout (and its result discarded) even if it returned -- mirroring
-    the parent-side deadline the parallel executor enforces, so both
-    paths retry and fail identically under the same fault plan.
+    the coordinator-side deadline the pools enforce, so both paths
+    retry and fail identically under the same fault plan.
     """
     attempt = 1
     while True:
         start = time.monotonic()
-        status, value = _attempt_group(group, attempt)
+        status, value = attempt_group(group, attempt)
         elapsed = time.monotonic() - start
         if policy.timeout is not None and elapsed > policy.timeout:
             telemetry.count("executor.timeouts")
@@ -406,66 +316,12 @@ def _execute_groups_serially(executor, groups: List[List[RunSpec]],
     return results
 
 
-def _pool_execute(item: Tuple[Sequence[RunSpec], int, bool, Any]):
-    """Worker-process unit: one attempt of one fusion group.
-
-    Returns ``(status, value, snapshot_or_None)`` where ``(status,
-    value)`` comes straight from :func:`_attempt_group`.  The parent's
-    fault plan travels inside the item and is installed on entry, so
-    injection behaves identically under ``fork`` and ``spawn`` start
-    methods.  Telemetry is reset per attempt, making each snapshot
-    self-contained regardless of how attempts land on processes.
-    """
-    group, attempt, telemetry_enabled, plan = item
-    install_fault_plan(plan)
-    telemetry = get_telemetry()
-    telemetry.reset()
-    telemetry.enabled = telemetry_enabled
-    status, value = _attempt_group(group, attempt)
-    snapshot = telemetry.snapshot() if telemetry_enabled else None
-    return (status, value, snapshot)
-
-
-def _dead_worker_failure(group: Sequence[RunSpec]) -> Dict[str, Any]:
-    """Failure info for a worker that died without reporting a result."""
-    return {
-        "reason": "error",
-        "error": "RuntimeError: worker process died without reporting "
-                 "a result",
-        "traceback": None,
-        "member": 0 if len(group) == 1 else None,
-    }
-
-
-def _wave_worker(conn, item: Tuple[Sequence[RunSpec], int, bool, Any]
-                 ) -> None:
-    """Dedicated-process entry: run one attempt, ship the result back.
-
-    :func:`_pool_execute` already flattens execution failures into the
-    ``("error", info, snapshot)`` shape; the guard here only covers
-    failures *around* it (e.g. an unpicklable result), so the parent
-    still receives a structured failure instead of a bare EOF.
-    """
-    try:
-        result = _pool_execute(item)
-    except BaseException as exc:  # noqa: BLE001 -- last-resort guard
-        result = ("error", {
-            "reason": "error",
-            "error": f"{type(exc).__name__}: {exc}",
-            "traceback": traceback.format_exc(),
-            "member": 0 if len(item[0]) == 1 else None,
-        }, None)
-    try:
-        conn.send(result)
-    finally:
-        conn.close()
-
-
 class SerialExecutor:
     """Runs specs one after another in the calling process."""
 
     jobs = 1
     supports_on_result = True
+    pool_kind = "serial"
 
     def __init__(self, retry: Optional[RetryPolicy] = None,
                  strict: bool = True) -> None:
@@ -474,6 +330,7 @@ class SerialExecutor:
         self.runs_executed = 0
         self.runs_failed = 0
         self.last_interrupt: Optional[InterruptReport] = None
+        self.worker_stats: Dict[str, Dict[str, int]] = {}
 
     def execute(self, specs: Sequence[RunSpec]) -> List[Dict[str, Any]]:
         results = self.execute_groups([[spec] for spec in specs])
@@ -487,117 +344,147 @@ class SerialExecutor:
         groups = [list(group) for group in groups]
         return _execute_groups_serially(self, groups, on_result)
 
+    def close(self) -> None:
+        """Nothing to release."""
 
-class ParallelExecutor:
-    """Fans independent specs across cores via ``multiprocessing``."""
+
+class LeaseExecutor:
+    """The coordinator: plans waves, leases groups to a worker pool.
+
+    Owns all *policy* -- retries, deadlines-as-timeouts, crash-fault
+    classification, strict-mode errors, submission-order telemetry
+    merging, checkpoint callbacks -- while the
+    :class:`~repro.engine.pools.WorkerPool` owns only *placement*.
+    Execution proceeds in retry waves exactly like the historical
+    parallel executor: attempt *n* of every pending group runs (each
+    group as one :class:`~repro.engine.protocol.Lease`), then failed,
+    expired and lost groups back off together and requeue as attempt
+    *n+1*.  A lost worker consumes a retry attempt like any crash: the
+    lease's failure info comes from
+    :func:`repro.faults.worker_loss_failure`, and downstream handling
+    (FailedRun payloads, strict errors, store checkpoints, resume) is
+    byte-identical to an in-process crash.
+    """
 
     supports_on_result = True
 
-    def __init__(self, jobs: int = 0,
+    def __init__(self, pool: WorkerPool,
                  retry: Optional[RetryPolicy] = None,
                  strict: bool = True) -> None:
-        if jobs <= 0:
-            jobs = multiprocessing.cpu_count()
-        self.jobs = jobs
+        self.pool = pool
+        self.jobs = pool.capacity
         self.retry = retry if retry is not None else RetryPolicy()
         self.strict = strict
         self.runs_executed = 0
         self.runs_failed = 0
         self.last_interrupt: Optional[InterruptReport] = None
+        #: worker id -> {leases, specs, retries, timeouts, lost}
+        self.worker_stats: Dict[str, Dict[str, int]] = {}
+        self._lease_seq = 0
+
+    @property
+    def pool_kind(self) -> str:
+        return self.pool.kind
 
     def execute(self, specs: Sequence[RunSpec]) -> List[Dict[str, Any]]:
         """Run specs as singleton groups (no fusion)."""
         results = self.execute_groups([[spec] for spec in specs])
         return [payloads[0] for payloads in results]
 
-    def _run_wave(self, ctx, groups: List[List[RunSpec]],
-                  pending: List[int], attempt: int, plan,
-                  telemetry_enabled: bool,
-                  outcomes: Dict[int, Any], expired: set) -> None:
-        """One retry wave: every pending group in its own process.
+    def close(self) -> None:
+        self.pool.close()
 
-        At most ``self.jobs`` processes run at once; each group's
-        deadline clock starts when *its* process starts, so time spent
-        waiting for a free slot never counts against the deadline.  A
-        process that overruns the deadline is terminated on the spot
-        (the serial path's post-hoc rule: an attempt that overran is a
-        timeout even if its result just arrived), so a hung worker
-        neither occupies a slot nor can a retry queue behind it.
-        Results land incrementally in ``outcomes`` (index ->
-        ``(status, value, snapshot)``) and ``expired``, so the caller
+    # -- per-worker accounting ---------------------------------------
+
+    def _stats(self, worker: str) -> Dict[str, int]:
+        stats = self.worker_stats.get(worker)
+        if stats is None:
+            stats = dict.fromkeys(WORKER_STAT_FIELDS, 0)
+            self.worker_stats[worker] = stats
+        return stats
+
+    def _attribute(self, telemetry, worker: str, stat: str,
+                   n: int = 1) -> None:
+        """One per-worker tally, mirrored into a labelled counter."""
+        self._stats(worker)[stat] += n
+        telemetry.count(f"pool.{stat}",
+                        n=n, labels={"pool": self.pool.kind,
+                                     "worker": worker})
+
+    # -- the wave loop ------------------------------------------------
+
+    def _next_lease(self, group: Sequence[RunSpec], attempt: int,
+                    plan_dict: Optional[Dict[str, Any]],
+                    telemetry_enabled: bool) -> Lease:
+        self._lease_seq += 1
+        return Lease.for_group(
+            f"L{self._lease_seq:06d}", group, attempt,
+            self.retry.timeout, plan_dict, telemetry_enabled)
+
+    def _run_wave(self, groups: List[List[RunSpec]], pending: List[int],
+                  attempt: int, plan_dict: Optional[Dict[str, Any]],
+                  telemetry, outcomes: Dict[int, Any],
+                  expired: Dict[int, str], lost: Dict[int, str]) -> None:
+        """One retry wave: every pending group leased exactly once.
+
+        Leases are submitted in submission order while the pool has
+        capacity; each lease's deadline clock starts when its worker
+        does, so time spent waiting for a free slot never counts
+        against it.  Raw pool events land incrementally in
+        ``outcomes`` (index -> ``(status, value, snapshot, worker)``),
+        ``expired`` and ``lost`` (index -> worker id), so the caller
         can salvage completed groups when the wave is interrupted.
         """
-        policy = self.retry
+        pool = self.pool
         waiting = list(pending)
-        running: Dict[int, Tuple[Any, Any, float]] = {}
+        inflight: Dict[str, int] = {}
         try:
-            while waiting or running:
-                while waiting and len(running) < self.jobs:
+            while waiting or inflight:
+                while waiting and pool.has_capacity():
                     index = waiting.pop(0)
-                    recv_end, send_end = ctx.Pipe(duplex=False)
-                    process = ctx.Process(
-                        target=_wave_worker,
-                        args=(send_end, (groups[index], attempt,
-                                         telemetry_enabled, plan)),
-                        daemon=True)
-                    process.start()
-                    send_end.close()
-                    running[index] = (process, recv_end, time.monotonic())
-                wait_for = None
-                if policy.timeout is not None:
-                    now = time.monotonic()
-                    wait_for = max(0.0, min(
-                        started + policy.timeout - now
-                        for _, _, started in running.values()))
-                ready = multiprocessing.connection.wait(
-                    [conn for _, conn, _ in running.values()], wait_for)
-                now = time.monotonic()
-                for index in list(running):
-                    process, conn, started = running[index]
-                    if policy.timeout is not None \
-                            and now - started > policy.timeout:
-                        expired.add(index)
-                        process.terminate()
-                    elif conn in ready:
-                        try:
-                            outcomes[index] = conn.recv()
-                        except EOFError:  # died without reporting
-                            outcomes[index] = (
-                                "error",
-                                _dead_worker_failure(groups[index]), None)
-                    else:
+                    lease = self._next_lease(
+                        groups[index], attempt, plan_dict,
+                        telemetry.enabled)
+                    pool.submit(lease)
+                    inflight[lease.lease_id] = index
+                for event in pool.wait():
+                    index = inflight.pop(event.lease_id, None)
+                    if index is None:
                         continue
-                    process.join()
-                    conn.close()
-                    del running[index]
+                    group_size = len(groups[index])
+                    if event.kind == "result":
+                        outcomes[index] = (event.status, event.value,
+                                           event.snapshot, event.worker)
+                        self._attribute(telemetry, event.worker, "leases")
+                        self._attribute(telemetry, event.worker, "specs",
+                                        n=group_size)
+                        if attempt > 1:
+                            self._attribute(telemetry, event.worker,
+                                            "retries")
+                    elif event.kind == "expired":
+                        expired[index] = event.worker
+                        self._attribute(telemetry, event.worker,
+                                        "timeouts")
+                    else:  # "lost"
+                        lost[index] = event.worker
+                        self._attribute(telemetry, event.worker, "lost")
         except BaseException:
-            for process, _conn, _started in running.values():
-                process.terminate()
-            for process, conn, _started in running.values():
-                process.join()
-                conn.close()
+            pool.abort()
             raise
 
     def execute_groups(self, groups: Sequence[Sequence[RunSpec]],
                        on_result: Optional[OnResult] = None
                        ) -> List[List[Dict[str, Any]]]:
-        """Fan fusion groups across cores; one execution per group."""
+        """Lease fusion groups to the pool; one execution per group."""
         self.last_interrupt = None
         groups = [list(group) for group in groups]
         if not groups:
             return []
-        if len(groups) == 1 or self.jobs == 1:
-            return _execute_groups_serially(self, groups, on_result)
-        # fork shares the already-imported interpreter state read-only
-        # and avoids re-importing the package per worker; fall back to
-        # the default start method where fork is unavailable.
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:
-            ctx = multiprocessing.get_context()
+        self.pool.start()
         telemetry = get_telemetry()
         policy = self.retry
         plan = active_fault_plan()
+        plan_dict = plan.to_dict() if plan is not None else None
         results: List[Optional[List[Dict[str, Any]]]] = [None] * len(groups)
         failures: Dict[int, Dict[str, Any]] = {}
         completed = 0
@@ -609,10 +496,11 @@ class ParallelExecutor:
                     telemetry.count("executor.retries", n=len(pending))
                     policy.sleep(policy.backoff(attempt - 1))
                 outcomes: Dict[int, Any] = {}
-                expired: set = set()
+                expired: Dict[int, str] = {}
+                lost: Dict[int, str] = {}
                 try:
-                    self._run_wave(ctx, groups, pending, attempt, plan,
-                                   telemetry.enabled, outcomes, expired)
+                    self._run_wave(groups, pending, attempt, plan_dict,
+                                   telemetry, outcomes, expired, lost)
                 finally:
                     # Resolve in submission order -- even when the wave
                     # was interrupted -- so telemetry merges
@@ -627,13 +515,20 @@ class ParallelExecutor:
                                 groups[index], policy)
                             still_pending.append(index)
                             continue
+                        if index in lost:
+                            failures[index] = worker_loss_failure(
+                                len(groups[index]), lost[index],
+                                pool_kind=self.pool.kind)
+                            still_pending.append(index)
+                            continue
                         if index not in outcomes:  # interrupted mid-wave
                             still_pending.append(index)
                             continue
-                        status, value, snapshot = outcomes[index]
+                        status, value, snapshot, worker = outcomes[index]
                         if snapshot is not None:
-                            telemetry.merge(snapshot,
-                                            source=f"worker:{index}")
+                            telemetry.merge(
+                                snapshot,
+                                source=f"{self.pool.kind}:{worker}")
                         if status == "ok":
                             results[index] = value
                             self.runs_executed += 1
@@ -659,7 +554,7 @@ class ParallelExecutor:
                 if on_result is not None:
                     on_result(index, groups[index], payloads)
         except KeyboardInterrupt:
-            # _run_wave has already reaped its workers; completed
+            # _run_wave has already aborted in-flight leases; completed
             # groups stay counted and their telemetry stays merged, so
             # a resumed sweep picks up exactly where this one stopped.
             self.last_interrupt = InterruptReport(completed,
@@ -670,9 +565,48 @@ class ParallelExecutor:
         return results
 
 
+class ParallelExecutor(LeaseExecutor):
+    """Fans independent specs across cores via dedicated processes.
+
+    The historical ``--jobs N`` executor, expressed as a
+    :class:`LeaseExecutor` over a
+    :class:`~repro.engine.pools.LocalProcessPool`.  A single-group
+    wavefront (or ``jobs == 1``) short-circuits to the in-process
+    serial loop -- same results, no process overhead.
+    """
+
+    def __init__(self, jobs: int = 0,
+                 retry: Optional[RetryPolicy] = None,
+                 strict: bool = True) -> None:
+        if jobs <= 0:
+            jobs = multiprocessing.cpu_count()
+        super().__init__(LocalProcessPool(jobs), retry=retry,
+                         strict=strict)
+
+    def execute_groups(self, groups: Sequence[Sequence[RunSpec]],
+                       on_result: Optional[OnResult] = None
+                       ) -> List[List[Dict[str, Any]]]:
+        groups = [list(group) for group in groups]
+        if not groups:
+            return []
+        if len(groups) == 1 or self.jobs == 1:
+            self.last_interrupt = None
+            return _execute_groups_serially(self, groups, on_result)
+        return super().execute_groups(groups, on_result)
+
+
 def make_executor(jobs: int = 1, retry: Optional[RetryPolicy] = None,
-                  strict: bool = True):
-    """``jobs == 1`` -> serial; otherwise a parallel executor."""
+                  strict: bool = True,
+                  workers: Optional[str] = None):
+    """Build the executor a CLI invocation asked for.
+
+    ``workers`` (the ``--workers [N@]HOST:PORT`` spec) selects a
+    socket-pool coordinator; otherwise ``jobs == 1`` -> serial and
+    ``jobs > 1`` -> the local-process parallel executor.
+    """
+    if workers:
+        return LeaseExecutor(make_pool(workers=workers), retry=retry,
+                             strict=strict)
     if jobs == 1:
         return SerialExecutor(retry=retry, strict=strict)
     return ParallelExecutor(jobs=jobs, retry=retry, strict=strict)

@@ -60,11 +60,16 @@ class FsckReport:
     corrupt: List[str] = field(default_factory=list)
     stale: List[str] = field(default_factory=list)
     mismatched: List[str] = field(default_factory=list)
+    #: ``*.tmp`` droppings from writers that died between ``mkstemp``
+    #: and the atomic rename -- harmless to readers, but evidence of a
+    #: crashed writer worth surfacing (and sweeping up on repair).
+    orphaned: List[str] = field(default_factory=list)
     quarantined: List[str] = field(default_factory=list)
 
     @property
     def problems(self) -> int:
-        return len(self.corrupt) + len(self.stale) + len(self.mismatched)
+        return (len(self.corrupt) + len(self.stale)
+                + len(self.mismatched) + len(self.orphaned))
 
     def render(self) -> str:
         lines = [f"store fsck: {self.root}",
@@ -72,7 +77,8 @@ class FsckReport:
                  f"  valid: {self.valid}"]
         for label, names in (("corrupt", self.corrupt),
                              ("stale-schema", self.stale),
-                             ("digest-mismatch", self.mismatched)):
+                             ("digest-mismatch", self.mismatched),
+                             ("orphaned-tmp", self.orphaned)):
             lines.append(f"  {label}: {len(names)}")
             lines.extend(f"    {name}" for name in names)
         if self.quarantined:
@@ -153,12 +159,15 @@ class ResultStore:
     def save(self, spec: RunSpec, payload: Dict[str, Any]) -> Path:
         """Persist one outcome payload under the spec's digest.
 
-        The write is atomic (temp file + rename) so concurrent
-        processes sharing a store directory never observe torn files.
-        An installed ``torn_record`` fault plan truncates the text
-        mid-record instead -- producing exactly the damage a crashed
-        writer without the atomic rename would, which the validity
-        rules and ``fsck`` must then catch.
+        The write is atomic: the record lands in a private temp file
+        in the same directory, is flushed and fsynced, then published
+        with ``os.replace`` -- so concurrent writers (multiple worker
+        nodes checkpointing into one shared store) can never expose a
+        torn file to a reader; last writer wins with an identical
+        record.  An installed ``torn_record`` fault plan truncates the
+        text mid-record instead -- producing exactly the damage a
+        crashed writer without the atomic rename would, which the
+        validity rules and ``fsck`` must then catch.
         """
         record = {
             "schema_version": SCHEMA_VERSION,
@@ -174,6 +183,8 @@ class ResultStore:
         try:
             with os.fdopen(fd, "w") as handle:
                 handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except BaseException:
             if os.path.exists(tmp):
@@ -251,6 +262,9 @@ class ResultStore:
                 bad_paths.append(path)
                 continue
             report.valid += 1
+        for path in sorted(self.root.glob("*.tmp")):
+            report.orphaned.append(path.name)
+            bad_paths.append(path)
         if repair and bad_paths:
             quarantine = self.root / QUARANTINE_DIR
             quarantine.mkdir(exist_ok=True)

@@ -1,0 +1,150 @@
+"""Standalone worker agent: lease work from a coordinator over TCP.
+
+Run on any node that can reach the coordinator::
+
+    python -m repro.engine.worker --connect HOST:PORT
+
+(or the ``umi-worker`` console script).  The agent dials the
+coordinator's :class:`~repro.engine.pools.SocketPool` listener,
+registers with a :class:`~repro.engine.protocol.WorkerHello`, then
+serves one :class:`~repro.engine.protocol.Lease` at a time: rebuild
+the fusion group from the leased spec dicts, install the lease's fault
+plan, run exactly one attempt through the shared execution seam
+(:func:`repro.engine.attempt.run_lease`), and stream the
+:class:`~repro.engine.protocol.LeaseResult` -- payloads or structured
+failure, plus a telemetry snapshot -- back over the same connection.
+
+The agent is deliberately policy-free: it never retries, never
+interprets deadlines (an attempt that overruns is severed by the
+coordinator), and exits when the coordinator sends
+:class:`~repro.engine.protocol.Shutdown` or closes the connection.
+Killing an agent mid-lease is a supported event, not an error: the
+coordinator classifies the loss as a crash fault and requeues the
+lease elsewhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import time
+from typing import Optional
+
+from .attempt import run_lease
+from .protocol import (
+    ConnectionClosed, Lease, LeaseResult, ProtocolError, Shutdown,
+    WorkerHello, WorkerWelcome, read_frame, write_frame,
+)
+
+#: How long (seconds) the agent keeps retrying the initial dial, so a
+#: worker terminal can be started before the coordinator binds.
+CONNECT_TIMEOUT_S = 30.0
+
+
+def _dial(host: str, port: int, timeout_s: float) -> socket.socket:
+    """Connect, retrying until the coordinator's listener is up."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=10.0)
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.2)
+
+
+def serve(host: str, port: int, name: str = "",
+          connect_timeout_s: float = CONNECT_TIMEOUT_S,
+          log=None) -> int:
+    """Serve leases until shutdown; returns the number served.
+
+    ``log`` is a ``print``-like callable (``None`` silences the
+    agent); exposed as a function so tests can run an agent in-process
+    against an ephemeral-port pool.
+    """
+    say = log if log is not None else (lambda *_args: None)
+    sock = _dial(host, port, connect_timeout_s)
+    sock.settimeout(None)  # leases arrive whenever the sweep needs us
+    stream = sock.makefile("rwb")
+    served = 0
+    try:
+        write_frame(stream, WorkerHello(worker=name, pid=os.getpid(),
+                                        host=socket.gethostname()))
+        welcome = read_frame(stream)
+        if not isinstance(welcome, WorkerWelcome):
+            raise ProtocolError(
+                f"expected welcome, got {type(welcome).__name__}")
+        worker_id = welcome.worker
+        say(f"[umi-worker {worker_id}] registered with "
+            f"{host}:{port} (pid {os.getpid()})")
+        while True:
+            try:
+                message = read_frame(stream)
+            except ConnectionClosed:
+                say(f"[umi-worker {worker_id}] coordinator went away; "
+                    f"exiting")
+                break
+            if isinstance(message, Shutdown):
+                say(f"[umi-worker {worker_id}] shutdown: "
+                    f"{message.reason or 'no reason given'}")
+                break
+            if not isinstance(message, Lease):
+                raise ProtocolError(
+                    f"expected lease, got {type(message).__name__}")
+            say(f"[umi-worker {worker_id}] {message.describe()}")
+            status, value, snapshot = run_lease(message)
+            write_frame(stream, LeaseResult(
+                lease_id=message.lease_id, worker=worker_id,
+                status=status, value=value, snapshot=snapshot))
+            served += 1
+    finally:
+        for closer in (stream.close, sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+    say(f"[umi-worker] served {served} lease(s)")
+    return served
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="umi-worker",
+        description="Standalone UMI worker agent: connects to a "
+                    "coordinator and executes leased fusion groups.")
+    parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address (the umi-experiments --workers "
+             "listener)")
+    parser.add_argument(
+        "--name", default="",
+        help="proposed worker id (coordinator may uniquify it)")
+    parser.add_argument(
+        "--connect-timeout", type=float, default=CONNECT_TIMEOUT_S,
+        metavar="S", help="seconds to keep retrying the initial "
+                          "connection (default %(default)s)")
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines")
+    args = parser.parse_args(argv)
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        parser.error(f"invalid --connect address {args.connect!r} "
+                     f"(expected HOST:PORT)")
+    log = None if args.quiet else print
+    try:
+        serve(host, int(port), name=args.name,
+              connect_timeout_s=args.connect_timeout, log=log)
+    except OSError as exc:
+        print(f"umi-worker: cannot reach coordinator at "
+              f"{args.connect}: {exc}", file=sys.stderr)
+        return 1
+    except ProtocolError as exc:
+        print(f"umi-worker: protocol error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover -- exercised via CI smoke
+    sys.exit(main())

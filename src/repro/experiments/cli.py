@@ -15,6 +15,7 @@ Usage::
     umi-experiments all --store .umi-cache --resume
     umi-experiments all --retries 3 --timeout 600
     umi-experiments store fsck --store .umi-cache --repair
+    umi-experiments all --workers 2@0.0.0.0:7777 --store .umi-cache
 
 Every experiment declares its required runs upfront
 (``required_runs``), so ``all`` resolves the union of every table's
@@ -42,7 +43,17 @@ reported and its dependent tables are skipped, while every unaffected
 run still completes and persists.  ``--strict`` restores fail-fast.
 ``--resume`` (with ``--store``) re-plans only the specs without valid
 records, which is how a killed or interrupted sweep picks up where it
-left off.  ``store fsck`` sweeps a store directory for corrupt, stale
+left off.
+
+Distributed execution (the "Distributed execution" section of
+``docs/ARCHITECTURE.md``): ``--workers [N@]HOST:PORT`` turns the
+invocation into a lease coordinator -- it listens on ``HOST:PORT``,
+waits for ``N`` standalone ``umi-worker`` agents (``umi-worker
+--connect HOST:PORT``, any machine that can reach the coordinator),
+and leases fusion groups to them instead of forking local processes.
+An agent that dies mid-lease is a crash fault: the lease requeues on a
+surviving agent through the ordinary ``--retries`` budget, and the
+sweep's results are byte-identical to a serial run's.  ``store fsck`` sweeps a store directory for corrupt, stale
 or digest-mismatched records; ``--repair`` moves them into
 ``<store>/quarantine/``.  ``--faults PLAN.json`` installs a
 deterministic fault-injection plan (:mod:`repro.faults`) for the whole
@@ -149,6 +160,12 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for independent runs "
                              "(default 1 = serial; 0 = all cores)")
+    parser.add_argument("--workers", metavar="[N@]HOST:PORT",
+                        default=None,
+                        help="coordinate the sweep over standalone "
+                             "umi-worker agents: listen on HOST:PORT "
+                             "and wait for N agents (default 1) "
+                             "before leasing runs to them")
     parser.add_argument("--store", metavar="DIR", default=None,
                         help="persistent result store directory; runs "
                              "found there are not re-executed")
@@ -280,6 +297,9 @@ def main(argv=None) -> int:
                      "resume from without a persistent result store")
     if args.retries < 1:
         parser.error("--retries must be >= 1")
+    if args.workers is not None and args.jobs != 1:
+        parser.error("--workers and --jobs are mutually exclusive: "
+                     "worker agents replace local worker processes")
 
     fault_plan = None
     if args.faults is not None:
@@ -391,9 +411,43 @@ def _run_store(args, parser) -> int:
 def _run_experiments(args, names: List[str], store,
                      workloads: Optional[List[str]] = None) -> int:
     retry = RetryPolicy(max_attempts=args.retries, timeout=args.timeout)
-    cache = ResultCache(scale=args.scale, jobs=args.jobs, store=store,
-                        strict=args.strict, retry=retry)
+    try:
+        cache = ResultCache(scale=args.scale, jobs=args.jobs,
+                            store=store, strict=args.strict,
+                            retry=retry, workers=args.workers)
+    except ValueError as exc:  # malformed --workers spec
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.workers:
+            pool = cache.engine.executor.pool
+            host, port = pool.bind()
+            print(f"[coordinator listening on {host}:{port}; waiting "
+                  f"for {pool.min_workers} worker agent(s) -- start "
+                  f"them with: umi-worker --connect {host}:{port}]")
+        return _run_with_cache(args, names, store, workloads, cache)
+    finally:
+        # Idle agents get a clean Shutdown; sockets/listeners close.
+        cache.engine.close()
 
+
+def _worker_banner(cache: ResultCache) -> None:
+    """Per-worker breakdown lines after a pooled wavefront."""
+    executor = cache.engine.executor
+    stats = getattr(executor, "worker_stats", None)
+    if not stats:
+        return
+    kind = getattr(executor, "pool_kind", "?")
+    for worker in sorted(stats):
+        s = stats[worker]
+        print(f"[worker {kind}:{worker}: {s['specs']} specs in "
+              f"{s['leases']} leases, {s['retries']} retries, "
+              f"{s['timeouts']} timeouts, {s['lost']} lost]")
+
+
+def _run_with_cache(args, names: List[str], store,
+                    workloads: Optional[List[str]],
+                    cache: ResultCache) -> int:
     def declared_runs(name: str):
         exp = EXPERIMENTS[name]
         if exp.required_runs is None:
@@ -441,7 +495,9 @@ def _run_experiments(args, names: List[str], store,
         reused = len(set(wavefront)) - attempted
         suffix = f", {failed} failed" if failed else ""
         print(f"[wavefront: {executed} runs executed, {reused} reused"
-              f"{suffix} in {elapsed:.1f}s]\n")
+              f"{suffix} in {elapsed:.1f}s]")
+        _worker_banner(cache)
+        print()
 
     failed_runs = cache.engine.failed_runs()
     if failed_runs:

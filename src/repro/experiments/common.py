@@ -68,14 +68,16 @@ class ResultCache:
                  jobs: int = 1,
                  store: Union[ResultStore, str, Path, None] = None,
                  strict: bool = True,
-                 retry: Optional[RetryPolicy] = None) -> None:
+                 retry: Optional[RetryPolicy] = None,
+                 workers: Optional[str] = None) -> None:
         self.scale = scale
         self.machine_scale = machine_scale
         if engine is None:
             if isinstance(store, (str, Path)):
                 store = ResultStore(store)
             engine = ExecutionEngine(jobs=jobs, store=store,
-                                     strict=strict, retry=retry)
+                                     strict=strict, retry=retry,
+                                     workers=workers)
         self.engine = engine
         self._programs: Dict[str, Program] = {}
         self._machines: Dict[str, MachineConfig] = {}

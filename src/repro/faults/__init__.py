@@ -10,6 +10,7 @@ must survive every injected fault class (see the "Resilience" section
 of ``docs/ARCHITECTURE.md``).
 """
 
+from .classify import WorkerCrashFault, worker_loss_failure
 from .inject import (
     FaultyConsumerProxy, active_fault_plan, clear_fault_plan,
     fault_injection, install_fault_plan,
@@ -22,6 +23,7 @@ from .plan import (
 __all__ = [
     "FAULT_KINDS", "FaultPlan", "FaultRule", "FaultyConsumerProxy",
     "InjectedConsumerFault", "InjectedCrash", "InjectedFault",
-    "active_fault_plan", "clear_fault_plan", "fault_injection",
-    "install_fault_plan", "load_fault_plan",
+    "WorkerCrashFault", "active_fault_plan", "clear_fault_plan",
+    "fault_injection", "install_fault_plan", "load_fault_plan",
+    "worker_loss_failure",
 ]

@@ -9,7 +9,11 @@ Turns a registry snapshot + event log into the tables behind
 * per-workload analyzer time share (``span.umi.analyzer`` wall seconds
   against ``span.executor.spec`` wall seconds, per workload label) --
   the reproduction-side view of the paper's Fig. 2 overhead
-  decomposition, for the reproduction's own runtime.
+  decomposition, for the reproduction's own runtime;
+* the per-worker execution breakdown (``pool.*`` counters, labelled by
+  pool kind and worker id): leases and specs served, retried leases,
+  deadline expiries and lost-worker events per worker -- shown only
+  when a run actually dispatched through a worker pool.
 """
 
 from __future__ import annotations
@@ -129,11 +133,58 @@ def analyzer_share_table(metrics: List[Dict[str, Any]]) -> Table:
     return table
 
 
+def _counters_by_labels(metrics: List[Dict[str, Any]], name: str,
+                        labels: tuple) -> Dict[tuple, int]:
+    """Counter totals grouped by a tuple of label values."""
+    out: Dict[tuple, int] = {}
+    for m in metrics:
+        if m["kind"] != "counter" or m["name"] != name:
+            continue
+        if not all(label in m["labels"] for label in labels):
+            continue
+        key = tuple(m["labels"][label] for label in labels)
+        out[key] = out.get(key, 0) + m["value"]
+    return out
+
+
+def workers_table(metrics: List[Dict[str, Any]]) -> Optional[Table]:
+    """Per-worker execution breakdown, or ``None`` without pool data.
+
+    Rows come from the coordinator's ``pool.*`` counters, one row per
+    ``(pool kind, worker id)``: how many leases and specs the worker
+    served, how many of its leases were retry attempts, and how many
+    expired (deadline) or were lost (the worker died mid-lease).
+    """
+    key = ("pool", "worker")
+    stats = {stat: _counters_by_labels(metrics, f"pool.{stat}", key)
+             for stat in ("leases", "specs", "retries", "timeouts",
+                          "lost")}
+    workers = sorted(set().union(*(s.keys() for s in stats.values())))
+    if not workers:
+        return None
+    table = Table(
+        "Execution per worker",
+        ["pool", "worker", "leases", "specs", "retries", "timeouts",
+         "lost"],
+        ["{}", "{}", "{}", "{}", "{}", "{}", "{}"],
+    )
+    for pool, worker in workers:
+        table.add_row(pool, worker,
+                      *(stats[stat].get((pool, worker), 0)
+                        for stat in ("leases", "specs", "retries",
+                                     "timeouts", "lost")))
+    return table
+
+
 def summary_tables(metrics: List[Dict[str, Any]],
                    events: List[Dict[str, Any]]) -> List[Table]:
-    return [overview_table(metrics, events),
-            slowest_specs_table(events),
-            analyzer_share_table(metrics)]
+    tables = [overview_table(metrics, events),
+              slowest_specs_table(events),
+              analyzer_share_table(metrics)]
+    per_worker = workers_table(metrics)
+    if per_worker is not None:
+        tables.append(per_worker)
+    return tables
 
 
 def render_summary(metrics: List[Dict[str, Any]],

@@ -6,9 +6,10 @@ import pytest
 
 from repro.bench.harness import BenchResult, run_benchmark
 from repro.bench.report import (
-    REGRESSION_THRESHOLD, SCHEMA_VERSION, SPEEDUP_FLOORS, build_report,
-    check_floors, compare_reports, context_fingerprint, load_report,
-    render_report, report_results, write_report,
+    DEFAULT_EXECUTION, REGRESSION_THRESHOLD, SCHEMA_VERSION,
+    SPEEDUP_FLOORS, build_report, check_floors, compare_reports,
+    context_fingerprint, load_report, render_report, report_results,
+    write_report,
 )
 
 
@@ -136,6 +137,30 @@ class TestReport:
         current = build_report({"minisim": make_result(median=1.0)})
         # 1000x slower but measured on a different host: no failure.
         assert compare_reports(current, baseline) == []
+
+    def test_execution_recorded_with_serial_default(self):
+        report = build_report({"minisim": make_result()})
+        assert report["execution"] == DEFAULT_EXECUTION
+        custom = build_report({"minisim": make_result()},
+                              execution={"pool": "socket", "workers": 4})
+        assert custom["execution"] == {"pool": "socket", "workers": 4}
+
+    def test_execution_mismatch_skips_median_comparison(self):
+        # Timings taken under different execution backends (pool kind
+        # or worker count) never median-compare, like a host mismatch.
+        baseline = build_report({"minisim": make_result(median=0.001)})
+        current = build_report(
+            {"minisim": make_result(median=1.0)},
+            execution={"pool": "local", "workers": 4})
+        assert compare_reports(current, baseline) == []
+
+    def test_missing_execution_field_defaults_to_serial(self):
+        # Reports written before the field existed compare as serial.
+        baseline = build_report({"minisim": make_result(median=0.001)})
+        del baseline["execution"]
+        slow = build_report({"minisim": make_result(median=1.0)})
+        assert any("baseline" in f
+                   for f in compare_reports(slow, baseline))
 
     def test_quick_full_mismatch_skips_median_comparison(self):
         baseline = build_report({"minisim": make_result(median=0.001)},

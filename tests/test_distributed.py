@@ -1,0 +1,225 @@
+"""Tests for the distributed execution stack: pools and coordinator.
+
+The contract under test: every worker backend -- in-process, dedicated
+local processes, socket-connected agents -- hands the coordinator
+byte-identical sweep results, and a worker that dies while holding a
+lease is a crash fault the coordinator absorbs (the lease requeues on
+a surviving worker) rather than an error the sweep surfaces.
+
+Socket agents run as in-process ``serve()`` threads against an
+ephemeral-port pool, so no subprocesses are involved; the CI
+``distributed-smoke`` job covers real killed agent processes.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.engine import (
+    InProcessPool, LeaseExecutor, LocalProcessPool, ParallelExecutor,
+    RetryPolicy, RunSpec, SerialExecutor, SocketPool,
+    SpecExecutionError, is_failed_payload, make_executor, make_pool,
+)
+from repro.engine.protocol import WorkerHello, read_frame, write_frame
+from repro.engine.worker import serve
+
+SCALE = 0.1
+MACHINE_SCALE = 16
+
+#: Retry instantly in tests -- no wall-clock backoff.
+NO_BACKOFF = dict(backoff_base=0.0, sleep=lambda _s: None)
+
+
+def native_spec(**kwargs):
+    return RunSpec.native("181.mcf", SCALE, "pentium4", MACHINE_SCALE,
+                          **kwargs)
+
+
+def umi_spec(**kwargs):
+    return RunSpec.umi("181.mcf", SCALE, "pentium4", MACHINE_SCALE,
+                       **kwargs)
+
+
+def sweep_specs():
+    return [native_spec(), native_spec(hw_prefetch=True), umi_spec()]
+
+
+def canonical(payloads):
+    """Payloads as canonical JSON -- the store's (and wire's) currency.
+
+    Socket transport rebuilds tuples as lists, so equality is defined
+    on the serialized form, exactly as the persistent store sees it.
+    """
+    return json.dumps(payloads, sort_keys=True)
+
+
+def serial_sweep():
+    return SerialExecutor().execute(sweep_specs())
+
+
+def start_agent(host, port, name):
+    """A real worker agent serving leases from a daemon thread."""
+    thread = threading.Thread(
+        target=serve, args=(host, port), kwargs={"name": name},
+        daemon=True)
+    thread.start()
+    return thread
+
+
+def doomed_agent(host, port, name):
+    """An agent that registers, accepts one lease, then dies silently.
+
+    Closing the connection without a LeaseResult is exactly what a
+    SIGKILLed worker process looks like to the coordinator.
+    """
+    def run():
+        sock = socket.create_connection((host, port))
+        stream = sock.makefile("rwb")
+        write_frame(stream, WorkerHello(worker=name, pid=0, host="test"))
+        read_frame(stream)  # welcome
+        read_frame(stream)  # the lease it will never finish
+        stream.close()
+        sock.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestInProcessPool:
+    def test_sweep_matches_serial(self):
+        executor = LeaseExecutor(InProcessPool())
+        payloads = executor.execute(sweep_specs())
+        executor.close()
+        assert canonical(payloads) == canonical(serial_sweep())
+        assert executor.runs_executed == 3
+        assert executor.worker_stats["inprocess/0"]["specs"] == 3
+        assert executor.worker_stats["inprocess/0"]["leases"] == 3
+
+
+class TestLocalProcessPool:
+    def test_sweep_matches_serial_byte_identically(self):
+        executor = ParallelExecutor(jobs=2)
+        payloads = executor.execute(sweep_specs())
+        executor.close()
+        assert canonical(payloads) == canonical(serial_sweep())
+        stats = executor.worker_stats
+        assert set(stats) <= {"local/0", "local/1"}
+        assert sum(s["specs"] for s in stats.values()) == 3
+
+
+class TestSocketPool:
+    def test_two_agent_sweep_matches_serial(self):
+        pool = SocketPool(min_workers=2, wait_s=30.0)
+        host, port = pool.bind()
+        agents = [start_agent(host, port, "a"),
+                  start_agent(host, port, "b")]
+        executor = LeaseExecutor(pool)
+        try:
+            payloads = executor.execute(sweep_specs())
+        finally:
+            executor.close()
+        for agent in agents:
+            agent.join(timeout=10.0)
+        assert canonical(payloads) == canonical(serial_sweep())
+        assert executor.runs_executed == 3
+        stats = executor.worker_stats
+        assert set(stats) <= {"a", "b"}
+        assert sum(s["specs"] for s in stats.values()) == 3
+        assert sum(s["lost"] for s in stats.values()) == 0
+
+    def test_worker_death_mid_lease_requeues_on_second_worker(self):
+        pool = SocketPool(min_workers=2, wait_s=30.0)
+        host, port = pool.bind()
+        # Ids sort "a" < "b", so the first lease deterministically
+        # lands on the doomed agent.
+        doomed = doomed_agent(host, port, "a")
+        survivor = start_agent(host, port, "b")
+        executor = LeaseExecutor(
+            pool, retry=RetryPolicy(max_attempts=2, **NO_BACKOFF))
+        try:
+            payloads = executor.execute(sweep_specs())
+        finally:
+            executor.close()
+        doomed.join(timeout=10.0)
+        survivor.join(timeout=10.0)
+        # The sweep absorbed the death: nothing lost, nothing
+        # duplicated, results byte-identical to a serial run.
+        assert canonical(payloads) == canonical(serial_sweep())
+        assert executor.runs_executed == 3
+        assert executor.runs_failed == 0
+        assert executor.worker_stats["a"]["lost"] == 1
+        assert executor.worker_stats["b"]["specs"] == 3
+        assert executor.worker_stats["b"]["retries"] >= 1
+
+    def test_lost_lease_without_retry_is_a_failed_run(self):
+        pool = SocketPool(min_workers=1, wait_s=30.0)
+        host, port = pool.bind()
+        doomed = doomed_agent(host, port, "a")
+        executor = LeaseExecutor(
+            pool, retry=RetryPolicy(max_attempts=1), strict=False)
+        try:
+            payloads = executor.execute([native_spec()])
+        finally:
+            executor.close()
+        doomed.join(timeout=10.0)
+        assert executor.runs_failed == 1
+        assert is_failed_payload(payloads[0])
+        assert payloads[0]["reason"] == "error"
+        assert "WorkerCrashFault" in payloads[0]["error"]
+        assert executor.worker_stats["a"]["lost"] == 1
+
+    def test_lost_lease_without_retry_raises_in_strict_mode(self):
+        pool = SocketPool(min_workers=1, wait_s=30.0)
+        host, port = pool.bind()
+        doomed_agent(host, port, "a")
+        executor = LeaseExecutor(
+            pool, retry=RetryPolicy(max_attempts=1), strict=True)
+        try:
+            with pytest.raises(SpecExecutionError,
+                               match="WorkerCrashFault"):
+                executor.execute([native_spec()])
+        finally:
+            executor.close()
+
+    def test_start_times_out_without_enough_agents(self):
+        pool = SocketPool(min_workers=1, wait_s=0.2)
+        pool.bind()
+        try:
+            with pytest.raises(TimeoutError):
+                pool.start()
+        finally:
+            pool.close()
+
+
+class TestPoolSelection:
+    def test_workers_spec_selects_a_socket_pool(self):
+        pool = make_pool(workers="2@127.0.0.1:0")
+        assert isinstance(pool, SocketPool)
+        assert pool.min_workers == 2
+        assert (pool.host, pool.port) == ("127.0.0.1", 0)
+        plain = make_pool(workers="10.0.0.5:7777")
+        assert isinstance(plain, SocketPool)
+        assert plain.min_workers == 1
+        assert (plain.host, plain.port) == ("10.0.0.5", 7777)
+
+    def test_jobs_pick_inprocess_or_local(self):
+        assert isinstance(make_pool(jobs=1), InProcessPool)
+        local = make_pool(jobs=4)
+        assert isinstance(local, LocalProcessPool)
+        assert local.capacity == 4
+
+    def test_invalid_workers_spec_rejected(self):
+        for spec in ("nonsense", "2@nonsense", ":7777", "host:"):
+            with pytest.raises(ValueError):
+                make_pool(workers=spec)
+
+    def test_make_executor_workers_spec_builds_a_coordinator(self):
+        executor = make_executor(workers="127.0.0.1:0")
+        assert isinstance(executor, LeaseExecutor)
+        assert executor.pool_kind == "socket"
+        executor.close()
+        assert isinstance(make_executor(jobs=1), SerialExecutor)
+        assert isinstance(make_executor(jobs=2), ParallelExecutor)

@@ -169,6 +169,53 @@ class TestResultStore:
         assert len(entries) == len(store) == 1
         assert entries[0][0] == spec.to_dict()
 
+    def test_concurrent_writers_never_tear_a_record(self, tmp_path):
+        # Multiple worker processes checkpointing the same result into
+        # one shared store (the distributed sweep's normal state) must
+        # never expose a torn file: save() publishes via tempfile +
+        # os.replace, so readers only ever see complete records.
+        import multiprocessing
+
+        spec = native_spec()
+        payload = execute_spec_payload(spec)
+        ctx = multiprocessing.get_context("fork")
+
+        def hammer():
+            writer_store = ResultStore(tmp_path)
+            for _ in range(5):
+                writer_store.save(spec, payload)
+
+        writers = [ctx.Process(target=hammer) for _ in range(6)]
+        for proc in writers:
+            proc.start()
+        for proc in writers:
+            proc.join()
+            assert proc.exitcode == 0
+        store = ResultStore(tmp_path)
+        assert store.load(spec) == payload
+        report = store.fsck()
+        assert report.problems == 0
+        assert report.valid == 1
+        assert not list(tmp_path.glob("*.tmp"))  # no droppings left
+
+    def test_fsck_reports_and_sweeps_orphaned_tmp_files(self, tmp_path):
+        # A writer that died between mkstemp and os.replace leaves a
+        # *.tmp dropping: invisible to loads, but fsck surfaces it and
+        # repair quarantines it.
+        store = ResultStore(tmp_path)
+        spec = native_spec()
+        store.save(spec, execute_spec_payload(spec))
+        (tmp_path / "deadbeef.tmp").write_text('{"half a rec')
+        report = store.fsck()
+        assert report.orphaned == ["deadbeef.tmp"]
+        assert report.problems == 1
+        assert "orphaned-tmp" in report.render()
+        repaired = store.fsck(repair=True)
+        assert repaired.quarantined == ["deadbeef.tmp"]
+        assert (tmp_path / "quarantine" / "deadbeef.tmp").exists()
+        assert store.fsck().problems == 0
+        assert store.load(spec) is not None  # the real record survived
+
 
 class TestExecutionEngine:
     def test_memoizes_by_identity(self):

@@ -281,7 +281,7 @@ class TestFusedMemberAttribution:
         def explode(*_args, **_kwargs):
             raise RuntimeError("shared boom")
 
-        monkeypatch.setattr("repro.engine.executor.run_native_fused",
+        monkeypatch.setattr("repro.engine.attempt.run_native_fused",
                             explode)
         group = self._fused_group()
         ex = SerialExecutor(retry=policy(), strict=True)

@@ -1,0 +1,157 @@
+"""Tests for the coordinator/worker lease protocol.
+
+Covers the wire contract the distributed execution stack depends on:
+message round-trips through the JSON-line framing, hard rejection of
+protocol-version drift and malformed frames, the truncated-frame vs
+clean-EOF distinction (a writer that died mid-message vs a worker
+that went away between leases), and the Lease <-> fusion-group
+round-trip that lets a worker rebuild its work from the frame alone.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.engine import RunSpec
+from repro.engine.protocol import (
+    MAX_FRAME_BYTES, MESSAGE_TYPES, PROTOCOL_VERSION, ConnectionClosed,
+    Lease, LeaseResult, ProtocolError, Shutdown, WorkerHello,
+    WorkerWelcome, decode_frame, encode_frame, read_frame, write_frame,
+)
+
+SCALE = 0.1
+MACHINE_SCALE = 16
+
+
+def native_spec(**kwargs):
+    return RunSpec.native("181.mcf", SCALE, "pentium4", MACHINE_SCALE,
+                          **kwargs)
+
+
+def sample_messages():
+    return [
+        WorkerHello(worker="a", pid=42, host="node1"),
+        WorkerWelcome(worker="a"),
+        Lease(lease_id="L000001", attempt=2,
+              specs=(native_spec().to_dict(),),
+              digests=(native_spec().digest(),),
+              deadline_s=30.0, fault_plan={"seed": 7, "rules": []},
+              telemetry=True),
+        LeaseResult(lease_id="L000001", worker="a", status="ok",
+                    value=[{"kind": "run_outcome"}],
+                    snapshot={"counters": []}),
+        Shutdown(reason="sweep complete"),
+    ]
+
+
+class TestFraming:
+    def test_every_message_type_round_trips(self):
+        for message in sample_messages():
+            assert decode_frame(encode_frame(message)) == message
+
+    def test_frames_are_newline_terminated_json(self):
+        frame = encode_frame(WorkerHello(worker="a"))
+        assert frame.endswith(b"\n")
+        payload = json.loads(frame)
+        assert payload["v"] == PROTOCOL_VERSION
+        assert payload["type"] == WorkerHello.TYPE
+
+    def test_registry_covers_every_message(self):
+        assert set(MESSAGE_TYPES) == {
+            m.TYPE for m in (WorkerHello, WorkerWelcome, Lease,
+                             LeaseResult, Shutdown)}
+
+    def test_version_mismatch_rejected(self):
+        frame = json.loads(encode_frame(WorkerHello(worker="a")))
+        frame["v"] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError, match="version mismatch"):
+            decode_frame(json.dumps(frame).encode() + b"\n")
+
+    def test_missing_version_rejected(self):
+        frame = json.loads(encode_frame(WorkerHello(worker="a")))
+        del frame["v"]
+        with pytest.raises(ProtocolError, match="version mismatch"):
+            decode_frame(json.dumps(frame).encode() + b"\n")
+
+    def test_unknown_type_rejected(self):
+        line = json.dumps({"v": PROTOCOL_VERSION,
+                           "type": "frobnicate"}).encode() + b"\n"
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            decode_frame(line)
+
+    def test_unparseable_and_non_object_frames_rejected(self):
+        with pytest.raises(ProtocolError, match="unparseable"):
+            decode_frame(b"{not json\n")
+        with pytest.raises(ProtocolError, match="not an object"):
+            decode_frame(b"[1, 2, 3]\n")
+
+    def test_unexpected_field_rejected(self):
+        frame = json.loads(encode_frame(Shutdown(reason="x")))
+        frame["surprise"] = 1
+        with pytest.raises(ProtocolError, match="malformed"):
+            decode_frame(json.dumps(frame).encode() + b"\n")
+
+
+class TestStreamFraming:
+    def test_write_then_read_round_trips_a_stream(self):
+        stream = io.BytesIO()
+        for message in sample_messages():
+            write_frame(stream, message)
+        stream.seek(0)
+        assert [read_frame(stream)
+                for _ in sample_messages()] == sample_messages()
+
+    def test_clean_eof_is_connection_closed(self):
+        # EOF on a frame boundary = the peer went away between leases.
+        with pytest.raises(ConnectionClosed):
+            read_frame(io.BytesIO(b""))
+
+    def test_truncated_frame_is_not_connection_closed(self):
+        # A line missing its terminator = the writer died mid-message.
+        # That must NOT look like a clean disconnect.
+        frame = encode_frame(LeaseResult(lease_id="L1", worker="a"))
+        stream = io.BytesIO(frame[:len(frame) // 2])
+        with pytest.raises(ProtocolError, match="truncated") as err:
+            read_frame(stream)
+        assert not isinstance(err.value, ConnectionClosed)
+
+    def test_oversized_frame_rejected(self, monkeypatch):
+        monkeypatch.setattr("repro.engine.protocol.MAX_FRAME_BYTES", 64)
+        big = encode_frame(Shutdown(reason="x" * 200))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            read_frame(io.BytesIO(big))
+
+    def test_max_frame_bytes_is_generous(self):
+        # Real lease results (payload lists + telemetry) are a few KB;
+        # the bound exists to reject corrupt peers, not big results.
+        assert MAX_FRAME_BYTES >= 2 ** 20
+
+
+class TestLeaseGroupRoundTrip:
+    def test_for_group_then_group_rebuilds_specs(self):
+        group = [native_spec(), native_spec(hw_prefetch=True)]
+        lease = Lease.for_group("L000001", group, attempt=3,
+                                deadline_s=None, fault_plan=None,
+                                telemetry=False)
+        assert lease.group() == group
+        assert lease.digests == tuple(s.digest() for s in group)
+        assert lease.attempt == 3
+
+    def test_group_survives_the_wire(self):
+        group = [native_spec()]
+        lease = Lease.for_group("L000002", group, attempt=1,
+                                deadline_s=12.5,
+                                fault_plan={"seed": 3, "rules": []},
+                                telemetry=True)
+        wired = decode_frame(encode_frame(lease))
+        assert wired.group() == group
+        assert wired.deadline_s == 12.5
+        assert wired.fault_plan == {"seed": 3, "rules": []}
+
+    def test_describe_names_the_essentials(self):
+        lease = Lease.for_group("L000007", [native_spec()], attempt=2,
+                                deadline_s=None, fault_plan=None,
+                                telemetry=False)
+        label = lease.describe()
+        assert "L000007" in label and "attempt 2" in label

@@ -196,7 +196,15 @@ class TestParallelMergeEqualsSerial:
         parallel = global_telemetry.snapshot()
 
         assert executor.runs_executed == 2
-        assert counter_values(parallel) == counter_values(serial)
+        # The pool.* namespace attributes leases to worker ids -- it is
+        # deliberately backend-specific (a serial run has no workers),
+        # so the serial==parallel contract covers everything else.
+        drop_pool = lambda counters: {
+            key: value for key, value in counters.items()
+            if not key[0].startswith("pool.")
+        }
+        assert drop_pool(counter_values(parallel)) \
+            == drop_pool(counter_values(serial))
         assert timer_counts(parallel) == timer_counts(serial)
         # Same events in the same (submission) order, modulo timings
         # and the worker source tag.
