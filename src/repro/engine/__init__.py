@@ -14,32 +14,34 @@ socket-connected standalone agents).  See the "Execution engine" and
 from .attempt import attempt_group, run_lease
 from .engine import ExecutionEngine
 from .executor import (
-    FailedRun, InterruptReport, LeaseExecutor, ParallelExecutor,
-    RetryPolicy, SerialExecutor, SpecExecutionError, execute_spec,
-    execute_group_payloads, execute_spec_payload, is_failed_payload,
-    make_executor,
+    DrainInterrupt, FailedRun, InterruptReport, LeaseExecutor,
+    ParallelExecutor, RetryPolicy, SerialExecutor, SpecExecutionError,
+    execute_spec, execute_group_payloads, execute_spec_payload,
+    is_failed_payload, make_executor,
 )
 from .fusion import fusion_key, plan_groups
+from .journal import JOURNAL_NAME, LeaseJournal
 from .pools import (
     InProcessPool, LocalProcessPool, PoolEvent, SocketPool, WorkerPool,
     make_pool,
 )
 from .protocol import (
-    PROTOCOL_VERSION, ConnectionClosed, Lease, LeaseResult,
-    ProtocolError, Shutdown, WorkerHello, WorkerWelcome,
+    PROTOCOL_VERSION, ConnectionClosed, Heartbeat, HeartbeatAck, Lease,
+    LeaseResult, ProtocolError, Shutdown, WorkerHello, WorkerWelcome,
 )
 from .spec import RunSpec, SPEC_MODES
 from .store import FsckReport, ResultStore
 
 __all__ = [
-    "ConnectionClosed", "ExecutionEngine", "FailedRun", "FsckReport",
-    "InProcessPool", "InterruptReport", "Lease", "LeaseExecutor",
-    "LeaseResult", "LocalProcessPool", "PROTOCOL_VERSION",
-    "ParallelExecutor", "PoolEvent", "ProtocolError", "ResultStore",
-    "RetryPolicy", "RunSpec", "SPEC_MODES", "SerialExecutor",
-    "Shutdown", "SocketPool", "SpecExecutionError", "WorkerHello",
-    "WorkerPool", "WorkerWelcome", "attempt_group",
-    "execute_group_payloads", "execute_spec", "execute_spec_payload",
-    "fusion_key", "is_failed_payload", "make_executor", "make_pool",
-    "plan_groups", "run_lease",
+    "ConnectionClosed", "DrainInterrupt", "ExecutionEngine",
+    "FailedRun", "FsckReport", "Heartbeat", "HeartbeatAck",
+    "InProcessPool", "InterruptReport", "JOURNAL_NAME", "Lease",
+    "LeaseExecutor", "LeaseJournal", "LeaseResult", "LocalProcessPool",
+    "PROTOCOL_VERSION", "ParallelExecutor", "PoolEvent",
+    "ProtocolError", "ResultStore", "RetryPolicy", "RunSpec",
+    "SPEC_MODES", "SerialExecutor", "Shutdown", "SocketPool",
+    "SpecExecutionError", "WorkerHello", "WorkerPool", "WorkerWelcome",
+    "attempt_group", "execute_group_payloads", "execute_spec",
+    "execute_spec_payload", "fusion_key", "is_failed_payload",
+    "make_executor", "make_pool", "plan_groups", "run_lease",
 ]

@@ -39,6 +39,7 @@ from .executor import (
     FailedRun, RetryPolicy, is_failed_payload, make_executor,
 )
 from .fusion import plan_groups
+from .journal import JOURNAL_NAME, LeaseJournal
 from .spec import RunSpec
 from .store import ResultStore
 
@@ -58,6 +59,14 @@ class ExecutionEngine:
             else make_executor(jobs, retry=retry, strict=strict,
                                workers=workers)
         self.store = store
+        self.journal: Optional[LeaseJournal] = None
+        if store is not None and hasattr(self.executor, "journal"):
+            # Coordinator crash recovery: grant/complete/fail events
+            # land in a JSONL journal beside the store, so a restarted
+            # coordinator's --resume recovers per-group attempt
+            # budgets and continues the fencing-epoch sequence.
+            self.journal = LeaseJournal(str(store.root / JOURNAL_NAME))
+            self.executor.journal = self.journal
         #: Specs handed to the executor this session (memo/store hits
         #: excluded, failed specs included) -- the spec-level
         #: counterpart of the executor's per-*group* ``runs_executed``.
@@ -175,6 +184,8 @@ class ExecutionEngine:
         closer = getattr(self.executor, "close", None)
         if closer is not None:
             closer()
+        if self.journal is not None:
+            self.journal.close()
 
     # -- archiving -------------------------------------------------------------
 

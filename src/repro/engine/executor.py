@@ -101,7 +101,21 @@ OnResult = Callable[[int, Sequence[RunSpec], List[Dict[str, Any]]], None]
 
 #: Per-worker tallies tracked by the coordinator (and mirrored into
 #: the ``pool.*`` labelled telemetry counters).
-WORKER_STAT_FIELDS = ("leases", "specs", "retries", "timeouts", "lost")
+WORKER_STAT_FIELDS = ("leases", "specs", "retries", "timeouts", "lost",
+                      "heartbeats_missed", "rejoins", "stale")
+
+
+class DrainInterrupt(KeyboardInterrupt):
+    """A graceful SIGTERM drain stopped the sweep mid-wavefront.
+
+    Raised by an executor whose :meth:`request_drain` was called (the
+    CLI wires it to SIGTERM): in-flight leases were finished and
+    checkpointed, no new leases were granted, and the remaining groups
+    are left for ``--resume``.  Subclasses ``KeyboardInterrupt`` so
+    every existing interrupt path -- checkpoint salvage, telemetry,
+    ``last_interrupt`` -- handles a drain identically; callers that
+    care (the CLI banner and exit code) catch it first.
+    """
 
 
 class SpecExecutionError(RuntimeError):
@@ -294,6 +308,8 @@ def _execute_groups_serially(executor, groups: List[List[RunSpec]],
     completed = 0
     try:
         for index, group in enumerate(groups):
+            if getattr(executor, "_drain", False):
+                raise DrainInterrupt("drain requested")
             status, value, attempts = _resolve_group_serially(
                 group, executor.retry, telemetry)
             if status == "ok":
@@ -331,10 +347,15 @@ class SerialExecutor:
         self.runs_failed = 0
         self.last_interrupt: Optional[InterruptReport] = None
         self.worker_stats: Dict[str, Dict[str, int]] = {}
+        self._drain = False
 
     def execute(self, specs: Sequence[RunSpec]) -> List[Dict[str, Any]]:
         results = self.execute_groups([[spec] for spec in specs])
         return [payloads[0] for payloads in results]
+
+    def request_drain(self) -> None:
+        """Finish the group in flight, checkpoint it, then stop."""
+        self._drain = True
 
     def execute_groups(self, groups: Sequence[Sequence[RunSpec]],
                        on_result: Optional[OnResult] = None
@@ -378,9 +399,16 @@ class LeaseExecutor:
         self.runs_executed = 0
         self.runs_failed = 0
         self.last_interrupt: Optional[InterruptReport] = None
-        #: worker id -> {leases, specs, retries, timeouts, lost}
+        #: worker id -> one tally per :data:`WORKER_STAT_FIELDS` entry
         self.worker_stats: Dict[str, Dict[str, int]] = {}
         self._lease_seq = 0
+        self._drain = False
+        #: Optional :class:`~repro.engine.journal.LeaseJournal` (wired
+        #: by the engine when a store is configured): grants, completes
+        #: and final failures are journaled so a restarted
+        #: coordinator's ``--resume`` recovers per-group attempt
+        #: budgets and continues the fencing-epoch sequence.
+        self.journal = None
 
     @property
     def pool_kind(self) -> str:
@@ -390,6 +418,20 @@ class LeaseExecutor:
         """Run specs as singleton groups (no fusion)."""
         results = self.execute_groups([[spec] for spec in specs])
         return [payloads[0] for payloads in results]
+
+    def request_drain(self) -> None:
+        """Graceful SIGTERM drain: no new leases, finish what flies.
+
+        In-flight leases run to completion and checkpoint; waiting
+        groups stay pending for ``--resume``; the wavefront then
+        raises :class:`DrainInterrupt`.  A socket pool is also
+        detached, so its agents are severed without a shutdown frame
+        and their rejoin loops can find the replacement coordinator.
+        """
+        self._drain = True
+        detach = getattr(self.pool, "detach", None)
+        if detach is not None:
+            detach()
 
     def close(self) -> None:
         self.pool.close()
@@ -419,10 +461,12 @@ class LeaseExecutor:
         self._lease_seq += 1
         return Lease.for_group(
             f"L{self._lease_seq:06d}", group, attempt,
-            self.retry.timeout, plan_dict, telemetry_enabled)
+            self.retry.timeout, plan_dict, telemetry_enabled,
+            epoch=self._lease_seq)
 
     def _run_wave(self, groups: List[List[RunSpec]], pending: List[int],
-                  attempt: int, plan_dict: Optional[Dict[str, Any]],
+                  attempts_used: Dict[int, int], keys: List[str],
+                  plan_dict: Optional[Dict[str, Any]],
                   telemetry, outcomes: Dict[int, Any],
                   expired: Dict[int, str], lost: Dict[int, str]) -> None:
         """One retry wave: every pending group leased exactly once.
@@ -430,24 +474,49 @@ class LeaseExecutor:
         Leases are submitted in submission order while the pool has
         capacity; each lease's deadline clock starts when its worker
         does, so time spent waiting for a free slot never counts
-        against it.  Raw pool events land incrementally in
-        ``outcomes`` (index -> ``(status, value, snapshot, worker)``),
-        ``expired`` and ``lost`` (index -> worker id), so the caller
-        can salvage completed groups when the wave is interrupted.
+        against it.  A grant consumes the group's next attempt (and is
+        journaled, so a coordinator that dies after granting does not
+        hand the group a fresh budget on restart).  Raw pool events
+        land incrementally in ``outcomes`` (index -> ``(status, value,
+        snapshot, worker)``), ``expired`` and ``lost`` (index ->
+        worker id), so the caller can salvage completed groups when
+        the wave is interrupted; liveness-only events (rejoins, missed
+        heartbeats, fenced stale results) are counted into telemetry
+        here and never touch group state.  A drain request stops new
+        submissions but waits out everything already in flight.
         """
         pool = self.pool
         waiting = list(pending)
         inflight: Dict[str, int] = {}
         try:
-            while waiting or inflight:
-                while waiting and pool.has_capacity():
+            while inflight or (waiting and not self._drain):
+                while (waiting and not self._drain
+                        and pool.has_capacity()):
                     index = waiting.pop(0)
+                    attempt = attempts_used[index] + 1
                     lease = self._next_lease(
                         groups[index], attempt, plan_dict,
                         telemetry.enabled)
+                    if self.journal is not None:
+                        self.journal.record_grant(
+                            keys[index], lease.epoch, attempt,
+                            lease.lease_id)
+                    attempts_used[index] = attempt
                     pool.submit(lease)
                     inflight[lease.lease_id] = index
-                for event in pool.wait():
+                for event in pool.wait(timeout=1.0):
+                    if event.kind == "rejoin":
+                        self._attribute(telemetry, event.worker,
+                                        "rejoins")
+                        continue
+                    if event.kind == "missed_heartbeat":
+                        self._attribute(telemetry, event.worker,
+                                        "heartbeats_missed")
+                        continue
+                    if event.kind == "stale":
+                        telemetry.count("executor.stale_results_rejected")
+                        self._attribute(telemetry, event.worker, "stale")
+                        continue
                     index = inflight.pop(event.lease_id, None)
                     if index is None:
                         continue
@@ -458,7 +527,7 @@ class LeaseExecutor:
                         self._attribute(telemetry, event.worker, "leases")
                         self._attribute(telemetry, event.worker, "specs",
                                         n=group_size)
-                        if attempt > 1:
+                        if attempts_used[index] > 1:
                             self._attribute(telemetry, event.worker,
                                             "retries")
                     elif event.kind == "expired":
@@ -475,7 +544,15 @@ class LeaseExecutor:
     def execute_groups(self, groups: Sequence[Sequence[RunSpec]],
                        on_result: Optional[OnResult] = None
                        ) -> List[List[Dict[str, Any]]]:
-        """Lease fusion groups to the pool; one execution per group."""
+        """Lease fusion groups to the pool; one execution per group.
+
+        Each group carries its own attempt budget (seeded from the
+        lease journal's dangling grants when resuming after a
+        coordinator crash, clamped so every resumed group keeps at
+        least one attempt here); a group that exhausts its budget
+        resolves as a final failure immediately, while the rest keep
+        retrying in waves.
+        """
         self.last_interrupt = None
         groups = [list(group) for group in groups]
         if not groups:
@@ -485,22 +562,38 @@ class LeaseExecutor:
         policy = self.retry
         plan = active_fault_plan()
         plan_dict = plan.to_dict() if plan is not None else None
+        keys = ["+".join(spec.digest() for spec in group)
+                for group in groups]
         results: List[Optional[List[Dict[str, Any]]]] = [None] * len(groups)
         failures: Dict[int, Dict[str, Any]] = {}
         completed = 0
+        attempts_used: Dict[int, int] = {}
+        for index in range(len(groups)):
+            prior = self.journal.prior_attempts(keys[index]) \
+                if self.journal is not None else 0
+            attempts_used[index] = min(prior, policy.max_attempts - 1)
+        if self.journal is not None:
+            # Continue the fencing sequence past anything a dead
+            # coordinator granted, so this coordinator's epochs (and
+            # lease ids) can never collide with a zombie's.
+            self._lease_seq = max(self._lease_seq,
+                                  self.journal.max_epoch)
         try:
             pending = list(range(len(groups)))
-            attempt = 1
-            while pending and attempt <= policy.max_attempts:
-                if attempt > 1:
+            wave = 0
+            while pending and not self._drain:
+                wave += 1
+                if wave > 1:
                     telemetry.count("executor.retries", n=len(pending))
-                    policy.sleep(policy.backoff(attempt - 1))
+                    policy.sleep(policy.backoff(wave - 1))
                 outcomes: Dict[int, Any] = {}
                 expired: Dict[int, str] = {}
                 lost: Dict[int, str] = {}
+                exhausted: List[int] = []
                 try:
-                    self._run_wave(groups, pending, attempt, plan_dict,
-                                   telemetry, outcomes, expired, lost)
+                    self._run_wave(groups, pending, attempts_used, keys,
+                                   plan_dict, telemetry, outcomes,
+                                   expired, lost)
                 finally:
                     # Resolve in submission order -- even when the wave
                     # was interrupted -- so telemetry merges
@@ -513,50 +606,68 @@ class LeaseExecutor:
                             telemetry.count("executor.timeouts")
                             failures[index] = _timeout_failure(
                                 groups[index], policy)
-                            still_pending.append(index)
-                            continue
-                        if index in lost:
+                        elif index in lost:
                             failures[index] = worker_loss_failure(
                                 len(groups[index]), lost[index],
                                 pool_kind=self.pool.kind)
+                        elif index not in outcomes:
+                            # interrupted or drained before an outcome
                             still_pending.append(index)
                             continue
-                        if index not in outcomes:  # interrupted mid-wave
-                            still_pending.append(index)
-                            continue
-                        status, value, snapshot, worker = outcomes[index]
-                        if snapshot is not None:
-                            telemetry.merge(
-                                snapshot,
-                                source=f"{self.pool.kind}:{worker}")
-                        if status == "ok":
-                            results[index] = value
-                            self.runs_executed += 1
-                            completed += 1
-                            failures.pop(index, None)
-                            if on_result is not None:
-                                on_result(index, groups[index], value)
                         else:
+                            status, value, snapshot, worker = \
+                                outcomes[index]
+                            if snapshot is not None:
+                                telemetry.merge(
+                                    snapshot,
+                                    source=f"{self.pool.kind}:{worker}")
+                            if status == "ok":
+                                results[index] = value
+                                self.runs_executed += 1
+                                completed += 1
+                                failures.pop(index, None)
+                                if self.journal is not None:
+                                    self.journal.record_complete(
+                                        keys[index], attempts_used[index])
+                                if on_result is not None:
+                                    on_result(index, groups[index],
+                                              value)
+                                continue
                             failures[index] = value
+                        if attempts_used[index] >= policy.max_attempts:
+                            exhausted.append(index)
+                        else:
                             still_pending.append(index)
                     pending = still_pending
-                attempt += 1
-            if pending and self.strict:
-                first = pending[0]
-                raise _spec_error(groups[first], failures[first],
-                                  policy.max_attempts)
-            for index in pending:
-                payloads = _failed_payloads(
-                    groups[index], failures[index], policy.max_attempts)
-                results[index] = payloads
-                self.runs_failed += 1
-                completed += 1
-                if on_result is not None:
-                    on_result(index, groups[index], payloads)
+                # Final failures resolve here, outside the finally, so
+                # an interrupt unwinding through it is never replaced
+                # by a strict-mode error.
+                for index in exhausted:
+                    if self.strict:
+                        raise _spec_error(groups[index], failures[index],
+                                          attempts_used[index])
+                    payloads = _failed_payloads(
+                        groups[index], failures[index],
+                        attempts_used[index])
+                    results[index] = payloads
+                    self.runs_failed += 1
+                    completed += 1
+                    if self.journal is not None:
+                        self.journal.record_fail(keys[index])
+                    if on_result is not None:
+                        on_result(index, groups[index], payloads)
+            if pending and self._drain:
+                raise DrainInterrupt(
+                    f"drained with {len(pending)} group(s) pending")
+            if self.journal is not None:
+                # Clean end of sweep: nothing dangles, budgets must
+                # not leak into unrelated sweeps.
+                self.journal.compact()
         except KeyboardInterrupt:
-            # _run_wave has already aborted in-flight leases; completed
-            # groups stay counted and their telemetry stays merged, so
-            # a resumed sweep picks up exactly where this one stopped.
+            # _run_wave has already aborted in-flight leases (a drain
+            # waited them out instead); completed groups stay counted
+            # and their telemetry stays merged, so a resumed sweep
+            # picks up exactly where this one stopped.
             self.last_interrupt = InterruptReport(completed,
                                                   len(groups))
             telemetry.event("executor.interrupted",

@@ -1,0 +1,142 @@
+"""The lease journal: coordinator crash recovery for attempt budgets.
+
+The :class:`~repro.engine.store.ResultStore` already makes *results*
+durable -- a restarted coordinator's ``--resume`` re-plans exactly the
+specs with no stored record.  What the store cannot remember is the
+*attempt accounting*: how many times a group was already granted to a
+worker before the coordinator died.  Without it, a crash-looping group
+gets a fresh retry budget on every coordinator restart and a sweep
+that should fail loudly instead retries forever.
+
+:class:`LeaseJournal` closes that gap with an append-only JSON-lines
+file beside the store (``lease-journal.jsonl`` in the store root --
+invisible to the store itself, which only globs ``*.json``).  The
+coordinator appends one record per lease-lifecycle event:
+
+``grant``
+    A lease for group ``key`` was submitted to the pool, with its
+    1-based ``attempt`` and fencing ``epoch``.
+``complete``
+    The group reached a final successful result (committed via the
+    checkpoint callback, so the store has it too).
+``fail``
+    The group exhausted its retry budget and was resolved as a
+    :class:`~repro.engine.executor.FailedRun`.  Failing *clears* the
+    key: a later resume-after-failure run retries the group with a
+    fresh budget, matching the store's treatment of failed records.
+
+Recovery replays the file: a *dangling* grant -- one with no
+``complete``/``fail`` after it -- is an attempt a dead coordinator
+spent, and :meth:`prior_attempts` reports it so the restarted
+coordinator's budgets pick up where the old ones stopped (clamped by
+the executor so every resumed group keeps at least one attempt).  The
+maximum granted ``epoch`` is recovered too, so a restarted
+coordinator's fencing tokens and lease ids never collide with ones a
+zombie worker may still answer to.
+
+Durability is process-crash level (flush per record, no fsync): the
+journal guards against SIGKILLed coordinators, not power loss -- the
+store's fsync'd records remain the source of truth for results.  A
+torn final line (coordinator died mid-append) is ignored on replay.
+A sweep that ends cleanly :meth:`compact`\\ s the journal back to
+empty, so budgets never leak across unrelated sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, IO, Optional
+
+#: The journal's file name inside the store root.
+JOURNAL_NAME = "lease-journal.jsonl"
+
+
+class LeaseJournal:
+    """Append-only grant/complete/fail journal for one store."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._handle: Optional[IO[str]] = None
+        #: group key -> dangling grant count (grants since the last
+        #: complete/fail), recovered from the file on open.
+        self._dangling: Dict[str, int] = {}
+        self.max_epoch = 0
+        self._replay()
+
+    # -- recovery ------------------------------------------------------
+
+    def _replay(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                if not line.endswith("\n"):
+                    break  # torn final append from a dying coordinator
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    break
+                if not isinstance(record, dict):
+                    break
+                self._apply(record)
+
+    def _apply(self, record: Dict[str, Any]) -> None:
+        event = record.get("event")
+        key = record.get("key")
+        if not isinstance(key, str):
+            return
+        if event == "grant":
+            self._dangling[key] = self._dangling.get(key, 0) + 1
+            epoch = record.get("epoch")
+            if isinstance(epoch, int):
+                self.max_epoch = max(self.max_epoch, epoch)
+        elif event in ("complete", "fail"):
+            self._dangling.pop(key, None)
+
+    def prior_attempts(self, key: str) -> int:
+        """Attempts a previous coordinator spent on ``key`` (dangling)."""
+        return self._dangling.get(key, 0)
+
+    # -- appends -------------------------------------------------------
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        self._apply(record)
+
+    def record_grant(self, key: str, epoch: int, attempt: int,
+                     lease_id: str) -> None:
+        self._append({"event": "grant", "key": key, "epoch": epoch,
+                      "attempt": attempt, "lease_id": lease_id})
+
+    def record_complete(self, key: str, epoch: int) -> None:
+        self._append({"event": "complete", "key": key, "epoch": epoch})
+
+    def record_fail(self, key: str) -> None:
+        self._append({"event": "fail", "key": key})
+
+    # -- lifecycle -----------------------------------------------------
+
+    def compact(self) -> None:
+        """Truncate the journal after a sweep ends with nothing dangling.
+
+        Every group is either committed to the store or deliberately
+        failed (and ``fail`` cleared its budget), so no record needs to
+        survive; truncating keeps the journal from growing across
+        sweeps and from leaking stale epochs into unrelated runs.
+        """
+        self.close()
+        self._dangling.clear()
+        self.max_epoch = 0
+        with open(self.path, "w", encoding="utf-8"):
+            pass
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            finally:
+                self._handle = None

@@ -35,22 +35,36 @@ from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
+import os
 import selectors
 import socket
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Set
+
+from repro.faults import (
+    NET_FRAME_KINDS, FaultyStream, NetFaultState, active_fault_plan,
+)
 
 from .attempt import attempt_group, run_lease
 from .protocol import (
-    ConnectionClosed, Lease, LeaseResult, ProtocolError, Shutdown,
-    WorkerHello, WorkerWelcome, read_frame, write_frame,
+    ConnectionClosed, Heartbeat, HeartbeatAck, Lease, LeaseResult,
+    ProtocolError, Shutdown, WorkerHello, WorkerWelcome, read_frame,
+    write_frame,
 )
 
 #: How long a coordinator-side blocking frame read may take before the
 #: peer is declared dead (guards against half-written frames wedging
 #: the coordinator; results on localhost arrive in milliseconds).
 FRAME_READ_TIMEOUT_S = 60.0
+
+#: Default liveness probing of busy socket workers: a heartbeat every
+#: ``UMI_HEARTBEAT_S`` seconds, a worker declared lost after
+#: ``UMI_LIVENESS_MISSES`` consecutive unanswered beats.  Environment
+#: overrides exist so chaos harnesses (CI's network-chaos smoke) can
+#: tighten liveness without new CLI surface.
+DEFAULT_HEARTBEAT_S = 5.0
+DEFAULT_LIVENESS_MISSES = 3
 
 
 @dataclass
@@ -64,8 +78,17 @@ class PoolEvent:
       ``None``).
     - ``"expired"`` -- the lease outlived its deadline; the pool has
       already killed or severed the worker.
-    - ``"lost"`` -- the worker died without reporting; the coordinator
-      classifies this as a crash fault and requeues.
+    - ``"lost"`` -- the worker died (or was declared dead by the
+      liveness deadline) without reporting; the coordinator classifies
+      this as a crash fault and requeues.
+    - ``"stale"`` -- a fenced-off result: its ``epoch`` is not the one
+      currently granted (a zombie worker answered after its lease was
+      requeued).  The value is discarded; only telemetry counts it.
+    - ``"rejoin"`` -- a previously lost/suspect worker is serving
+      again (reconnected, or its partition healed); ``lease_id`` is
+      empty.
+    - ``"missed_heartbeat"`` -- one liveness probe went unanswered;
+      ``lease_id`` is empty.
     """
 
     kind: str
@@ -74,6 +97,7 @@ class PoolEvent:
     status: Optional[str] = None
     value: Any = None
     snapshot: Optional[Dict[str, Any]] = None
+    epoch: int = 0
 
 
 class WorkerPool:
@@ -297,6 +321,20 @@ class _SocketWorker:
     host: str = ""
     lease: Optional[Lease] = None
     started: float = 0.0
+    #: Liveness probing (busy workers only): when the next beat is
+    #: due, whether the last one was answered, and how many beats in a
+    #: row went out while the previous was still unanswered.
+    next_beat: float = 0.0
+    beat_acked: bool = True
+    missed: int = 0
+    #: Declared lost by the liveness deadline (lease already requeued)
+    #: but kept connected, so a late result is read, fenced off as
+    #: stale, and the worker re-adopted in place instead of severed.
+    suspect: bool = False
+    #: Monotonic instant an injected partition heals (0 = none): while
+    #: partitioned, the coordinator neither reads this worker's frames
+    #: nor delivers its heartbeats, exactly as a dead link would.
+    partitioned_until: float = 0.0
 
 
 class SocketPool(WorkerPool):
@@ -314,24 +352,56 @@ class SocketPool(WorkerPool):
     Remote processes cannot be killed, so an expired or misbehaving
     worker is *severed*: its connection is dropped, its lease reported
     expired/lost, and nothing it later sends is trusted.
+
+    Liveness: while a worker holds a lease the pool probes it with
+    :class:`~repro.engine.protocol.Heartbeat` frames every
+    ``heartbeat_s`` seconds; a beat sent while the previous one is
+    still unanswered counts as *missed*, and ``liveness_misses``
+    consecutive misses declare the worker lost (its lease requeues)
+    long before the full group deadline.  A lost-by-liveness worker is
+    kept connected as a *suspect*: its late result is fenced off by
+    the lease epoch (a ``"stale"`` event, never a commit) and the
+    worker is re-adopted in place -- and an agent that reconnects
+    after a sever re-registers under its old name, both surfacing as
+    ``"rejoin"`` events.
+
+    Chaos: when the active fault plan carries network rules, worker
+    streams are wrapped in :class:`repro.faults.FaultyStream` (frame
+    drop/delay/dup/truncate) and ``partition`` rules cut a named
+    worker off -- no reads, no heartbeats -- for a timed window
+    starting at its next lease grant.
     """
 
     kind = "socket"
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 min_workers: int = 1, wait_s: float = 60.0) -> None:
+                 min_workers: int = 1, wait_s: float = 60.0,
+                 heartbeat_s: Optional[float] = DEFAULT_HEARTBEAT_S,
+                 liveness_misses: int = DEFAULT_LIVENESS_MISSES) -> None:
         if min_workers < 1:
             raise ValueError(f"min_workers must be >= 1, got {min_workers}")
+        if liveness_misses < 1:
+            raise ValueError(
+                f"liveness_misses must be >= 1, got {liveness_misses}")
         self.host = host
         self.port = port
         self.min_workers = min_workers
         self.wait_s = wait_s
+        #: Seconds between liveness probes of a busy worker
+        #: (``None``/``0`` disables heartbeating entirely).
+        self.heartbeat_s = heartbeat_s or None
+        self.liveness_misses = liveness_misses
         self.address: Optional[tuple] = None
         self.workers: Dict[str, _SocketWorker] = {}
         self._listener: Optional[socket.socket] = None
         self._selector: Optional[selectors.BaseSelector] = None
         self._queued: List[PoolEvent] = []
         self._seq = 0
+        self._beat_seq = 0
+        self._net_state: Optional[NetFaultState] = None
+        self._partitioned: Set[str] = set()  # workers already cut once
+        self._names_seen: Set[str] = set()
+        self._handoff = False
 
     # -- lifecycle ----------------------------------------------------
 
@@ -369,6 +439,17 @@ class SocketPool(WorkerPool):
         conn, _addr = self._listener.accept()
         conn.settimeout(FRAME_READ_TIMEOUT_S)
         stream = conn.makefile("rwb")
+
+        def _reject() -> None:
+            # Close the buffered stream *and* the socket: makefile()
+            # holds an io-ref on the fd, so closing the socket alone
+            # leaks it under registration churn.
+            for closer in (stream.close, conn.close):
+                try:
+                    closer()
+                except OSError:
+                    pass
+
         try:
             hello = read_frame(stream)
             if not isinstance(hello, WorkerHello):
@@ -377,31 +458,44 @@ class SocketPool(WorkerPool):
         except (ProtocolError, OSError):
             # Wrong version, garbage, or a vanished dialer: reject the
             # registration; never let it poison the worker table.
-            try:
-                conn.close()
-            except OSError:
-                pass
+            _reject()
             return
         base = hello.worker or f"w{self._seq}"
         self._seq += 1
         worker_id = base
         bump = 1
         while worker_id in self.workers:
+            stale = self.workers[worker_id]
+            if stale.suspect:
+                # The name's previous holder is a fenced-off zombie;
+                # the agent reconnecting under its old name replaces
+                # it (the rejoin path after a sever the agent noticed
+                # before the coordinator did).
+                self._drop(stale)
+                break
             worker_id = f"{base}~{bump}"
             bump += 1
         try:
             write_frame(stream, WorkerWelcome(worker=worker_id))
         except OSError:
-            try:
-                conn.close()
-            except OSError:
-                pass
+            _reject()
             return
+        if self._net_state is None:
+            plan = active_fault_plan()
+            if plan is not None and any(rule.kind in NET_FRAME_KINDS
+                                        for rule in plan.rules):
+                self._net_state = NetFaultState(plan)
+        wire = stream if self._net_state is None else FaultyStream(
+            stream, worker_id, self._net_state)
         worker = _SocketWorker(worker_id=worker_id, sock=conn,
-                               stream=stream, pid=hello.pid,
+                               stream=wire, pid=hello.pid,
                                host=hello.host)
         self.workers[worker_id] = worker
         self._selector.register(conn, selectors.EVENT_READ, worker)
+        if worker_id in self._names_seen:
+            # A name we have served before is an agent coming back.
+            self._queued.append(PoolEvent("rejoin", "", worker_id))
+        self._names_seen.add(worker_id)
 
     # -- dispatch -----------------------------------------------------
 
@@ -411,12 +505,35 @@ class SocketPool(WorkerPool):
 
     def _idle(self) -> List[_SocketWorker]:
         # Sorted by id so lease placement is deterministic given the
-        # same set of idle workers.
-        return sorted((w for w in self.workers.values() if w.lease is None),
+        # same set of idle workers.  Suspect (lost-by-liveness) and
+        # partitioned workers are not leasable.
+        now = time.monotonic()
+        return sorted((w for w in self.workers.values()
+                       if w.lease is None and not w.suspect
+                       and w.partitioned_until <= now),
                       key=lambda w: w.worker_id)
 
     def has_capacity(self) -> bool:
         return bool(self._idle())
+
+    def _maybe_partition(self, worker: _SocketWorker) -> None:
+        """Start a planned partition at this worker's lease grant."""
+        plan = active_fault_plan()
+        if plan is None or worker.worker_id in self._partitioned:
+            return
+        rule = plan.partition_for_worker(worker.worker_id)
+        if rule is None:
+            return
+        self._partitioned.add(worker.worker_id)
+        worker.partitioned_until = (time.monotonic()
+                                    + rule.partition_seconds)
+        # Stop watching the socket: its frames stay buffered in the
+        # kernel until the partition heals (re-registered in wait()),
+        # so the select loop never spins on the unread data.
+        try:
+            self._selector.unregister(worker.sock)
+        except (KeyError, ValueError):
+            pass
 
     def submit(self, lease: Lease) -> None:
         idle = self._idle()
@@ -432,6 +549,14 @@ class SocketPool(WorkerPool):
             return
         worker.lease = lease
         worker.started = time.monotonic()
+        worker.beat_acked = True
+        worker.missed = 0
+        if self.heartbeat_s:
+            worker.next_beat = worker.started + self.heartbeat_s
+        # The lease frame itself got through; a planned partition cuts
+        # the link from this grant onward (so the worker executes and
+        # answers into a void, the raw material of a stale result).
+        self._maybe_partition(worker)
 
     def wait(self, timeout: Optional[float] = None) -> List[PoolEvent]:
         if self._queued:
@@ -449,13 +574,21 @@ class SocketPool(WorkerPool):
                 if key.data == "listener":
                     self._accept()
             return []
+        now = time.monotonic()
+        self._heal_partitions(now)
         wait_for = timeout
-        deadlines = [w.started + w.lease.deadline_s
-                     for w in self.workers.values()
-                     if w.lease is not None and w.lease.deadline_s is not None]
-        if deadlines:
-            expiry = max(0.0, min(deadlines) - time.monotonic())
-            wait_for = expiry if wait_for is None else min(wait_for, expiry)
+        wakeups = []
+        for w in self.workers.values():
+            if w.lease is not None and w.lease.deadline_s is not None:
+                wakeups.append(w.started + w.lease.deadline_s)
+            if self.heartbeat_s and w.lease is not None and not w.suspect:
+                wakeups.append(w.next_beat)
+            if w.partitioned_until > now:
+                wakeups.append(w.partitioned_until)
+        if wakeups:
+            soonest = max(0.0, min(wakeups) - now)
+            wait_for = soonest if wait_for is None \
+                else min(wait_for, soonest)
         events: List[PoolEvent] = []
         for key, _ in self._selector.select(wait_for):
             if key.data == "listener":
@@ -464,32 +597,7 @@ class SocketPool(WorkerPool):
             worker = key.data
             if self.workers.get(worker.worker_id) is not worker:
                 continue  # dropped earlier in this pass
-            if worker.lease is None:
-                # An idle worker has nothing legitimate to say; either
-                # it died (EOF) or it is out of protocol.  Sever it.
-                self._drop(worker)
-                continue
-            lease_id = worker.lease.lease_id
-            try:
-                message = read_frame(worker.stream)
-                if not isinstance(message, LeaseResult):
-                    raise ProtocolError(
-                        f"expected lease_result, got "
-                        f"{type(message).__name__}")
-            except (ProtocolError, OSError):
-                # ConnectionClosed, truncated frame, version drift or a
-                # read timeout all mean the same thing here: the worker
-                # is gone and its lease with it.
-                self._drop(worker)
-                events.append(
-                    PoolEvent("lost", lease_id, worker.worker_id))
-                continue
-            worker.lease = None
-            worker.started = 0.0
-            events.append(PoolEvent(
-                "result", lease_id, worker.worker_id,
-                status=message.status, value=message.value,
-                snapshot=message.snapshot))
+            self._read_worker(worker, events)
         now = time.monotonic()
         for worker in list(self.workers.values()):
             lease = worker.lease
@@ -498,7 +606,121 @@ class SocketPool(WorkerPool):
                 self._drop(worker)
                 events.append(PoolEvent(
                     "expired", lease.lease_id, worker.worker_id))
+        if self.heartbeat_s:
+            self._beat(now, events)
         return events
+
+    def _heal_partitions(self, now: float) -> None:
+        """Resume reading workers whose partition window has passed."""
+        for worker in self.workers.values():
+            if 0.0 < worker.partitioned_until <= now:
+                worker.partitioned_until = 0.0
+                try:
+                    self._selector.register(worker.sock,
+                                            selectors.EVENT_READ, worker)
+                except (KeyError, ValueError):
+                    pass
+
+    def _readopt(self, worker: _SocketWorker,
+                 events: List[PoolEvent]) -> None:
+        """A suspect proved it is alive: take it back into service."""
+        worker.suspect = False
+        worker.missed = 0
+        worker.beat_acked = True
+        events.append(PoolEvent("rejoin", "", worker.worker_id))
+
+    def _read_worker(self, worker: _SocketWorker,
+                     events: List[PoolEvent]) -> None:
+        """Handle one readable worker connection."""
+        try:
+            message = read_frame(worker.stream)
+        except (ProtocolError, OSError):
+            # ConnectionClosed, truncated frame, version drift or a
+            # read timeout all mean the same thing here: the worker is
+            # gone -- and, if it held a lease, its lease with it.  (A
+            # suspect's lease was already requeued at liveness loss.)
+            lease = worker.lease
+            self._drop(worker)
+            if lease is not None:
+                events.append(
+                    PoolEvent("lost", lease.lease_id, worker.worker_id))
+            return
+        if isinstance(message, HeartbeatAck):
+            worker.beat_acked = True
+            worker.missed = 0
+            if worker.suspect:
+                self._readopt(worker, events)
+            return
+        if isinstance(message, LeaseResult):
+            lease = worker.lease
+            if (lease is None or message.epoch != lease.epoch
+                    or message.lease_id != lease.lease_id):
+                # Fenced: the result answers an epoch that is no
+                # longer granted (the lease was requeued while this
+                # worker was dark).  Never committed; the zombie is
+                # re-adopted as a fresh idle worker.
+                events.append(PoolEvent(
+                    "stale", message.lease_id, worker.worker_id,
+                    status=message.status, epoch=message.epoch))
+                if worker.suspect:
+                    self._readopt(worker, events)
+                return
+            worker.lease = None
+            worker.started = 0.0
+            events.append(PoolEvent(
+                "result", lease.lease_id, worker.worker_id,
+                status=message.status, value=message.value,
+                snapshot=message.snapshot, epoch=message.epoch))
+            return
+        # Anything else from a worker is out of protocol: sever it.
+        lease = worker.lease
+        self._drop(worker)
+        if lease is not None:
+            events.append(
+                PoolEvent("lost", lease.lease_id, worker.worker_id))
+
+    def _beat(self, now: float, events: List[PoolEvent]) -> None:
+        """Send due liveness probes; declare silent workers lost.
+
+        A miss is counted only when a beat comes due while the
+        previous one is still unanswered -- never from mere clock
+        drift while the coordinator was busy elsewhere -- so
+        ``liveness_misses`` misses mean the worker truly had
+        ``liveness_misses`` beat intervals to answer and did not.
+        Beats to a partitioned worker are swallowed by the injected
+        partition (bookkeeping still runs, which is exactly how the
+        partition trips the liveness deadline).
+        """
+        for worker in list(self.workers.values()):
+            if worker.lease is None or worker.suspect:
+                continue
+            if now < worker.next_beat:
+                continue
+            if not worker.beat_acked:
+                worker.missed += 1
+                events.append(
+                    PoolEvent("missed_heartbeat", "", worker.worker_id))
+                if worker.missed >= self.liveness_misses:
+                    lease = worker.lease
+                    worker.lease = None
+                    worker.started = 0.0
+                    worker.suspect = True
+                    events.append(PoolEvent(
+                        "lost", lease.lease_id, worker.worker_id))
+                    continue
+            self._beat_seq += 1
+            if worker.partitioned_until <= now:
+                try:
+                    write_frame(worker.stream,
+                                Heartbeat(seq=self._beat_seq))
+                except (OSError, ValueError):
+                    lease = worker.lease
+                    self._drop(worker)
+                    events.append(PoolEvent(
+                        "lost", lease.lease_id, worker.worker_id))
+                    continue
+            worker.beat_acked = False
+            worker.next_beat = now + self.heartbeat_s
 
     # -- teardown -----------------------------------------------------
 
@@ -520,9 +742,19 @@ class SocketPool(WorkerPool):
                 self._drop(worker)
         self._queued.clear()
 
+    def detach(self) -> None:
+        """Close without telling agents to exit (coordinator hand-off).
+
+        A draining coordinator severs its agents instead of shutting
+        them down: their rejoin loop redials the address until the
+        replacement coordinator binds it, so the fleet survives the
+        restart.
+        """
+        self._handoff = True
+
     def close(self) -> None:
         for worker in list(self.workers.values()):
-            if worker.lease is None:
+            if worker.lease is None and not self._handoff:
                 try:
                     write_frame(worker.stream,
                                 Shutdown(reason="sweep complete"))
@@ -550,6 +782,9 @@ def make_pool(jobs: int = 1,
     ``workers`` is the ``--workers`` spec ``[N@]HOST:PORT`` -- listen
     on HOST:PORT and wait for N agents (default 1).  Without it,
     ``jobs`` picks between the in-process and local-process backends.
+    The socket pool's liveness knobs come from the environment
+    (``UMI_HEARTBEAT_S``, ``UMI_LIVENESS_MISSES``) so chaos harnesses
+    can tighten them without extra CLI surface.
     """
     if workers:
         spec = workers
@@ -562,8 +797,14 @@ def make_pool(jobs: int = 1,
             raise ValueError(
                 f"invalid --workers spec {workers!r} "
                 f"(expected [N@]HOST:PORT)")
+        heartbeat_s = float(os.environ.get(
+            "UMI_HEARTBEAT_S", DEFAULT_HEARTBEAT_S))
+        liveness = int(os.environ.get(
+            "UMI_LIVENESS_MISSES", DEFAULT_LIVENESS_MISSES))
         return SocketPool(host=host, port=int(port),
-                          min_workers=min_workers)
+                          min_workers=min_workers,
+                          heartbeat_s=heartbeat_s,
+                          liveness_misses=liveness)
     if jobs <= 1:
         return InProcessPool()
     return LocalProcessPool(jobs)

@@ -17,9 +17,11 @@ Message flow::
       | -- WorkerHello  ------------> |   (register; version checked)
       | <- WorkerWelcome ------------ |   (assigned worker id)
       | <- Lease -------------------- |   (fusion group + attempt +
-      |                               |    deadline + fault plan)
-      | -- LeaseResult -------------> |   (payloads/failure + telemetry)
-      |            ...                |
+      |                               |    epoch + deadline + faults)
+      | <- Heartbeat ---------------- |   (liveness probe, mid-lease)
+      | -- HeartbeatAck ------------> |   (acked even while executing)
+      | -- LeaseResult -------------> |   (payloads/failure + telemetry,
+      |            ...                |    echoing the lease epoch)
       | <- Shutdown ----------------- |   (drain and exit)
 
 A :class:`Lease` names its fusion group both by content (the member
@@ -53,7 +55,9 @@ from .spec import RunSpec
 #: Version stamped into (and required of) every frame.  Bump on any
 #: incompatible message-shape change; a mismatch is a hard reject, so
 #: mixed-build clusters fail loudly instead of corrupting sweeps.
-PROTOCOL_VERSION = 1
+#: v2: heartbeat/heartbeat_ack liveness frames; fencing ``epoch`` on
+#: Lease and LeaseResult.
+PROTOCOL_VERSION = 2
 
 #: Upper bound on one frame's size; a larger line means a corrupt or
 #: hostile peer, not a bigger result.
@@ -96,6 +100,14 @@ class Lease:
 
     lease_id: str = ""
     attempt: int = 1
+    #: Monotonic fencing token, unique per lease grant across the life
+    #: of a sweep (and, via the lease journal, across coordinator
+    #: restarts).  A worker echoes it back in its
+    #: :class:`LeaseResult`; the coordinator rejects any result whose
+    #: epoch is not the one currently granted, which fences off zombie
+    #: workers returning after a partition so no group is committed
+    #: twice.
+    epoch: int = 0
     #: Serialized member specs (``RunSpec.to_dict`` form), in group
     #: order -- self-contained, so workers rebuild everything locally.
     specs: Tuple[Dict[str, Any], ...] = field(default=())
@@ -118,9 +130,9 @@ class Lease:
     def for_group(cls, lease_id: str, group: Sequence[RunSpec],
                   attempt: int, deadline_s: Optional[float],
                   fault_plan: Optional[Dict[str, Any]],
-                  telemetry: bool) -> "Lease":
+                  telemetry: bool, epoch: int = 0) -> "Lease":
         return cls(
-            lease_id=lease_id, attempt=attempt,
+            lease_id=lease_id, attempt=attempt, epoch=epoch,
             specs=tuple(spec.to_dict() for spec in group),
             digests=tuple(spec.digest() for spec in group),
             deadline_s=deadline_s, fault_plan=fault_plan,
@@ -134,7 +146,8 @@ class Lease:
     def describe(self) -> str:
         head = self.digests[0][:12] if self.digests else "?"
         return (f"lease {self.lease_id} (attempt {self.attempt}, "
-                f"{len(self.specs)} spec(s), {head})")
+                f"epoch {self.epoch}, {len(self.specs)} spec(s), "
+                f"{head})")
 
 
 @dataclass(frozen=True)
@@ -145,12 +158,46 @@ class LeaseResult:
 
     lease_id: str = ""
     worker: str = ""
+    #: The fencing token of the lease this result answers, echoed
+    #: verbatim.  The coordinator discards results whose epoch it no
+    #: longer recognises as granted (stale results from fenced-off
+    #: zombie workers).
+    epoch: int = 0
     #: ``"ok"`` or ``"error"`` -- straight from ``_attempt_group``.
     status: str = "ok"
     #: Payload list (ok) or failure-info dict (error); JSON-safe.
     value: Any = None
     #: The worker's telemetry snapshot, or ``None`` when disabled.
     snapshot: Optional[Dict[str, Any]] = None
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Coordinator -> worker: prove you are alive and reachable.
+
+    Sent on the lease connection while a worker holds a lease; the
+    worker's reader thread answers with a :class:`HeartbeatAck`
+    echoing ``seq`` even while an attempt is executing.  The
+    coordinator counts a beat as *missed* only when it sends one while
+    the previous beat is still unacknowledged, so a silent or
+    partitioned worker is declared lost after
+    ``liveness_misses`` consecutive unanswered beats -- long before
+    the full group deadline runs out.
+    """
+
+    TYPE = "heartbeat"
+
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class HeartbeatAck:
+    """Worker -> coordinator: the echo of one :class:`Heartbeat`."""
+
+    TYPE = "heartbeat_ack"
+
+    seq: int = 0
+    worker: str = ""
 
 
 @dataclass(frozen=True)
@@ -165,7 +212,8 @@ class Shutdown:
 #: Every message type, by its wire tag.
 MESSAGE_TYPES: Dict[str, Type] = {
     cls.TYPE: cls
-    for cls in (WorkerHello, WorkerWelcome, Lease, LeaseResult, Shutdown)
+    for cls in (WorkerHello, WorkerWelcome, Lease, LeaseResult,
+                Heartbeat, HeartbeatAck, Shutdown)
 }
 
 

@@ -65,12 +65,13 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from repro.engine import ResultStore, RetryPolicy
+from repro.engine import DrainInterrupt, ResultStore, RetryPolicy
 from repro.faults import fault_injection, load_fault_plan
 from repro.stats import Table
 from repro.telemetry import (
@@ -418,6 +419,21 @@ def _run_experiments(args, names: List[str], store,
     except ValueError as exc:  # malformed --workers spec
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    def _drain(_signum, _frame):
+        # Graceful coordinator shutdown: only flips a flag (and the
+        # pool's hand-off bit); the wave loop notices at its next
+        # pass, stops granting, lets in-flight leases finish, and
+        # raises DrainInterrupt -- agents are severed, not shut down,
+        # so their rejoin loops find the replacement coordinator.
+        drainer = getattr(cache.engine.executor, "request_drain", None)
+        if drainer is not None:
+            drainer()
+
+    previous = None
+    try:
+        previous = signal.signal(signal.SIGTERM, _drain)
+    except ValueError:
+        pass  # not the main thread (embedded use): no handler
     try:
         if args.workers:
             pool = cache.engine.executor.pool
@@ -427,6 +443,8 @@ def _run_experiments(args, names: List[str], store,
                   f"them with: umi-worker --connect {host}:{port}]")
         return _run_with_cache(args, names, store, workloads, cache)
     finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
         # Idle agents get a clean Shutdown; sockets/listeners close.
         cache.engine.close()
 
@@ -440,9 +458,14 @@ def _worker_banner(cache: ResultCache) -> None:
     kind = getattr(executor, "pool_kind", "?")
     for worker in sorted(stats):
         s = stats[worker]
+        liveness = ""
+        if (s.get("heartbeats_missed") or s.get("rejoins")
+                or s.get("stale")):
+            liveness = (f", {s['heartbeats_missed']} missed beats, "
+                        f"{s['rejoins']} rejoins, {s['stale']} stale")
         print(f"[worker {kind}:{worker}: {s['specs']} specs in "
               f"{s['leases']} leases, {s['retries']} retries, "
-              f"{s['timeouts']} timeouts, {s['lost']} lost]")
+              f"{s['timeouts']} timeouts, {s['lost']} lost{liveness}]")
 
 
 def _run_with_cache(args, names: List[str], store,
@@ -473,6 +496,18 @@ def _run_with_cache(args, names: List[str], store,
         start = time.time()
         try:
             cache.prefill(wavefront)
+        except DrainInterrupt:  # before KeyboardInterrupt: a subclass
+            report = getattr(cache.engine.executor, "last_interrupt",
+                             None)
+            done = (f"{report.completed}/{report.total} groups"
+                    if report is not None else "partial progress")
+            hint = (f"; restart with --store {store} --resume to "
+                    f"finish" if store else "; use --store to make "
+                                            "sweeps resumable")
+            print(f"\n[drained: {done} completed and "
+                  f"checkpointed{hint}]")
+            _worker_banner(cache)
+            return 143
         except KeyboardInterrupt:
             report = getattr(cache.engine.executor, "last_interrupt",
                              None)

@@ -4,10 +4,12 @@ The paper's contract is that introspection must degrade gracefully --
 the measured program is never taken down by the profiling apparatus.
 This package provides the controlled failures that prove it: seeded
 :class:`FaultPlan` objects describe worker crashes, hung workers, torn
-store records and throwing stream consumers; the engine, store and
-stream layers consult the installed plan at their decision seams and
-must survive every injected fault class (see the "Resilience" section
-of ``docs/ARCHITECTURE.md``).
+store records, throwing stream consumers, and -- below the process
+boundary -- dropped/delayed/duplicated/truncated protocol frames and
+timed network partitions of named workers; the engine, store, stream
+and distributed layers consult the installed plan at their decision
+seams and must survive every injected fault class (see the
+"Resilience" section of ``docs/ARCHITECTURE.md``).
 """
 
 from .classify import WorkerCrashFault, worker_loss_failure
@@ -15,15 +17,17 @@ from .inject import (
     FaultyConsumerProxy, active_fault_plan, clear_fault_plan,
     fault_injection, install_fault_plan,
 )
+from .net import FaultyStream, NetFaultState, wrap_stream
 from .plan import (
-    FAULT_KINDS, FaultPlan, FaultRule, InjectedConsumerFault,
-    InjectedCrash, InjectedFault, load_fault_plan,
+    FAULT_KINDS, NET_FRAME_KINDS, NET_KINDS, FaultPlan, FaultRule,
+    InjectedConsumerFault, InjectedCrash, InjectedFault, load_fault_plan,
 )
 
 __all__ = [
-    "FAULT_KINDS", "FaultPlan", "FaultRule", "FaultyConsumerProxy",
+    "FAULT_KINDS", "NET_FRAME_KINDS", "NET_KINDS", "FaultPlan",
+    "FaultRule", "FaultyConsumerProxy", "FaultyStream",
     "InjectedConsumerFault", "InjectedCrash", "InjectedFault",
-    "WorkerCrashFault", "active_fault_plan", "clear_fault_plan",
-    "fault_injection", "install_fault_plan", "load_fault_plan",
-    "worker_loss_failure",
+    "NetFaultState", "WorkerCrashFault", "active_fault_plan",
+    "clear_fault_plan", "fault_injection", "install_fault_plan",
+    "load_fault_plan", "worker_loss_failure", "wrap_stream",
 ]

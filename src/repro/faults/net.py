@@ -1,0 +1,173 @@
+"""Network fault injection below the process boundary.
+
+The distributed lease stack (``repro.engine.pools.SocketPool`` on the
+coordinator, ``repro.engine.worker`` on the agent) wraps each
+connection's buffered stream in a :class:`FaultyStream` when a fault
+plan carries network rules.  The wrapper intercepts exactly the two
+operations the protocol layer uses -- ``write`` (one encoded frame per
+call, by :func:`repro.engine.protocol.write_frame`'s contract) and
+``readline`` (one frame per call, by ``read_frame``'s) -- and injects
+the frame faults of :data:`repro.faults.plan.NET_FRAME_KINDS`:
+
+``net_drop`` / ``net_delay`` / ``net_dup``
+    Applied on the *send* path: the frame is swallowed, written after
+    ``delay_seconds``, or written twice.
+``net_truncate``
+    Applied on the *receive* path: the frame is delivered cut in half
+    with no line terminator, so :func:`~repro.engine.protocol.read_frame`
+    raises its truncated-frame :class:`~repro.engine.protocol.ProtocolError`
+    and the reader severs the connection -- byte-for-byte what a peer
+    crashing mid-write looks like, without having to crash one.
+
+Only ``Lease``/``LeaseResult`` frames are fault-eligible.  Handshake
+and liveness frames (hello, welcome, heartbeat, heartbeat_ack,
+shutdown) pass through untouched: faulting them livelocks the
+handshake or fakes liveness loss, and the ``partition`` kind already
+models a worker going dark wholesale.  Eligibility is decided on the
+wire bytes (the sorted-key JSON line always carries ``"type": "lease``
+for both lease kinds), so the wrapper needs no protocol import and the
+frame ordinal each decision is keyed on counts only eligible frames.
+
+Decisions stay pure (:meth:`repro.faults.plan.FaultPlan.net_frame_fault`
+is a function of ``(seed, worker, direction, seq)``); the mutable part
+-- the per-rule ``times`` firing budget -- lives in a
+:class:`NetFaultState` owned by the *endpoint* (pool or agent), shared
+across that endpoint's connections so reconnect loops converge instead
+of replaying the same fault forever.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from .plan import FaultPlan, FaultRule
+
+#: Frame-fault kinds applied when this endpoint sends a frame.
+SEND_FAULT_KINDS = ("net_drop", "net_delay", "net_dup")
+
+#: Frame-fault kinds applied when this endpoint receives a frame.
+RECV_FAULT_KINDS = ("net_truncate",)
+
+#: The wire marker of a fault-eligible frame (matches both the
+#: ``lease`` and ``lease_result`` type tags in an encoded frame).
+_ELIGIBLE_MARK = b'"type": "lease'
+
+
+def _faultable(data: bytes) -> bool:
+    """True when these frame bytes may be faulted at all."""
+    return _ELIGIBLE_MARK in data
+
+
+class NetFaultState:
+    """Per-endpoint firing budgets for network frame faults.
+
+    Wraps a :class:`~repro.faults.plan.FaultPlan` (or a zero-argument
+    provider returning one, so the worker agent can consult the plan a
+    lease installed after the connection was already wrapped) and
+    enforces each rule's ``times`` bound across every connection of
+    the endpoint.  One instance per pool / per agent process, *not*
+    per connection: a truncation that already fired does not fire
+    again on the post-rejoin connection.
+    """
+
+    def __init__(self, plan: Union[FaultPlan, None,
+                                   Callable[[], Optional[FaultPlan]]]
+                 ) -> None:
+        self._plan = plan if callable(plan) else (lambda: plan)
+        self._fired: Dict[Tuple[FaultRule, str, str], int] = {}
+
+    @property
+    def fired(self) -> int:
+        """Total frame faults injected so far (all rules)."""
+        return sum(self._fired.values())
+
+    def decide(self, worker: str, direction: str, seq: int,
+               kinds: Tuple[str, ...]) -> Optional[FaultRule]:
+        """The rule to apply to this frame, respecting ``times``."""
+        plan = self._plan()
+        if plan is None:
+            return None
+        rule = plan.net_frame_fault(worker, direction, seq)
+        if rule is None or rule.kind not in kinds:
+            return None
+        key = (rule, worker, direction)
+        count = self._fired.get(key, 0)
+        if rule.times and count >= rule.times:
+            return None
+        self._fired[key] = count + 1
+        return rule
+
+
+class FaultyStream:
+    """A buffered connection stream with seeded frame faults.
+
+    Drop-in for the ``socket.makefile("rwb")`` object the protocol
+    layer reads and writes; everything except ``write``/``readline``
+    delegates to the wrapped stream.  ``worker`` is the *peer* name
+    the plan's rules select on (the coordinator wraps with the agent's
+    assigned id; the agent wraps with its own id, so one rule faults
+    both directions of that worker's traffic).
+    """
+
+    def __init__(self, stream: Any, worker: str, state: NetFaultState,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        self._stream = stream
+        self._worker = worker
+        self._state = state
+        self._sleep = sleep
+        self._sent = 0
+        self._received = 0
+
+    def write(self, data: bytes) -> int:
+        if not _faultable(data):
+            return self._stream.write(data)
+        self._sent += 1
+        rule = self._state.decide(self._worker, "send", self._sent,
+                                  SEND_FAULT_KINDS)
+        if rule is None:
+            return self._stream.write(data)
+        if rule.kind == "net_drop":
+            return len(data)  # swallowed whole; the peer never sees it
+        if rule.kind == "net_delay":
+            self._sleep(rule.delay_seconds)
+            return self._stream.write(data)
+        self._stream.write(data)  # net_dup: the frame lands twice
+        return self._stream.write(data)
+
+    def readline(self, limit: int = -1) -> bytes:
+        line = self._stream.readline(limit)
+        if not line or not _faultable(line):
+            return line
+        self._received += 1
+        rule = self._state.decide(self._worker, "recv", self._received,
+                                  RECV_FAULT_KINDS)
+        if rule is None:
+            return line
+        # net_truncate: deliver the frame cut in half, terminator gone.
+        # read_frame raises its truncated-frame ProtocolError and the
+        # reader severs the connection, exactly as if the peer died
+        # mid-write.
+        return line[:max(1, len(line) // 2)]
+
+    def flush(self) -> None:
+        self._stream.flush()
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._stream, name)
+
+
+def wrap_stream(stream: Any, worker: str,
+                state: Optional[NetFaultState]) -> Any:
+    """Wrap ``stream`` when network faults are in play, else pass it.
+
+    Endpoints call this unconditionally; it only pays the wrapper cost
+    when a :class:`NetFaultState` exists (i.e. the active plan carries
+    network rules), so fault-free sweeps run on the raw stream.
+    """
+    if state is None:
+        return stream
+    return FaultyStream(stream, worker, state)

@@ -35,6 +35,28 @@ Fault kinds
     consumer name alone (it fires in every run that builds that
     consumer); the spec selectors ``match``, ``attempts`` and
     ``probability`` are rejected on this kind.
+``net_drop`` / ``net_delay`` / ``net_dup`` / ``net_truncate``
+    Network frame faults, injected below the process boundary by the
+    fault-wrapping connection streams of the distributed stack
+    (:class:`repro.faults.net.FaultyStream`, installed by
+    :class:`repro.engine.pools.SocketPool` and the ``umi-worker``
+    agent).  A matched protocol frame is silently dropped, delayed by
+    ``delay_seconds``, delivered twice, or cut mid-line (the reader
+    sees a truncated frame and the connection dies -- exactly what a
+    peer crashing mid-write looks like).  Selection is by ``worker``
+    (the connection's peer name, ``"*"`` for any), the 1-based frame
+    ordinal ``frame`` (``0`` = every frame), and the deterministic
+    ``probability`` coin keyed ``(seed, kind, worker:direction:seq)``;
+    ``times`` bounds total firings per connection-state so a chaos run
+    converges instead of truncating every retry forever.  Heartbeat
+    frames are exempt (partitions cover liveness loss).
+``partition``
+    Cuts the *named* worker off the network for ``partition_seconds``:
+    the coordinator stops reading its frames and stops sending it
+    heartbeats from the moment its next lease is submitted, so the
+    liveness deadline declares it lost mid-lease, the lease requeues
+    elsewhere, and the worker's late result is fenced off as stale
+    when the partition heals.  Requires an explicit worker name.
 """
 
 from __future__ import annotations
@@ -45,7 +67,17 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 #: The fault kinds a rule may declare.
-FAULT_KINDS = ("crash", "hang", "torn_record", "consumer")
+FAULT_KINDS = ("crash", "hang", "torn_record", "consumer",
+               "net_drop", "net_delay", "net_dup", "net_truncate",
+               "partition")
+
+#: The kinds that fault individual protocol frames (see
+#: :mod:`repro.faults.net`); ``partition`` is network-scoped too but
+#: cuts a whole worker, not single frames.
+NET_FRAME_KINDS = ("net_drop", "net_delay", "net_dup", "net_truncate")
+
+#: Every network-scoped kind (frame faults + partitions).
+NET_KINDS = NET_FRAME_KINDS + ("partition",)
 
 
 class InjectedFault(RuntimeError):
@@ -82,11 +114,44 @@ class FaultRule:
     hang_seconds: float = 30.0
     consumer: Optional[str] = None
     batch: int = 1
+    worker: Optional[str] = None
+    frame: int = 0
+    times: int = 1
+    delay_seconds: float = 0.05
+    partition_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
+        if self.kind in NET_KINDS:
+            if not self.worker:
+                raise ValueError(
+                    f"{self.kind} rules need a worker selector "
+                    f"(a worker name, or '*' for frame faults)")
+            if self.kind == "partition" and self.worker == "*":
+                raise ValueError(
+                    "partition rules need an explicit worker name")
+            # Network faults fire per frame (or per worker), where no
+            # spec or attempt is in scope -- reject the spec selectors
+            # rather than silently ignoring them.
+            if self.match != "*" or self.attempts != 1:
+                raise ValueError(
+                    f"{self.kind} rules select by worker; match and "
+                    f"attempts are not supported")
+            if self.frame < 0:
+                raise ValueError("frame must be >= 0 (0 = every frame)")
+            if self.times < 0:
+                raise ValueError("times must be >= 0 (0 = unlimited)")
+            if self.delay_seconds < 0 or self.partition_seconds <= 0:
+                raise ValueError(
+                    "delay_seconds must be >= 0 and partition_seconds "
+                    "must be > 0")
+        elif (self.worker is not None or self.frame != 0
+                or self.times != 1):
+            raise ValueError(
+                f"worker/frame/times only apply to network rules, "
+                f"not {self.kind!r}")
         if self.kind == "consumer":
             if not self.consumer:
                 raise ValueError("consumer rules need a consumer name")
@@ -165,6 +230,44 @@ class FaultPlan:
         for rule in self.rules:
             if rule.kind == "consumer" and rule.consumer == name:
                 return rule.batch
+        return None
+
+    def net_frame_fault(self, worker: str, direction: str,
+                        seq: int) -> Optional[FaultRule]:
+        """The frame fault to inject on this frame, if any.
+
+        ``worker`` is the connection's peer name, ``direction`` is
+        ``"send"`` or ``"recv"`` from the deciding side's point of
+        view, and ``seq`` is the 1-based ordinal of fault-eligible
+        frames on that connection-direction.  Pure: the same
+        ``(plan, worker, direction, seq)`` always decides the same
+        fault, so chaos runs replay exactly.  (The ``times`` bound is
+        enforced statefully by :class:`repro.faults.net.NetFaultState`,
+        not here.)
+        """
+        for rule in self.rules:
+            if rule.kind not in NET_FRAME_KINDS:
+                continue
+            if rule.worker not in ("*", worker):
+                continue
+            if rule.frame not in (0, seq):
+                continue
+            if (rule.probability >= 1.0
+                    or _coin(self.seed, rule.kind,
+                             f"{worker}:{direction}:{seq}", 1)
+                    < rule.probability):
+                return rule
+        return None
+
+    def partition_for_worker(self, worker: str) -> Optional[FaultRule]:
+        """The partition rule that cuts ``worker`` off, if any."""
+        for rule in self.rules:
+            if rule.kind != "partition" or rule.worker != worker:
+                continue
+            if (rule.probability >= 1.0
+                    or _coin(self.seed, "partition", worker, 1)
+                    < rule.probability):
+                return rule
         return None
 
     # -- serialization ------------------------------------------------------

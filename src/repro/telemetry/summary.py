@@ -152,27 +152,32 @@ def workers_table(metrics: List[Dict[str, Any]]) -> Optional[Table]:
 
     Rows come from the coordinator's ``pool.*`` counters, one row per
     ``(pool kind, worker id)``: how many leases and specs the worker
-    served, how many of its leases were retry attempts, and how many
-    expired (deadline) or were lost (the worker died mid-lease).
+    served, how many of its leases were retry attempts, how many
+    expired (deadline) or were lost (the worker died mid-lease or went
+    silent), and the liveness tallies -- missed heartbeats, rejoins
+    after a partition/sever, and stale results fenced off by the lease
+    epoch.
     """
+    # Mirrors repro.engine.executor.WORKER_STAT_FIELDS (one labelled
+    # ``pool.<stat>`` counter per per-worker tally).
+    fields = ("leases", "specs", "retries", "timeouts", "lost",
+              "heartbeats_missed", "rejoins", "stale")
     key = ("pool", "worker")
     stats = {stat: _counters_by_labels(metrics, f"pool.{stat}", key)
-             for stat in ("leases", "specs", "retries", "timeouts",
-                          "lost")}
+             for stat in fields}
     workers = sorted(set().union(*(s.keys() for s in stats.values())))
     if not workers:
         return None
     table = Table(
         "Execution per worker",
         ["pool", "worker", "leases", "specs", "retries", "timeouts",
-         "lost"],
-        ["{}", "{}", "{}", "{}", "{}", "{}", "{}"],
+         "lost", "missed beats", "rejoins", "stale"],
+        ["{}"] * 10,
     )
     for pool, worker in workers:
         table.add_row(pool, worker,
                       *(stats[stat].get((pool, worker), 0)
-                        for stat in ("leases", "specs", "retries",
-                                     "timeouts", "lost")))
+                        for stat in fields))
     return table
 
 

@@ -23,9 +23,12 @@ from repro.engine import (
     SpecExecutionError, is_failed_payload, plan_groups,
 )
 from repro.experiments.cli import main
+from repro.engine.protocol import (
+    Heartbeat, Lease, LeaseResult, encode_frame,
+)
 from repro.faults import (
-    FaultPlan, FaultRule, InjectedConsumerFault, fault_injection,
-    load_fault_plan,
+    FaultPlan, FaultRule, FaultyStream, InjectedConsumerFault,
+    NetFaultState, fault_injection, load_fault_plan, wrap_stream,
 )
 from repro.stream import CollectingRefConsumer, LineStream, RefStream
 from repro.telemetry import TELEMETRY
@@ -119,6 +122,165 @@ class TestFaultPlan:
         path = tmp_path / "plan.json"
         path.write_text(json.dumps(plan.to_dict()))
         assert load_fault_plan(str(path)) == plan
+
+
+class TestNetworkFaultRules:
+    def test_net_rules_need_a_worker_selector(self):
+        for kind in ("net_drop", "net_delay", "net_dup",
+                     "net_truncate"):
+            with pytest.raises(ValueError, match="worker selector"):
+                FaultRule(kind=kind)
+
+    def test_partition_rejects_the_wildcard_worker(self):
+        with pytest.raises(ValueError, match="explicit worker name"):
+            FaultRule(kind="partition", worker="*")
+
+    def test_net_rules_reject_spec_selectors(self):
+        for kwargs in ({"match": "179.art"}, {"attempts": 2}):
+            with pytest.raises(ValueError, match="select by worker"):
+                FaultRule(kind="net_drop", worker="a", **kwargs)
+
+    def test_non_net_rules_reject_worker_frame_times(self):
+        for kwargs in ({"worker": "a"}, {"frame": 3}, {"times": 2}):
+            with pytest.raises(ValueError, match="network rules"):
+                FaultRule(kind="crash", **kwargs)
+
+    def test_net_frame_fault_selects_by_worker_and_frame(self):
+        plan = FaultPlan(seed=7, rules=(
+            FaultRule(kind="net_truncate", worker="b", frame=2),))
+        assert plan.net_frame_fault("a", "recv", 2) is None
+        assert plan.net_frame_fault("b", "recv", 1) is None
+        rule = plan.net_frame_fault("b", "recv", 2)
+        assert rule is not None and rule.kind == "net_truncate"
+        # frame=0 means every eligible frame; worker="*" every worker.
+        anyf = FaultPlan(seed=7, rules=(
+            FaultRule(kind="net_drop", worker="*"),))
+        assert anyf.net_frame_fault("a", "send", 1) is not None
+        assert anyf.net_frame_fault("c", "send", 9) is not None
+
+    def test_partition_for_worker_is_by_name(self):
+        plan = FaultPlan(seed=7, rules=(
+            FaultRule(kind="partition", worker="a",
+                      partition_seconds=1.5),))
+        assert plan.partition_for_worker("b") is None
+        rule = plan.partition_for_worker("a")
+        assert rule is not None and rule.partition_seconds == 1.5
+
+    def test_probability_draws_are_deterministic(self):
+        plan = FaultPlan(seed=13, rules=(
+            FaultRule(kind="net_drop", worker="*", probability=0.5,
+                      times=0),))
+        draws = [plan.net_frame_fault("a", "send", seq) is not None
+                 for seq in range(1, 33)]
+        again = [plan.net_frame_fault("a", "send", seq) is not None
+                 for seq in range(1, 33)]
+        assert draws == again
+        assert any(draws) and not all(draws)  # a real coin, both faces
+
+    def test_net_rules_round_trip(self):
+        plan = FaultPlan(seed=5, rules=(
+            FaultRule(kind="net_truncate", worker="b", frame=3),
+            FaultRule(kind="partition", worker="a",
+                      partition_seconds=2.0),))
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+def lease_frame():
+    return encode_frame(Lease.for_group(
+        "L000001", [native_spec()], attempt=1, deadline_s=None,
+        fault_plan=None, telemetry=False))
+
+
+def result_frame():
+    return encode_frame(LeaseResult(lease_id="L000001", worker="a",
+                                    status="ok", value=[]))
+
+
+class FakeStream:
+    def __init__(self, lines=()):
+        self.lines = list(lines)
+        self.written = []
+
+    def write(self, data):
+        self.written.append(data)
+        return len(data)
+
+    def readline(self, limit=-1):
+        return self.lines.pop(0) if self.lines else b""
+
+    def flush(self):
+        pass
+
+
+class TestFaultyStream:
+    def wired(self, rule, lines=()):
+        state = NetFaultState(FaultPlan(seed=3, rules=(rule,)))
+        inner = FakeStream(lines)
+        return inner, FaultyStream(inner, "a", state,
+                                   sleep=lambda _s: None)
+
+    def test_drop_swallows_the_frame_whole(self):
+        inner, stream = self.wired(
+            FaultRule(kind="net_drop", worker="a"))
+        assert stream.write(lease_frame()) == len(lease_frame())
+        assert inner.written == []
+
+    def test_dup_lands_the_frame_twice(self):
+        inner, stream = self.wired(FaultRule(kind="net_dup", worker="a"))
+        stream.write(result_frame())
+        assert inner.written == [result_frame(), result_frame()]
+
+    def test_delay_sleeps_then_writes(self):
+        slept = []
+        state = NetFaultState(FaultPlan(seed=3, rules=(
+            FaultRule(kind="net_delay", worker="a",
+                      delay_seconds=0.25),)))
+        inner = FakeStream()
+        stream = FaultyStream(inner, "a", state, sleep=slept.append)
+        stream.write(lease_frame())
+        assert slept == [0.25]
+        assert inner.written == [lease_frame()]
+
+    def test_truncate_cuts_the_received_line_unterminated(self):
+        frame = result_frame()
+        _, stream = self.wired(
+            FaultRule(kind="net_truncate", worker="a"), lines=[frame])
+        line = stream.readline()
+        assert line == frame[:len(frame) // 2]
+        assert not line.endswith(b"\n")
+
+    def test_liveness_and_handshake_frames_are_exempt(self):
+        beat = encode_frame(Heartbeat(seq=1))
+        inner, stream = self.wired(
+            FaultRule(kind="net_drop", worker="a", times=0),
+            lines=[beat])
+        stream.write(beat)
+        assert inner.written == [beat]  # never dropped
+        assert stream.readline() == beat  # never truncated
+
+    def test_times_budget_is_enforced_across_frames(self):
+        inner, stream = self.wired(
+            FaultRule(kind="net_drop", worker="a", times=2))
+        for _ in range(5):
+            stream.write(lease_frame())
+        assert len(inner.written) == 3  # 2 dropped, 3 delivered
+
+    def test_state_is_shared_across_reconnected_streams(self):
+        state = NetFaultState(FaultPlan(seed=3, rules=(
+            FaultRule(kind="net_drop", worker="a", times=1),)))
+        first = FakeStream()
+        FaultyStream(first, "a", state).write(lease_frame())
+        assert first.written == []  # the one firing, spent here
+        second = FakeStream()  # the post-rejoin connection
+        FaultyStream(second, "a", state).write(lease_frame())
+        assert second.written == [lease_frame()]
+        assert state.fired == 1
+
+    def test_wrap_stream_passes_through_without_state(self):
+        inner = FakeStream()
+        assert wrap_stream(inner, "a", None) is inner
+        state = NetFaultState(FaultPlan(seed=1))
+        assert isinstance(wrap_stream(inner, "a", state), FaultyStream)
 
 
 class TestRetryPolicy:

@@ -12,12 +12,14 @@ import io
 import json
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.engine import RunSpec
 from repro.engine.protocol import (
     MAX_FRAME_BYTES, MESSAGE_TYPES, PROTOCOL_VERSION, ConnectionClosed,
-    Lease, LeaseResult, ProtocolError, Shutdown, WorkerHello,
-    WorkerWelcome, decode_frame, encode_frame, read_frame, write_frame,
+    Heartbeat, HeartbeatAck, Lease, LeaseResult, ProtocolError,
+    Shutdown, WorkerHello, WorkerWelcome, decode_frame, encode_frame,
+    read_frame, write_frame,
 )
 
 SCALE = 0.1
@@ -40,7 +42,9 @@ def sample_messages():
               telemetry=True),
         LeaseResult(lease_id="L000001", worker="a", status="ok",
                     value=[{"kind": "run_outcome"}],
-                    snapshot={"counters": []}),
+                    snapshot={"counters": []}, epoch=17),
+        Heartbeat(seq=3),
+        HeartbeatAck(seq=3, worker="a"),
         Shutdown(reason="sweep complete"),
     ]
 
@@ -60,7 +64,8 @@ class TestFraming:
     def test_registry_covers_every_message(self):
         assert set(MESSAGE_TYPES) == {
             m.TYPE for m in (WorkerHello, WorkerWelcome, Lease,
-                             LeaseResult, Shutdown)}
+                             LeaseResult, Heartbeat, HeartbeatAck,
+                             Shutdown)}
 
     def test_version_mismatch_rejected(self):
         frame = json.loads(encode_frame(WorkerHello(worker="a")))
@@ -126,6 +131,70 @@ class TestStreamFraming:
         # Real lease results (payload lists + telemetry) are a few KB;
         # the bound exists to reject corrupt peers, not big results.
         assert MAX_FRAME_BYTES >= 2 ** 20
+
+
+class TestLiveness:
+    """The v2 additions: heartbeats and the lease fencing epoch."""
+
+    def test_heartbeat_round_trips_with_sequence(self):
+        beat = decode_frame(encode_frame(Heartbeat(seq=41)))
+        assert beat == Heartbeat(seq=41)
+
+    def test_heartbeat_ack_names_its_worker(self):
+        ack = decode_frame(encode_frame(HeartbeatAck(seq=41, worker="b")))
+        assert ack.seq == 41 and ack.worker == "b"
+
+    def test_lease_epoch_survives_the_wire(self):
+        lease = Lease.for_group("L000009", [native_spec()], attempt=1,
+                                deadline_s=None, fault_plan=None,
+                                telemetry=False, epoch=23)
+        assert decode_frame(encode_frame(lease)).epoch == 23
+
+    def test_result_epoch_survives_the_wire(self):
+        result = LeaseResult(lease_id="L000009", worker="a",
+                             status="ok", epoch=23)
+        assert decode_frame(encode_frame(result)).epoch == 23
+
+    def test_epoch_defaults_keep_old_frames_decodable(self):
+        # A frame with no epoch field (as a v2 peer that never sets it
+        # would emit before Lease.for_group fills it in) still decodes.
+        assert Lease.for_group("L1", [native_spec()], attempt=1,
+                               deadline_s=None, fault_plan=None,
+                               telemetry=False).epoch == 0
+        assert LeaseResult(lease_id="L1", worker="a").epoch == 0
+
+    def test_describe_mentions_the_epoch(self):
+        lease = Lease.for_group("L000011", [native_spec()], attempt=1,
+                                deadline_s=None, fault_plan=None,
+                                telemetry=False, epoch=7)
+        assert "epoch 7" in lease.describe()
+
+
+class TestFuzzedTruncation:
+    """Any mid-frame cut must read as truncation, never clean EOF."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(which=st.integers(min_value=0, max_value=6),
+           fraction=st.floats(min_value=0.01, max_value=0.99))
+    def test_any_partial_frame_is_truncated_not_closed(self, which,
+                                                       fraction):
+        frame = encode_frame(sample_messages()[which])
+        cut = max(1, min(len(frame) - 1, int(len(frame) * fraction)))
+        with pytest.raises(ProtocolError) as err:
+            read_frame(io.BytesIO(frame[:cut]))
+        assert not isinstance(err.value, ConnectionClosed)
+
+    @settings(max_examples=60, deadline=None)
+    @given(junk=st.binary(min_size=1, max_size=64))
+    def test_arbitrary_junk_never_escapes_protocol_error(self, junk):
+        # Corrupt peers produce ProtocolError (or its ConnectionClosed
+        # subclass for pure terminators), never raw json/attr errors.
+        stream = io.BytesIO(junk)
+        try:
+            while True:
+                read_frame(stream)
+        except ProtocolError:
+            pass
 
 
 class TestLeaseGroupRoundTrip:
